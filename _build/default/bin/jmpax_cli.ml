@@ -1,0 +1,391 @@
+(* jmpax: predictive runtime analysis of TML programs from the command
+   line. Subcommands mirror the pipeline stages: run, check, lattice,
+   race, deadlock, compare, examples. *)
+
+open Cmdliner
+
+(* {1 Shared options} *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program ~example ~file =
+  match (example, file) with
+  | Some name, None -> (
+      match Tml.Programs.source_of_name name with
+      | Some src -> Ok (Tml.Parser.parse_program src)
+      | None ->
+          Error
+            (Printf.sprintf "unknown example %S; try 'jmpax examples'" name))
+  | None, Some path -> (
+      match Tml.Parser.parse_program (read_file path) with
+      | p -> Ok p
+      | exception Tml.Parser.Error (msg, pos) ->
+          Error (Format.asprintf "%s: %s at %a" path msg Tml.Lexer.pp_pos pos)
+      | exception Tml.Lexer.Error (msg, pos) ->
+          Error (Format.asprintf "%s: %s at %a" path msg Tml.Lexer.pp_pos pos)
+      | exception Sys_error msg -> Error msg)
+  | None, None -> Error "provide a program with --file or --example"
+  | Some _, Some _ -> Error "--file and --example are mutually exclusive"
+
+let example_arg =
+  let doc = "Use the named built-in example program (see $(b,jmpax examples))." in
+  Arg.(value & opt (some string) None & info [ "e"; "example" ] ~docv:"NAME" ~doc)
+
+let file_arg =
+  let doc = "Read the TML program from $(docv)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let spec_arg =
+  let doc =
+    "The past-time LTL specification to check at every state, e.g. \
+     $(b,\"start landing == 1 ==> [approved == 1, radio == 0)\")."
+  in
+  Arg.(value & opt (some string) None & info [ "s"; "spec" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  let doc = "Seed of the random scheduler for the monitored run." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
+let fuel_arg =
+  let doc = "Maximum observable steps before the run is cut off." in
+  Arg.(value & opt int 100_000 & info [ "fuel" ] ~docv:"N" ~doc)
+
+let channel_arg =
+  let doc =
+    "Delivery model between program and observer: $(b,in-order), \
+     $(b,shuffle:SEED) or $(b,window:SEED:K)."
+  in
+  Arg.(value & opt string "in-order" & info [ "channel" ] ~docv:"MODEL" ~doc)
+
+let parse_channel s =
+  match String.split_on_char ':' s with
+  | [ "in-order" ] -> Ok Jmpax.Config.In_order
+  | [ "shuffle"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Jmpax.Config.Shuffled seed)
+      | None -> Error "shuffle: bad seed")
+  | [ "window"; seed; k ] -> (
+      match (int_of_string_opt seed, int_of_string_opt k) with
+      | Some seed, Some k when k >= 1 -> Ok (Jmpax.Config.Bounded (seed, k))
+      | _ -> Error "window: bad seed or width")
+  | _ -> Error (Printf.sprintf "unknown channel model %S" s)
+
+let sched_of_seed = function
+  | None -> Tml.Sched.round_robin ()
+  | Some seed -> Tml.Sched.random ~seed
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("jmpax: " ^ msg);
+      exit 2
+
+let parse_spec = function
+  | None -> Pastltl.Formula.True
+  | Some s -> (
+      match Pastltl.Fparser.parse s with
+      | f -> f
+      | exception Pastltl.Fparser.Error msg ->
+          prerr_endline ("jmpax: bad specification: " ^ msg);
+          exit 2)
+
+(* {1 check} *)
+
+let check_cmd =
+  let run example file spec seed fuel channel counterexamples replay =
+    let program = or_die (load_program ~example ~file) in
+    let spec = parse_spec spec in
+    let channel = or_die (parse_channel channel) in
+    let config =
+      { (Jmpax.Config.default ()) with
+        Jmpax.Config.sched = sched_of_seed seed;
+        fuel;
+        channel }
+    in
+    let output = Jmpax.Pipeline.check ~config ~spec program in
+    Format.printf "%a@." Jmpax.Pipeline.pp_output output;
+    if (counterexamples || replay) && Jmpax.Pipeline.predicted_violation output
+    then begin
+      let report =
+        Predict.Counterexample.check ~spec output.Jmpax.Pipeline.computation
+      in
+      Format.printf "@.%a@." Predict.Counterexample.pp_report report;
+      List.iter
+        (fun ce ->
+          Format.printf "%a@."
+            (Predict.Counterexample.pp_counterexample
+               ~vars:output.Jmpax.Pipeline.relevant_vars)
+            ce;
+          if replay then
+            match Predict.Replay.replay_counterexample ~spec ~program ce with
+            | Ok o ->
+                Format.printf "reproducing schedule: %a@." Tml.Sched.pp_script
+                  o.Predict.Replay.script
+            | Error f ->
+                Format.printf "replay failed: %a@." Predict.Replay.pp_failure f)
+        report.Predict.Counterexample.violating
+    end;
+    if Jmpax.Pipeline.predicted_violation output then exit 1
+  in
+  let counterexamples =
+    Arg.(value & flag & info [ "counterexamples" ] ~doc:"Print every violating run.")
+  in
+  let replay =
+    Arg.(value & flag
+         & info [ "replay" ]
+             ~doc:"Search a concrete schedule reproducing each violating run and print it.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run a program once and predict violations over all causally consistent runs.")
+    Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
+          $ channel_arg $ counterexamples $ replay)
+
+(* {1 run} *)
+
+let run_cmd =
+  let run example file seed fuel output spec =
+    let program = or_die (load_program ~example ~file) in
+    let relevance, relevant_vars =
+      match spec with
+      | None -> (Mvc.Relevance.all_writes, List.map fst program.Tml.Ast.shared)
+      | Some _ ->
+          let f = parse_spec spec in
+          let vars = Pastltl.Formula.vars f in
+          (Mvc.Relevance.writes_of_vars vars, vars)
+    in
+    let r = Tml.Vm.run_program ~fuel ~relevance ~sched:(sched_of_seed seed) program in
+    Format.printf "outcome: %a (%d observable steps)@." Tml.Vm.pp_outcome
+      r.Tml.Vm.outcome r.Tml.Vm.steps;
+    Format.printf "final state:";
+    List.iter (fun (x, v) -> Format.printf " %s=%d" x v) r.Tml.Vm.final;
+    (match output with
+    | None ->
+        Format.printf "@.messages:@.";
+        List.iter (fun m -> Format.printf "  %a@." Trace.Message.pp m) r.Tml.Vm.messages
+    | Some path ->
+        let header =
+          { Jmpax.Wire.nthreads = List.length program.Tml.Ast.threads;
+            init =
+              List.filter
+                (fun (x, _) -> List.mem x relevant_vars)
+                program.Tml.Ast.shared }
+        in
+        Jmpax.Wire.write_file path header r.Tml.Vm.messages;
+        Format.printf "@.%d messages written to %s@." (List.length r.Tml.Vm.messages)
+          path)
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the emitted messages as a wire trace instead of printing them.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute an instrumented program once and dump its messages.")
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg $ output $ spec_arg)
+
+(* {1 observe} *)
+
+let observe_cmd =
+  let run trace spec =
+    let spec = parse_spec spec in
+    match Jmpax.Wire.read_file trace with
+    | Error e -> or_die (Error e)
+    | Ok (header, messages) -> (
+        match
+          Observer.Computation.of_messages ~nthreads:header.Jmpax.Wire.nthreads
+            ~init:header.Jmpax.Wire.init messages
+        with
+        | Error e -> or_die (Error ("trace is not a computation: " ^ e))
+        | Ok comp ->
+            let report = Predict.Analyzer.analyze ~spec comp in
+            Format.printf "%d messages, %d threads@." (List.length messages)
+              header.Jmpax.Wire.nthreads;
+            Format.printf "%a@." Predict.Analyzer.pp_report report;
+            if Predict.Analyzer.violated report then exit 1)
+  in
+  let trace =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"Wire trace produced by $(b,jmpax run --output).")
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Run the external observer on a previously recorded wire trace.")
+    Term.(const run $ trace $ spec_arg)
+
+(* {1 lattice} *)
+
+let lattice_cmd =
+  let run example file spec seed fuel dot =
+    let program = or_die (load_program ~example ~file) in
+    let spec = parse_spec spec in
+    let config =
+      { (Jmpax.Config.default ()) with Jmpax.Config.sched = sched_of_seed seed; fuel }
+    in
+    let output = Jmpax.Pipeline.check ~config ~spec program in
+    if dot then begin
+      let lattice = Observer.Lattice.build output.Jmpax.Pipeline.computation in
+      let violating =
+        List.map
+          (fun v -> Array.to_list v.Predict.Analyzer.cut)
+          output.Jmpax.Pipeline.predictive.Predict.Analyzer.violations
+      in
+      let highlight (n : Observer.Lattice.node) =
+        List.mem (Array.to_list n.Observer.Lattice.cut) violating
+      in
+      print_string (Observer.Lattice.to_dot ~highlight lattice)
+    end
+    else begin
+      print_string (Jmpax.Report.lattice_figure output.Jmpax.Pipeline.computation);
+      print_newline ()
+    end
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text; violating cuts are highlighted.")
+  in
+  Cmd.v
+    (Cmd.info "lattice"
+       ~doc:"Print the computation lattice of one monitored run (cf. the paper's Figs. 5 and 6).")
+    Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg $ dot)
+
+(* {1 race} *)
+
+let race_cmd =
+  let run example file seed fuel =
+    let program = or_die (load_program ~example ~file) in
+    let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
+    match r.Tml.Vm.exec with
+    | None -> or_die (Error "no execution recorded")
+    | Some exec ->
+        let report = Predict.Race.detect exec in
+        Format.printf "%a@." Predict.Race.pp_report report;
+        if not (Predict.Race.race_free report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "race" ~doc:"Predict data races from one run (sync-only happens-before).")
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg)
+
+(* {1 deadlock} *)
+
+let deadlock_cmd =
+  let run example file seed fuel =
+    let program = or_die (load_program ~example ~file) in
+    let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
+    match r.Tml.Vm.exec with
+    | None -> or_die (Error "no execution recorded")
+    | Some exec ->
+        let report = Predict.Lockgraph.analyze exec in
+        Format.printf "%a@." Predict.Lockgraph.pp_report report;
+        if not (Predict.Lockgraph.deadlock_free report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "deadlock" ~doc:"Predict deadlocks from one run via the lock-order graph.")
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg)
+
+(* {1 atomicity} *)
+
+let atomicity_cmd =
+  let run example file seed fuel =
+    let program = or_die (load_program ~example ~file) in
+    let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
+    match r.Tml.Vm.exec with
+    | None -> or_die (Error "no execution recorded")
+    | Some exec ->
+        let report = Predict.Atomicity.analyze exec in
+        Format.printf "%a@." Predict.Atomicity.pp_report report;
+        if not (Predict.Atomicity.serializable report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "atomicity"
+       ~doc:"Predict sync-block atomicity violations from one run.")
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg)
+
+(* {1 compare} *)
+
+let compare_cmd =
+  let run example file spec runs =
+    let program = or_die (load_program ~example ~file) in
+    let spec = parse_spec spec in
+    print_string
+      (Jmpax.Report.detection_table ~spec ~program ~seeds:(List.init runs (fun i -> i)))
+  in
+  let runs =
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc:"Number of random schedules.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Detection-rate comparison: observed-run monitoring (JPaX) vs prediction (JMPaX).")
+    Term.(const run $ example_arg $ file_arg $ spec_arg $ runs)
+
+(* {1 fsm} *)
+
+let fsm_cmd =
+  let run spec minimized =
+    let spec =
+      match spec with
+      | Some _ -> parse_spec spec
+      | None -> or_die (Error "fsm requires --spec")
+    in
+    let fsm = Pastltl.Fsm.synthesize spec in
+    let fsm = if minimized then Pastltl.Fsm.minimize fsm else fsm in
+    Format.printf "%a@." Pastltl.Fsm.pp fsm
+  in
+  let minimized =
+    Arg.(value & flag & info [ "minimize" ] ~doc:"Print the minimized automaton.")
+  in
+  Cmd.v
+    (Cmd.info "fsm"
+       ~doc:"Synthesize the finite state machine of a past-time LTL specification.")
+    Term.(const run $ spec_arg $ minimized)
+
+(* {1 monitor (online)} *)
+
+let monitor_cmd =
+  let run example file spec seed fuel =
+    let program = or_die (load_program ~example ~file) in
+    let spec = parse_spec spec in
+    let config =
+      { (Jmpax.Config.default ()) with Jmpax.Config.sched = sched_of_seed seed; fuel }
+    in
+    let o = Jmpax.Pipeline.check_online ~config ~spec program in
+    Format.printf
+      "spec: %a@.run: %a, %d steps@.online verdict: %s (lattice level %d)@.\
+       peak frontier: %d entries, %d cuts retired, %d monitor steps@."
+      Pastltl.Formula.pp o.Jmpax.Pipeline.o_spec Tml.Vm.pp_outcome
+      o.Jmpax.Pipeline.o_run.Tml.Vm.outcome o.Jmpax.Pipeline.o_run.Tml.Vm.steps
+      (if o.Jmpax.Pipeline.o_violated then "VIOLATION PREDICTED" else "no violation")
+      o.Jmpax.Pipeline.o_level
+      o.Jmpax.Pipeline.o_gc.Predict.Online.peak_frontier_entries
+      o.Jmpax.Pipeline.o_gc.Predict.Online.retired_cuts
+      o.Jmpax.Pipeline.o_gc.Predict.Online.monitor_steps;
+    if o.Jmpax.Pipeline.o_violated then exit 1
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Monitor a program online: the lattice is analyzed while the program runs.")
+    Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg)
+
+(* {1 examples} *)
+
+let examples_cmd =
+  let run () =
+    List.iter
+      (fun (name, program) ->
+        Printf.printf "%-24s %d threads, %d shared variables\n" name
+          (List.length program.Tml.Ast.threads)
+          (List.length program.Tml.Ast.shared))
+      (Tml.Programs.all_named ())
+  in
+  Cmd.v
+    (Cmd.info "examples" ~doc:"List the built-in example programs.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "predictive runtime analysis of multithreaded programs (JMPaX reproduction)" in
+  let info = Cmd.info "jmpax" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; lattice_cmd; race_cmd;
+                                   deadlock_cmd; atomicity_cmd; compare_cmd; examples_cmd; fsm_cmd;
+                                   monitor_cmd; observe_cmd ]))

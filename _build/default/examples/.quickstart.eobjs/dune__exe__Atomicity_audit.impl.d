@@ -1,0 +1,1 @@
+examples/atomicity_audit.ml: Format List Option Predict String Tml

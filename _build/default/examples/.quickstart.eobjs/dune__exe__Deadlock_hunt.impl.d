@@ -1,0 +1,1 @@
+examples/deadlock_hunt.ml: Format List Option Predict Tml

@@ -1,0 +1,1 @@
+examples/dynamic_threads.ml: Dvclock Format List Mvc Option Predict Printf String Tml Trace

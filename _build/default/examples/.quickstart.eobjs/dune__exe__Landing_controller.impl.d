@@ -1,0 +1,1 @@
+examples/landing_controller.ml: Format Jmpax List Option Pastltl Tml

@@ -1,0 +1,1 @@
+examples/landing_controller.mli:

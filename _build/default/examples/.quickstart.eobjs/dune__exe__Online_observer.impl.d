@@ -1,0 +1,1 @@
+examples/online_observer.ml: Dsim Format List Mvc Observer Option Pastltl Predict Tml Trace

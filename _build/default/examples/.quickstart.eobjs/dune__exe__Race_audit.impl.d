@@ -1,0 +1,1 @@
+examples/race_audit.ml: Format List Option Predict String Tml

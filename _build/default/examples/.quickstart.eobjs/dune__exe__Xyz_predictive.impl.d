@@ -1,0 +1,1 @@
+examples/xyz_predictive.ml: Format Jmpax Option Pastltl Tml Trace

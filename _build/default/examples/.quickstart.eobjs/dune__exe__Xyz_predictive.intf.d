@@ -1,0 +1,1 @@
+examples/xyz_predictive.mli:

@@ -1,0 +1,1 @@
+lib/dsim/network.ml: Hashtbl Process Queue Trace Types Vclock

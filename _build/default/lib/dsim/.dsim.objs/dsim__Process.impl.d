@@ -1,0 +1,1 @@
+lib/dsim/process.ml: Format Trace Types Vclock

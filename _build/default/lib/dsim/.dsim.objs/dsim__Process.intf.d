@@ -1,0 +1,1 @@
+lib/dsim/process.mli: Format Trace Types Vclock

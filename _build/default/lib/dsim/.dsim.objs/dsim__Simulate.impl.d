@@ -1,0 +1,1 @@
+lib/dsim/simulate.ml: Array Event Exec List Mvc Network Printf Process Trace Vclock

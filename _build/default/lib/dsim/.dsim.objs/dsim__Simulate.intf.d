@@ -1,0 +1,1 @@
+lib/dsim/simulate.mli: Exec Mvc Trace Vclock

@@ -1,0 +1,85 @@
+open Trace
+
+type protocol =
+  | Write_request
+  | Read_request
+  | Hidden_forward
+  | Ack
+
+type packet = {
+  src : Process.pid;
+  dst : Process.pid;
+  clock : Vclock.t;
+  protocol : protocol;
+  on_behalf_of : Types.tid;
+}
+
+type t = {
+  nthreads : int;
+  procs : (Process.pid, Process.t) Hashtbl.t;
+  queue : packet Queue.t;
+  mutable sent : int;
+  mutable hidden : int;
+}
+
+let create ~nthreads =
+  if nthreads <= 0 then invalid_arg "Network.create: nthreads must be positive";
+  { nthreads; procs = Hashtbl.create 16; queue = Queue.create (); sent = 0; hidden = 0 }
+
+let dim t = t.nthreads
+
+let process t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None ->
+      let p = Process.create pid ~dim:t.nthreads in
+      Hashtbl.replace t.procs pid p;
+      p
+
+let send t packet =
+  t.sent <- t.sent + 1;
+  if packet.protocol = Hidden_forward then t.hidden <- t.hidden + 1;
+  Queue.add packet t.queue
+
+let deliver t packet =
+  let dst = process t packet.dst in
+  let i = packet.on_behalf_of in
+  match packet.protocol with
+  | Write_request -> (
+      Process.merge dst packet.clock;
+      match packet.dst with
+      | Process.Access x ->
+          send t
+            { src = packet.dst; dst = Process.Writer x; clock = Process.clock dst;
+              protocol = Write_request; on_behalf_of = i }
+      | Process.Writer _ ->
+          send t
+            { src = packet.dst; dst = Process.Thread i; clock = Process.clock dst;
+              protocol = Ack; on_behalf_of = i }
+      | Process.Thread _ -> assert false)
+  | Read_request -> (
+      Process.merge dst packet.clock;
+      match packet.dst with
+      | Process.Access x ->
+          (* The dotted arrow: no clock travels into x^w. *)
+          send t
+            { src = packet.dst; dst = Process.Writer x; clock = Process.clock dst;
+              protocol = Hidden_forward; on_behalf_of = i }
+      | Process.Writer _ | Process.Thread _ -> assert false)
+  | Hidden_forward ->
+      (* x^w's clock is deliberately not updated; it only acknowledges. *)
+      send t
+        { src = packet.dst; dst = Process.Thread i; clock = Process.clock dst;
+          protocol = Ack; on_behalf_of = i }
+  | Ack -> Process.merge dst packet.clock
+
+let deliver_all t =
+  let count = ref 0 in
+  while not (Queue.is_empty t.queue) do
+    incr count;
+    deliver t (Queue.pop t.queue)
+  done;
+  !count
+
+let packets_sent t = t.sent
+let hidden_sent t = t.hidden

@@ -1,0 +1,47 @@
+(** The message fabric of the Section 3.2 interpretation.
+
+    Reads and writes become little protocols (paper, Fig. 3):
+
+    - {b write x by i}: [i ──req──> x{^a} ──req──> x{^w} ──ack──> i],
+      every message visible (clock-carrying and clock-merging);
+    - {b read x by i}: [i ──req──> x{^a}], then a {e hidden} message
+      [x{^a} ──▸ x{^w}] that does {e not} update [x{^w}]'s clock — this
+      is what keeps reads permutable — whose only role is to make
+      [x{^w}] send its clock back as [x{^w} ──ack──> i].
+
+    Messages are delivered FIFO; each protocol instance runs to
+    completion before the next event is injected, matching the atomicity
+    of shared accesses in the memory model. *)
+
+open Trace
+
+type protocol =
+  | Write_request  (** clock-merging request hop *)
+  | Read_request  (** request hop of a read *)
+  | Hidden_forward  (** the dotted arrow of Fig. 3 *)
+  | Ack
+
+type packet = {
+  src : Process.pid;
+  dst : Process.pid;
+  clock : Vclock.t;  (** the sender's clock at send time *)
+  protocol : protocol;
+  on_behalf_of : Types.tid;  (** the accessing thread, to route the ack *)
+}
+
+type t
+
+val create : nthreads:int -> t
+val dim : t -> int
+
+val process : t -> Process.pid -> Process.t
+(** Lazily creates variable processes. *)
+
+val send : t -> packet -> unit
+
+val deliver_all : t -> int
+(** Runs the delivery loop until the fabric is quiet; returns the number
+    of packets delivered. *)
+
+val packets_sent : t -> int
+val hidden_sent : t -> int

@@ -1,0 +1,93 @@
+open Trace
+
+type stats = {
+  events : int;
+  packets : int;
+  hidden : int;
+  emitted : (int * Vclock.t) list;
+}
+
+let inject network relevance (e : Event.t) =
+  let thread = Network.process network (Process.Thread e.tid) in
+  if Mvc.Relevance.is_relevant relevance e.kind then Process.bump thread e.tid;
+  (match e.kind with
+  | Event.Internal -> ()
+  | Event.Read (x, _) ->
+      Network.send network
+        { src = Process.pid thread; dst = Process.Access x;
+          clock = Process.clock thread; protocol = Network.Read_request;
+          on_behalf_of = e.tid }
+  | Event.Write (x, _) ->
+      Network.send network
+        { src = Process.pid thread; dst = Process.Access x;
+          clock = Process.clock thread; protocol = Network.Write_request;
+          on_behalf_of = e.tid });
+  ignore (Network.deliver_all network);
+  if Mvc.Relevance.is_relevant relevance e.kind then
+    Some (e.eid, Process.clock thread)
+  else None
+
+let run ~relevance exec =
+  let network = Network.create ~nthreads:(Exec.nthreads exec) in
+  let emitted = ref [] in
+  Array.iter
+    (fun e ->
+      match inject network relevance e with
+      | Some entry -> emitted := entry :: !emitted
+      | None -> ())
+    (Exec.events exec);
+  { events = Exec.length exec;
+    packets = Network.packets_sent network;
+    hidden = Network.hidden_sent network;
+    emitted = List.rev !emitted }
+
+type divergence = {
+  eid : int;
+  where : string;
+  network : Vclock.t;
+  algorithm : Vclock.t;
+}
+
+let compare_with_algorithm ~relevance exec =
+  let n = Exec.nthreads exec in
+  let network = Network.create ~nthreads:n in
+  let algo = Mvc.Algorithm.create ~nthreads:n ~relevance in
+  let emitted = ref [] in
+  let divergence = ref None in
+  let check eid where net alg =
+    if !divergence = None && not (Vclock.equal net alg) then
+      divergence := Some { eid; where; network = net; algorithm = alg }
+  in
+  Array.iter
+    (fun (e : Event.t) ->
+      if !divergence = None then begin
+        (match inject network relevance e with
+        | Some entry -> emitted := entry :: !emitted
+        | None -> ());
+        ignore (Mvc.Algorithm.process algo e.tid e.kind);
+        let thread = Network.process network (Process.Thread e.tid) in
+        check e.eid
+          (Printf.sprintf "V_%d" e.tid)
+          (Process.clock thread)
+          (Mvc.Algorithm.thread_clock algo e.tid);
+        match Event.variable e with
+        | None -> ()
+        | Some x ->
+            check e.eid
+              (Printf.sprintf "V^a_%s" x)
+              (Process.clock (Network.process network (Process.Access x)))
+              (Mvc.Algorithm.access_clock algo x);
+            check e.eid
+              (Printf.sprintf "V^w_%s" x)
+              (Process.clock (Network.process network (Process.Writer x)))
+              (Mvc.Algorithm.write_clock algo x)
+      end)
+    (Exec.events exec);
+  match !divergence with
+  | Some d -> Error d
+  | None ->
+      Ok
+        { events = Exec.length exec;
+          packets = Network.packets_sent network;
+          hidden = Network.hidden_sent network;
+          emitted = List.rev !emitted }

@@ -1,0 +1,34 @@
+(** Driving the Section 3.2 interpretation over a recorded execution and
+    checking it against Algorithm A.
+
+    The paper's claim is that the MVC algorithm is {e almost} the
+    standard vector-clock algorithm on the derived process network — the
+    one deviation being the hidden read message. This module replays an
+    execution through both and compares every clock after every event;
+    they must agree exactly. *)
+
+open Trace
+
+type stats = {
+  events : int;
+  packets : int;  (** total protocol messages exchanged *)
+  hidden : int;  (** hidden (dotted) messages — one per read *)
+  emitted : (int * Vclock.t) list;
+      (** (eid, thread clock) for each relevant event, in order *)
+}
+
+val run : relevance:Mvc.Relevance.t -> Exec.t -> stats
+(** Replays the execution through the process network alone. *)
+
+type divergence = {
+  eid : int;
+  where : string;  (** which clock diverged, e.g. ["V_2"] or ["V^w_x"] *)
+  network : Vclock.t;
+  algorithm : Vclock.t;
+}
+
+val compare_with_algorithm :
+  relevance:Mvc.Relevance.t -> Exec.t -> (stats, divergence) result
+(** Runs the network and Algorithm A side by side, comparing the thread
+    clock, [V{^a}{_x}] and [V{^w}{_x}] after every event. [Ok] means the
+    interpretation reproduces Algorithm A exactly. *)

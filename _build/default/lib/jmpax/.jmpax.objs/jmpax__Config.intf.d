@@ -1,0 +1,1 @@
+lib/jmpax/config.mli: Tml

@@ -1,0 +1,1 @@
+lib/jmpax/jpax.ml: List Message Pastltl Trace

@@ -1,0 +1,1 @@
+lib/jmpax/jpax.mli: Message Pastltl Trace Types

@@ -1,0 +1,1 @@
+lib/jmpax/pipeline.ml: Config Format List Message Mvc Observer Option Pastltl Predict Printf String Tml Trace Types

@@ -1,0 +1,1 @@
+lib/jmpax/pipeline.mli: Config Format Message Observer Pastltl Predict Tml Trace Types

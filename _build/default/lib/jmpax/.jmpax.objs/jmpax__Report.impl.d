@@ -1,0 +1,1 @@
+lib/jmpax/report.ml: Buffer Config Format List Observer Pipeline Predict Tml Trace

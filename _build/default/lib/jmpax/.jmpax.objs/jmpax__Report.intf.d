@@ -1,0 +1,1 @@
+lib/jmpax/report.mli: Observer Pastltl Tml

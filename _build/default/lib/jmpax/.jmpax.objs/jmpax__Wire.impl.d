@@ -1,0 +1,1 @@
+lib/jmpax/wire.ml: Buffer Char Fun List Message Printf String Trace Types Vclock

@@ -1,0 +1,1 @@
+lib/jmpax/wire.mli: Message Trace Types

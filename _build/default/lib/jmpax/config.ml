@@ -1,0 +1,27 @@
+type channel_model =
+  | In_order
+  | Shuffled of int
+  | Bounded of int * int
+
+type t = {
+  sched : Tml.Sched.t;
+  fuel : int;
+  channel : channel_model;
+  stop_at_first : bool;
+  detect_races : bool;
+  detect_deadlocks : bool;
+  detect_atomicity : bool;
+}
+
+let default () =
+  { sched = Tml.Sched.round_robin ();
+    fuel = 100_000;
+    channel = In_order;
+    stop_at_first = false;
+    detect_races = true;
+    detect_deadlocks = true;
+    detect_atomicity = true }
+
+let with_sched sched t = { t with sched }
+let with_seed seed t = { t with sched = Tml.Sched.random ~seed }
+let with_channel channel t = { t with channel }

@@ -1,0 +1,26 @@
+(** Tool configuration for the end-to-end pipeline. *)
+
+type channel_model =
+  | In_order
+  | Shuffled of int  (** seed *)
+  | Bounded of int * int  (** seed, window *)
+
+type t = {
+  sched : Tml.Sched.t;
+  fuel : int;  (** observable-step budget for the monitored run *)
+  channel : channel_model;  (** delivery model between program and observer *)
+  stop_at_first : bool;  (** stop the predictive sweep at the first bad level *)
+  detect_races : bool;
+  detect_deadlocks : bool;
+  detect_atomicity : bool;
+}
+
+val default : unit -> t
+(** Round-robin schedule, [fuel = 100_000], in-order delivery, full
+    sweep, race, deadlock and atomicity detection on. *)
+
+val with_sched : Tml.Sched.t -> t -> t
+val with_seed : int -> t -> t
+(** Replaces the scheduler by [Tml.Sched.random ~seed]. *)
+
+val with_channel : channel_model -> t -> t

@@ -1,0 +1,34 @@
+open Trace
+
+type t = {
+  monitor : Pastltl.Monitor.compiled;
+  mutable state : Pastltl.State.t;
+  mutable mstate : Pastltl.Monitor.state;
+  mutable seen : int;
+  mutable first_violation : int option;
+}
+
+let create ~spec ~init =
+  let monitor = Pastltl.Monitor.compile spec in
+  let state = Pastltl.State.of_list init in
+  let mstate = Pastltl.Monitor.init monitor state in
+  let first_violation =
+    if Pastltl.Monitor.verdict monitor mstate then None else Some 0
+  in
+  { monitor; state; mstate; seen = 1; first_violation }
+
+let feed t (m : Message.t) =
+  t.state <- Pastltl.State.set t.state m.var m.value;
+  t.mstate <- Pastltl.Monitor.step t.monitor t.mstate t.state;
+  if t.first_violation = None && not (Pastltl.Monitor.verdict t.monitor t.mstate) then
+    t.first_violation <- Some t.seen;
+  t.seen <- t.seen + 1
+
+let ok t = t.first_violation = None
+let violation_index t = t.first_violation
+let states_seen t = t.seen
+
+let check_messages ~spec ~init messages =
+  let t = create ~spec ~init in
+  List.iter (feed t) messages;
+  ok t

@@ -1,0 +1,33 @@
+(** The JPaX / Java-MaC style baseline: a purely {e observational}
+    monitor that checks the specification along the single observed
+    interleaving, with no causal reasoning (paper, Section 1).
+
+    Exists to quantify the paper's motivating claim: errors that only
+    manifest under rare schedules are essentially invisible to this
+    monitor, while the predictive analyzer sees them in the causal
+    abstraction of any successful run. *)
+
+open Trace
+
+type t
+
+val create : spec:Pastltl.Formula.t -> init:(Types.var * Types.value) list -> t
+(** An online monitor positioned at the initial state. *)
+
+val feed : t -> Message.t -> unit
+(** Consume one state-update message {e in arrival order}. *)
+
+val ok : t -> bool
+(** False once any prefix state falsified the specification (latching). *)
+
+val violation_index : t -> int option
+(** Index of the first bad state (0 = initial state), if any. *)
+
+val states_seen : t -> int
+
+val check_messages :
+  spec:Pastltl.Formula.t ->
+  init:(Types.var * Types.value) list ->
+  Message.t list ->
+  bool
+(** One-shot convenience: [true] iff no violation along the sequence. *)

@@ -1,0 +1,129 @@
+open Trace
+
+type output = {
+  spec : Pastltl.Formula.t;
+  relevant_vars : Types.var list;
+  run : Tml.Vm.run_result;
+  delivered : Message.t list;
+  computation : Observer.Computation.t;
+  predictive : Predict.Analyzer.report;
+  observed_ok : bool;
+  races : Predict.Race.report option;
+  deadlocks : Predict.Lockgraph.report option;
+  atomicity : Predict.Atomicity.report option;
+}
+
+let apply_channel config messages =
+  match config.Config.channel with
+  | Config.In_order -> Observer.Channel.identity messages
+  | Config.Shuffled seed -> Observer.Channel.shuffle ~seed messages
+  | Config.Bounded (seed, window) -> Observer.Channel.bounded_reorder ~seed ~window messages
+
+let check ?(config = Config.default ()) ~spec program =
+  let relevant_vars = Pastltl.Formula.vars spec in
+  let image = Tml.Instrument.instrument_program program in
+  let relevance = Mvc.Relevance.writes_of_vars relevant_vars in
+  let run =
+    Tml.Vm.run_image ~fuel:config.Config.fuel ~relevance ~sched:config.Config.sched image
+  in
+  (match run.Tml.Vm.outcome with
+  | Tml.Vm.Runtime_error { tid; message } ->
+      invalid_arg (Printf.sprintf "Pipeline.check: runtime error in thread %d: %s" tid message)
+  | Tml.Vm.Completed | Tml.Vm.Deadlocked _ | Tml.Vm.Fuel_exhausted -> ());
+  let init =
+    List.filter (fun (x, _) -> List.mem x relevant_vars) program.Tml.Ast.shared
+  in
+  let nthreads = List.length program.Tml.Ast.threads in
+  (* Ship the messages through the configured channel and let the
+     observer reassemble them. *)
+  let delivered = apply_channel config run.Tml.Vm.messages in
+  let ingest = Observer.Ingest.create ~nthreads ~init in
+  Observer.Ingest.add_all ingest delivered;
+  let computation =
+    match Observer.Ingest.computation ingest with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Pipeline.check: observer could not reassemble: " ^ msg)
+  in
+  let predictive =
+    Predict.Analyzer.analyze ~stop_at_first:config.Config.stop_at_first ~spec computation
+  in
+  let observed_ok =
+    Predict.Analyzer.observed_run_verdict ~spec ~init run.Tml.Vm.messages
+  in
+  let races =
+    if config.Config.detect_races then
+      Option.map Predict.Race.detect run.Tml.Vm.exec
+    else None
+  in
+  let deadlocks =
+    if config.Config.detect_deadlocks then
+      Option.map Predict.Lockgraph.analyze run.Tml.Vm.exec
+    else None
+  in
+  let atomicity =
+    if config.Config.detect_atomicity then
+      Option.map Predict.Atomicity.analyze run.Tml.Vm.exec
+    else None
+  in
+  { spec; relevant_vars; run; delivered; computation; predictive; observed_ok;
+    races; deadlocks; atomicity }
+
+let check_source ?config ~spec source =
+  check ?config ~spec:(Pastltl.Fparser.parse spec) (Tml.Parser.parse_program source)
+
+type online_output = {
+  o_spec : Pastltl.Formula.t;
+  o_run : Tml.Vm.run_result;
+  o_violated : bool;
+  o_violations : Predict.Analyzer.violation list;
+  o_level : int;
+  o_gc : Predict.Online.gc_stats;
+}
+
+let check_online ?(config = Config.default ()) ~spec program =
+  let relevant_vars = Pastltl.Formula.vars spec in
+  let image = Tml.Instrument.instrument_program program in
+  let relevance = Mvc.Relevance.writes_of_vars relevant_vars in
+  let init =
+    List.filter (fun (x, _) -> List.mem x relevant_vars) program.Tml.Ast.shared
+  in
+  let nthreads = List.length program.Tml.Ast.threads in
+  let online = Predict.Online.create ~nthreads ~init ~spec in
+  let run =
+    Tml.Vm.run_image ~fuel:config.Config.fuel ~relevance
+      ~sink:(Predict.Online.feed online) ~sched:config.Config.sched image
+  in
+  (match run.Tml.Vm.outcome with
+  | Tml.Vm.Runtime_error { tid; message } ->
+      invalid_arg
+        (Printf.sprintf "Pipeline.check_online: runtime error in thread %d: %s" tid message)
+  | Tml.Vm.Completed | Tml.Vm.Deadlocked _ | Tml.Vm.Fuel_exhausted -> ());
+  Predict.Online.finish online;
+  { o_spec = spec;
+    o_run = run;
+    o_violated = Predict.Online.violated online;
+    o_violations = Predict.Online.violations online;
+    o_level = Predict.Online.level online;
+    o_gc = Predict.Online.gc_stats online }
+
+let predicted_violation output = Predict.Analyzer.violated output.predictive
+let missed_by_baseline output = predicted_violation output && output.observed_ok
+
+let pp_output ppf o =
+  Format.fprintf ppf
+    "@[<v>spec: %a@,relevant variables: {%s}@,monitored run: %a, %d steps, %d messages@,\
+     observed-run verdict (JPaX baseline): %s@,predictive verdict (JMPaX): %s@,%a@,%a@,%a@]"
+    Pastltl.Formula.pp o.spec
+    (String.concat ", " o.relevant_vars)
+    Tml.Vm.pp_outcome o.run.Tml.Vm.outcome o.run.Tml.Vm.steps
+    (List.length o.run.Tml.Vm.messages)
+    (if o.observed_ok then "no violation" else "VIOLATION")
+    (if predicted_violation o then "VIOLATION PREDICTED" else "no violation in any run")
+    Predict.Analyzer.pp_report o.predictive
+    (Format.pp_print_option Predict.Race.pp_report)
+    o.races
+    (Format.pp_print_option Predict.Lockgraph.pp_report)
+    o.deadlocks;
+  Format.fprintf ppf "@,%a"
+    (Format.pp_print_option Predict.Atomicity.pp_report)
+    o.atomicity

@@ -1,0 +1,65 @@
+(** The end-to-end JMPaX pipeline (paper, Fig. 4):
+
+    {v
+    program ──compile──> bytecode ──instrument──> instrumented bytecode
+        ──execute (VM + scheduler)──> messages ⟨e, i, V⟩
+        ──channel──> observer ──ingest──> computation
+        ──level-by-level predictive analysis──> report
+    v}
+
+    The relevant variables are extracted from the specification, exactly
+    as JMPaX's instrumentation module parses the user specification
+    (Section 4.1). *)
+
+open Trace
+
+type output = {
+  spec : Pastltl.Formula.t;
+  relevant_vars : Types.var list;
+  run : Tml.Vm.run_result;  (** the single monitored execution *)
+  delivered : Message.t list;  (** messages in (possibly reordered) arrival order *)
+  computation : Observer.Computation.t;
+  predictive : Predict.Analyzer.report;  (** JMPaX verdict over all runs *)
+  observed_ok : bool;  (** JPaX/Java-MaC baseline: the observed run only *)
+  races : Predict.Race.report option;
+  deadlocks : Predict.Lockgraph.report option;
+  atomicity : Predict.Atomicity.report option;
+}
+
+val check : ?config:Config.t -> spec:Pastltl.Formula.t -> Tml.Ast.program -> output
+(** Runs the whole pipeline once.
+    @raise Invalid_argument if the program is ill-formed, or if the
+    monitored run dies on a runtime error so no computation exists. *)
+
+val check_source : ?config:Config.t -> spec:string -> string -> output
+(** Same, from concrete syntax for both program and specification. *)
+
+(** {1 Online mode}
+
+    The analyzer of {!check} works offline on the completed message list.
+    {!check_online} instead attaches a {!Predict.Online} analyzer to the
+    instrumented program's message sink, so the computation lattice is
+    explored {e while the program runs}, levels are garbage-collected as
+    they are passed, and a violation can be known before the program
+    terminates — the paper's online-analysis claim. *)
+
+type online_output = {
+  o_spec : Pastltl.Formula.t;
+  o_run : Tml.Vm.run_result;
+  o_violated : bool;
+  o_violations : Predict.Analyzer.violation list;
+  o_level : int;  (** final lattice level reached *)
+  o_gc : Predict.Online.gc_stats;
+}
+
+val check_online :
+  ?config:Config.t -> spec:Pastltl.Formula.t -> Tml.Ast.program -> online_output
+(** The channel model is ignored (the sink is synchronous); verdicts are
+    identical to {!check} — the tests drive both on the same runs. *)
+
+val predicted_violation : output -> bool
+val missed_by_baseline : output -> bool
+(** True when prediction found a violation the observed run did not
+    exhibit — the paper's headline scenario. *)
+
+val pp_output : Format.formatter -> output -> unit

@@ -1,0 +1,50 @@
+let lattice_figure comp =
+  let lattice = Observer.Lattice.build comp in
+  Format.asprintf "%a" Observer.Lattice.pp lattice
+
+let example_report ~spec ~program ~script =
+  let config =
+    Config.default () |> Config.with_sched (Tml.Sched.of_script script)
+  in
+  let output = Pipeline.check ~config ~spec program in
+  let vars = output.Pipeline.relevant_vars in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%a@." Pipeline.pp_output output;
+  Format.fprintf ppf "@.observed messages:@.";
+  List.iteri
+    (fun i m -> Format.fprintf ppf "  %d: %a@." (i + 1) Trace.Message.pp m)
+    output.Pipeline.run.Tml.Vm.messages;
+  let lattice = Observer.Lattice.build output.Pipeline.computation in
+  Format.fprintf ppf "@.%a@." Observer.Lattice.pp lattice;
+  let ce = Predict.Counterexample.check ~spec output.Pipeline.computation in
+  Format.fprintf ppf "@.%a@." Predict.Counterexample.pp_report ce;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%a@." (Predict.Counterexample.pp_counterexample ~vars) c)
+    ce.Predict.Counterexample.violating;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let detection_table ~spec ~program ~seeds =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "seed | observed-run (JPaX) | predictive (JMPaX)@.";
+  Format.fprintf ppf "-----+---------------------+-------------------@.";
+  let jpax_hits = ref 0 and jmpax_hits = ref 0 in
+  List.iter
+    (fun seed ->
+      let config = Config.default () |> Config.with_seed seed in
+      let output = Pipeline.check ~config ~spec program in
+      let jpax = not output.Pipeline.observed_ok in
+      let jmpax = Pipeline.predicted_violation output in
+      if jpax then incr jpax_hits;
+      if jmpax then incr jmpax_hits;
+      Format.fprintf ppf "%4d | %19s | %s@." seed
+        (if jpax then "violation" else "missed")
+        (if jmpax then "violation" else "missed"))
+    seeds;
+  let n = List.length seeds in
+  Format.fprintf ppf "detection rate: JPaX %d/%d, JMPaX %d/%d@." !jpax_hits n !jmpax_hits n;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Human-readable reports in the style of the paper's figures. *)
+
+val lattice_figure : Observer.Computation.t -> string
+(** The computation lattice rendered level by level (cf. Figs. 5, 6). *)
+
+val example_report :
+  spec:Pastltl.Formula.t ->
+  program:Tml.Ast.program ->
+  script:Tml.Sched.script ->
+  string
+(** Runs the pipeline on the program under the given observed schedule
+    and renders: the observed messages, the lattice, every run with its
+    verdict, and the counterexamples — the full story the paper tells
+    for each worked example. *)
+
+val detection_table :
+  spec:Pastltl.Formula.t ->
+  program:Tml.Ast.program ->
+  seeds:int list ->
+  string
+(** For each random seed: did the observed run alone expose the
+    violation (JPaX), and did prediction (JMPaX)? Ends with the two
+    detection rates. *)

@@ -1,0 +1,135 @@
+open Trace
+
+type header = {
+  nthreads : int;
+  init : (Types.var * Types.value) list;
+}
+
+let magic = "jmpax-trace 1"
+
+(* Percent-encoding for variable names: '%', whitespace and control
+   characters are escaped, everything else passes through. *)
+let encode_var x =
+  let buf = Buffer.create (String.length x) in
+  String.iter
+    (fun c ->
+      if c = '%' || c <= ' ' || c = '\x7f' then
+        Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      else Buffer.add_char buf c)
+    x;
+  Buffer.contents buf
+
+let decode_var s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 < n then
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code ->
+            Buffer.add_char buf (Char.chr code);
+            go (i + 3)
+        | None -> Error (Printf.sprintf "bad escape in variable name %S" s)
+      else Error (Printf.sprintf "truncated escape in variable name %S" s)
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let encode_message (m : Message.t) =
+  Printf.sprintf "msg %d %s %d %s" m.tid (encode_var m.var) m.value
+    (Vclock.to_string m.mvc)
+
+let decode_message line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "msg"; tid; var; value; clock ] -> (
+      match (int_of_string_opt tid, decode_var var, int_of_string_opt value) with
+      | Some tid, Ok var, Some value -> (
+          match Vclock.of_string clock with
+          | mvc -> (
+              match Message.make ~eid:0 ~tid ~var ~value ~mvc with
+              | m -> Ok m
+              | exception _ -> Error (Printf.sprintf "inconsistent message %S" line))
+          | exception Invalid_argument e -> Error e)
+      | _ -> Error (Printf.sprintf "malformed msg line %S" line))
+  | _ -> Error (Printf.sprintf "expected a msg line, got %S" line)
+
+let encode header messages =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "threads %d\n" header.nthreads);
+  List.iter
+    (fun (x, v) -> Buffer.add_string buf (Printf.sprintf "init %s %d\n" (encode_var x) v))
+    header.init;
+  List.iter
+    (fun m ->
+      Buffer.add_string buf (encode_message m);
+      Buffer.add_char buf '\n')
+    messages;
+  Buffer.contents buf
+
+let decode text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty trace"
+  | first :: rest ->
+      if first <> magic then Error (Printf.sprintf "bad magic %S" first)
+      else begin
+        let nthreads = ref None in
+        let rev_init = ref [] in
+        let rev_msgs = ref [] in
+        let problem = ref None in
+        List.iter
+          (fun line ->
+            if !problem = None then
+              match String.split_on_char ' ' line with
+              | [ "threads"; n ] -> (
+                  match int_of_string_opt n with
+                  | Some n when n > 0 -> nthreads := Some n
+                  | _ -> problem := Some (Printf.sprintf "bad thread count %S" line))
+              | [ "init"; x; v ] -> (
+                  match (decode_var x, int_of_string_opt v) with
+                  | Ok x, Some v -> rev_init := (x, v) :: !rev_init
+                  | Error e, _ -> problem := Some e
+                  | _, None -> problem := Some (Printf.sprintf "bad init line %S" line))
+              | "msg" :: _ -> (
+                  match decode_message line with
+                  | Ok m -> rev_msgs := m :: !rev_msgs
+                  | Error e -> problem := Some e)
+              | _ -> problem := Some (Printf.sprintf "unrecognized line %S" line))
+          rest;
+        match (!problem, !nthreads) with
+        | Some e, _ -> Error e
+        | None, None -> Error "missing 'threads' line"
+        | None, Some nthreads ->
+            (* Restore observed-order event ids. *)
+            let msgs = List.rev !rev_msgs in
+            let msgs =
+              List.mapi (fun i (m : Message.t) -> { m with Message.eid = i }) msgs
+            in
+            Ok ({ nthreads; init = List.rev !rev_init }, msgs)
+      end
+
+let write_file path header messages =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (encode header messages))
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> decode text
+  | exception Sys_error e -> Error e

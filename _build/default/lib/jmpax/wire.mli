@@ -1,0 +1,41 @@
+(** Wire format for observer messages.
+
+    JMPaX ships [⟨e, i, V⟩] messages over a socket to an external
+    observer process (paper, Fig. 4). This module fixes a line-oriented
+    text encoding so executions can cross process boundaries here too:
+    the instrumented run writes a trace, and `jmpax observe` — or any
+    other consumer — analyzes it later or elsewhere, in any delivery
+    order.
+
+    Format (one record per line):
+    {v
+    jmpax-trace 1          -- header: magic and version
+    threads <n>
+    init <var> <value>     -- zero or more
+    msg <tid> <var> <value> (k0,k1,...,kn-1)
+    v}
+
+    Variable names are percent-encoded so spaces and newlines cannot
+    corrupt framing. *)
+
+open Trace
+
+type header = {
+  nthreads : int;
+  init : (Types.var * Types.value) list;
+}
+
+val encode_message : Message.t -> string
+(** One [msg] line, without the newline. *)
+
+val decode_message : string -> (Message.t, string) result
+
+val encode : header -> Message.t list -> string
+(** A complete trace document. *)
+
+val decode : string -> (header * Message.t list, string) result
+(** Accepts blank lines and [#] comments. *)
+
+val write_file : string -> header -> Message.t list -> unit
+val read_file : string -> (header * Message.t list, string) result
+(** [Error] on unreadable files as well as malformed content. *)

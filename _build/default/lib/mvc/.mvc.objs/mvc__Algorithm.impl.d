@@ -1,0 +1,1 @@
+lib/mvc/algorithm.ml: Array Event Hashtbl Relevance Trace Types Vclock

@@ -1,0 +1,1 @@
+lib/mvc/algorithm.mli: Event Relevance Trace Types Vclock

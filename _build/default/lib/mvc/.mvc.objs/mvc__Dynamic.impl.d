@@ -1,0 +1,1 @@
+lib/mvc/dynamic.ml: Dvclock Event Hashtbl List Relevance Trace Types

@@ -1,0 +1,1 @@
+lib/mvc/dynamic.mli: Dvclock Event Relevance Trace Types

@@ -1,0 +1,1 @@
+lib/mvc/emitter.ml: Algorithm Event Exec List Message Trace

@@ -1,0 +1,1 @@
+lib/mvc/emitter.mli: Algorithm Exec Message Relevance Trace Types

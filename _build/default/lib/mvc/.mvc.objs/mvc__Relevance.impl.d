@@ -1,0 +1,1 @@
+lib/mvc/relevance.ml: Event List String Trace Types

@@ -1,0 +1,1 @@
+lib/mvc/relevance.mli: Event Trace Types

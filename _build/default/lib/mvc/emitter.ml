@@ -1,0 +1,42 @@
+open Trace
+
+type t = {
+  builder : Exec.builder;
+  algo : Algorithm.t;
+  sink : Message.t -> unit;
+  mutable rev_messages : Message.t list;
+  mutable count : int;
+}
+
+let create ~nthreads ~init ~relevance ?(sink = fun _ -> ()) () =
+  { builder = Exec.builder ~nthreads ~init;
+    algo = Algorithm.create ~nthreads ~relevance;
+    sink;
+    rev_messages = [];
+    count = 0 }
+
+let dispatch t (e : Event.t) =
+  match Algorithm.process t.algo e.tid e.kind with
+  | None -> ()
+  | Some mvc ->
+      let var, value =
+        match e.kind with
+        | Event.Write (x, v) -> (x, v)
+        | Event.Read (x, v) -> (x, v)
+        | Event.Internal ->
+            (* A relevance filter marking internal events relevant would
+               yield a message with no state update; JMPaX never does
+               this, and neither do our filters. *)
+            invalid_arg "Emitter: relevant internal events are not supported"
+      in
+      let m = Message.make ~eid:e.eid ~tid:e.tid ~var ~value ~mvc in
+      t.rev_messages <- m :: t.rev_messages;
+      t.count <- t.count + 1;
+      t.sink m
+
+let on_internal t tid = dispatch t (Exec.add_internal t.builder tid)
+let on_read t tid x v = dispatch t (Exec.add_read t.builder tid x v)
+let on_write t tid x v = dispatch t (Exec.add_write t.builder tid x v)
+let algorithm t = t.algo
+let message_count t = t.count
+let finish t = (Exec.freeze t.builder, List.rev t.rev_messages)

@@ -1,0 +1,31 @@
+open Trace
+
+type t =
+  | Writes_of of Types.var list
+  | All_writes
+  | All_accesses
+  | Nothing
+  | Custom of (Event.kind -> bool)
+
+let writes_of_vars vars = Writes_of (List.sort_uniq String.compare vars)
+let all_writes = All_writes
+let all_accesses = All_accesses
+let nothing = Nothing
+let custom f = Custom f
+
+let is_relevant t (kind : Event.kind) =
+  match (t, kind) with
+  | Nothing, _ -> false
+  | Custom f, k -> f k
+  | Writes_of vars, Write (x, _) -> List.exists (String.equal x) vars
+  | Writes_of _, (Read _ | Internal) -> false
+  | All_writes, Write (x, _) -> Types.is_data_var x
+  | All_writes, (Read _ | Internal) -> false
+  | All_accesses, (Write (x, _) | Read (x, _)) -> Types.is_data_var x
+  | All_accesses, Internal -> false
+
+let on_event t (e : Event.t) = is_relevant t e.kind
+
+let variables = function
+  | Writes_of vars -> Some vars
+  | All_writes | All_accesses | Nothing | Custom _ -> None

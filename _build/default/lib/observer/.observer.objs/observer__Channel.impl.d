@@ -1,0 +1,1 @@
+lib/observer/channel.ml: Array List Message Random Trace

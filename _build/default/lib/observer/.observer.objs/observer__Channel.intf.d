@@ -1,0 +1,1 @@
+lib/observer/channel.mli: Message Trace

@@ -1,0 +1,1 @@
+lib/observer/computation.ml: Array Format Hashtbl List Message Pastltl Printf Set String Trace Types Vclock

@@ -1,0 +1,1 @@
+lib/observer/computation.mli: Format Message Pastltl Trace Types

@@ -1,0 +1,1 @@
+lib/observer/ingest.ml: Array Computation Hashtbl List Message Printf Trace Types

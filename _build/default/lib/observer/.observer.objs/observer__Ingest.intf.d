@@ -1,0 +1,1 @@
+lib/observer/ingest.mli: Computation Message Trace Types

@@ -1,0 +1,1 @@
+lib/observer/lattice.ml: Array Buffer Computation Format Hashtbl List Message Option Pastltl Printf String Trace

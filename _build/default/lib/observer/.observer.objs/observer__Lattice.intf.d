@@ -1,0 +1,1 @@
+lib/observer/lattice.mli: Computation Format Message Pastltl Trace

@@ -1,0 +1,56 @@
+open Trace
+
+type t = {
+  nthreads : int;
+  init : (Types.var * Types.value) list;
+  buffers : (int, Message.t) Hashtbl.t array;  (* per thread: index -> message *)
+  next_release : int array;  (* per thread: next index to release *)
+  mutable added : int;
+  mutable rev_all : Message.t list;
+}
+
+let create ~nthreads ~init =
+  if nthreads <= 0 then invalid_arg "Ingest.create: nthreads must be positive";
+  { nthreads;
+    init;
+    buffers = Array.init nthreads (fun _ -> Hashtbl.create 16);
+    next_release = Array.make nthreads 1;
+    added = 0;
+    rev_all = [] }
+
+let add t (m : Message.t) =
+  if m.tid < 0 || m.tid >= t.nthreads then invalid_arg "Ingest.add: thread id out of range";
+  let seq = Message.seq m in
+  if Hashtbl.mem t.buffers.(m.tid) seq || seq < t.next_release.(m.tid) then
+    invalid_arg
+      (Printf.sprintf "Ingest.add: duplicate message (thread %d, index %d)" m.tid seq);
+  Hashtbl.replace t.buffers.(m.tid) seq m;
+  t.added <- t.added + 1;
+  t.rev_all <- m :: t.rev_all
+
+let add_all t ms = List.iter (add t) ms
+let added t = t.added
+
+let released t =
+  Array.to_list t.next_release |> List.fold_left (fun acc k -> acc + k - 1) 0
+
+let pending t = t.added - released t
+
+let take_ready t =
+  let out = ref [] in
+  for tid = 0 to t.nthreads - 1 do
+    let continue = ref true in
+    while !continue do
+      let k = t.next_release.(tid) in
+      match Hashtbl.find_opt t.buffers.(tid) k with
+      | Some m ->
+          Hashtbl.remove t.buffers.(tid) k;
+          t.next_release.(tid) <- k + 1;
+          out := m :: !out
+      | None -> continue := false
+    done
+  done;
+  List.rev !out
+
+let computation t =
+  Computation.of_messages ~nthreads:t.nthreads ~init:t.init (List.rev t.rev_all)

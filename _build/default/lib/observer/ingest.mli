@@ -1,0 +1,35 @@
+(** Online message ingestion.
+
+    The observer receives messages [⟨e, i, V⟩] in arbitrary order
+    (Section 4). The ingester buffers them and releases, per thread, the
+    contiguous prefix [1..k] of relevant-event indices seen so far — the
+    events whose lattice levels can already be built. *)
+
+open Trace
+
+type t
+
+val create : nthreads:int -> init:(Types.var * Types.value) list -> t
+
+val add : t -> Message.t -> unit
+(** @raise Invalid_argument on a thread id out of range or a duplicate
+    (thread, index) pair. *)
+
+val add_all : t -> Message.t list -> unit
+
+val added : t -> int
+(** Total messages received. *)
+
+val released : t -> int
+(** Messages already released by {!take_ready}. *)
+
+val pending : t -> int
+(** Buffered messages still missing a predecessor. *)
+
+val take_ready : t -> Message.t list
+(** Drains every message that has become deliverable (its thread's
+    earlier messages all seen and drained), in thread-index order —
+    repeated calls yield disjoint batches. *)
+
+val computation : t -> (Computation.t, string) result
+(** Everything added so far as a computation; fails if gaps remain. *)

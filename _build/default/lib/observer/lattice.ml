@@ -1,0 +1,185 @@
+open Trace
+
+type node = {
+  id : int;
+  cut : int array;
+  state : Pastltl.State.t;
+  level : int;
+}
+
+type edge = { src : int; dst : int; label : Message.t }
+
+type t = {
+  comp : Computation.t;
+  nodes : node array;
+  by_cut : (int list, int) Hashtbl.t;
+  succ : (Message.t * int) list array;  (* indexed by node id *)
+  pred : (Message.t * int) list array;
+  levels : int list array;  (* node ids per level, ascending *)
+}
+
+exception Too_large of int
+
+let build ?(max_nodes = 200_000) comp =
+  let by_cut = Hashtbl.create 64 in
+  let rev_nodes = ref [] in
+  let rev_edges = ref [] in
+  let count = ref 0 in
+  let add_node cut state level =
+    let id = !count in
+    incr count;
+    if !count > max_nodes then raise (Too_large max_nodes);
+    let n = { id; cut = Array.copy cut; state; level } in
+    Hashtbl.replace by_cut (Array.to_list cut) id;
+    rev_nodes := n :: !rev_nodes;
+    n
+  in
+  let bottom = add_node (Computation.bottom comp) (Computation.init_state comp) 0 in
+  let frontier = ref [ bottom ] in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun n ->
+        List.iter
+          (fun (tid, m) ->
+            let cut' = Array.copy n.cut in
+            cut'.(tid) <- cut'.(tid) + 1;
+            let key = Array.to_list cut' in
+            let dst =
+              match Hashtbl.find_opt by_cut key with
+              | Some id -> id
+              | None ->
+                  let n' = add_node cut' (Computation.apply n.state m) (n.level + 1) in
+                  next := n' :: !next;
+                  n'.id
+            in
+            rev_edges := { src = n.id; dst; label = m } :: !rev_edges)
+          (Computation.enabled comp n.cut))
+      !frontier;
+    frontier := List.rev !next
+  done;
+  let nodes = Array.of_list (List.rev !rev_nodes) in
+  let succ = Array.make (Array.length nodes) [] in
+  let pred = Array.make (Array.length nodes) [] in
+  List.iter
+    (fun e ->
+      succ.(e.src) <- (e.label, e.dst) :: succ.(e.src);
+      pred.(e.dst) <- (e.label, e.src) :: pred.(e.dst))
+    !rev_edges;
+  let max_level = Array.fold_left (fun acc n -> max acc n.level) 0 nodes in
+  let levels = Array.make (max_level + 1) [] in
+  Array.iter (fun n -> levels.(n.level) <- n.id :: levels.(n.level)) nodes;
+  Array.iteri (fun i ids -> levels.(i) <- List.rev ids) levels;
+  { comp; nodes; by_cut; succ; pred; levels }
+
+let computation t = t.comp
+let node_count t = Array.length t.nodes
+let edge_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succ
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then invalid_arg "Lattice.node: bad id";
+  t.nodes.(id)
+
+let bottom t = t.nodes.(0)
+
+let top t =
+  let full = Array.to_list (Computation.top t.comp) in
+  Option.map (node t) (Hashtbl.find_opt t.by_cut full)
+
+let compare_nodes a b = compare (a.level, Array.to_list a.cut) (b.level, Array.to_list b.cut)
+
+let nodes t = List.sort compare_nodes (Array.to_list t.nodes)
+
+let level t l =
+  if l < 0 || l >= Array.length t.levels then []
+  else List.sort compare_nodes (List.map (node t) t.levels.(l))
+
+let level_count t = Array.length t.levels
+let max_width t = Array.fold_left (fun acc ids -> max acc (List.length ids)) 0 t.levels
+
+let successors t n = List.rev_map (fun (m, id) -> (m, node t id)) t.succ.(n.id)
+let predecessors t n = List.rev_map (fun (m, id) -> (m, node t id)) t.pred.(n.id)
+
+let run_count t =
+  match top t with
+  | None -> 0
+  | Some _ ->
+      let paths = Array.make (node_count t) 0 in
+      paths.(0) <- 1;
+      (* Node ids are assigned in BFS order, so every edge goes from a
+         smaller to a larger id. *)
+      Array.iteri
+        (fun src outs ->
+          List.iter (fun (_, dst) -> paths.(dst) <- paths.(dst) + paths.(src)) outs)
+        t.succ;
+      let top_node = Option.get (top t) in
+      paths.(top_node.id)
+
+let runs ?(max_runs = 100_000) t =
+  match top t with
+  | None -> []
+  | Some top_node ->
+      let out = ref [] in
+      let count = ref 0 in
+      let rec go n acc =
+        if n.id = top_node.id then begin
+          incr count;
+          if !count > max_runs then raise (Too_large max_runs);
+          out := List.rev acc :: !out
+        end
+        else
+          List.iter (fun (m, n') -> go n' (m :: acc)) (List.sort compare (successors t n))
+      in
+      go (bottom t) [];
+      List.rev !out
+
+let states_of_run t run =
+  let init = Computation.init_state t.comp in
+  let rec go state acc = function
+    | [] -> List.rev (state :: acc)
+    | m :: rest -> go (Computation.apply state m) (state :: acc) rest
+  in
+  go init [] run
+
+let to_dot ?(highlight = fun _ -> false) t =
+  let vars = Computation.variables t.comp in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph lattice {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  label=\"computation lattice over <%s>\";\n"
+       (String.concat "," vars));
+  Array.iter
+    (fun n ->
+      let label =
+        Format.asprintf "%a" (Pastltl.State.pp_values ~vars) n.state
+      in
+      let color = if highlight n then ", style=filled, fillcolor=\"#ffc0c0\"" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n(%s)\"%s];\n" n.id label
+           (String.concat "," (List.map string_of_int (Array.to_list n.cut)))
+           color))
+    t.nodes;
+  Array.iteri
+    (fun src outs ->
+      List.iter
+        (fun ((m : Message.t), dst) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%s=%d\"];\n" src dst m.var m.value))
+        outs)
+    t.succ;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  let vars = Computation.variables t.comp in
+  Format.fprintf ppf "@[<v>lattice: %d nodes, %d edges, %d runs@," (node_count t)
+    (edge_count t) (run_count t);
+  for l = 0 to level_count t - 1 do
+    Format.fprintf ppf "level %d:" l;
+    List.iter
+      (fun n -> Format.fprintf ppf " %a" (Pastltl.State.pp_values ~vars) n.state)
+      (level t l);
+    Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"

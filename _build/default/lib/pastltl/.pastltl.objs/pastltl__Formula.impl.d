@@ -1,0 +1,1 @@
+lib/pastltl/formula.ml: Format List Predicate Set Stdlib String

@@ -1,0 +1,1 @@
+lib/pastltl/formula.mli: Format Predicate Trace Types

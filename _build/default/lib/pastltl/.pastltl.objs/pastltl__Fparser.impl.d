@@ -1,0 +1,1 @@
+lib/pastltl/fparser.ml: Formula List Predicate Printf String

@@ -1,0 +1,1 @@
+lib/pastltl/fparser.mli: Formula

@@ -1,0 +1,1 @@
+lib/pastltl/fsm.ml: Array Format Formula Hashtbl List Monitor Predicate Queue

@@ -1,0 +1,1 @@
+lib/pastltl/fsm.mli: Format Formula Predicate State

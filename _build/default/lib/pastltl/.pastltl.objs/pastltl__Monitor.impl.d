@@ -1,0 +1,1 @@
+lib/pastltl/monitor.ml: Array Format Formula Hashtbl List Predicate Stdlib String

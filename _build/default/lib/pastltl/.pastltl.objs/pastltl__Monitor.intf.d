@@ -1,0 +1,1 @@
+lib/pastltl/monitor.mli: Format Formula Predicate State

@@ -1,0 +1,1 @@
+lib/pastltl/patterns.mli: Formula Trace

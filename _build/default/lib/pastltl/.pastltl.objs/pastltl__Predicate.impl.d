@@ -1,0 +1,1 @@
+lib/pastltl/predicate.ml: Format Set State Stdlib String Trace Types

@@ -1,0 +1,1 @@
+lib/pastltl/predicate.mli: Format State Trace Types

@@ -1,0 +1,1 @@
+lib/pastltl/semantics.ml: Array Formula Predicate

@@ -1,0 +1,1 @@
+lib/pastltl/semantics.mli: Formula State

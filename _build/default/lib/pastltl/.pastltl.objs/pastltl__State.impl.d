@@ -1,0 +1,1 @@
+lib/pastltl/state.ml: Format Hashtbl Int List Map String Trace Types

@@ -1,0 +1,1 @@
+lib/pastltl/state.mli: Format Trace Types

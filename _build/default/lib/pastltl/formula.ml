@@ -1,0 +1,87 @@
+
+type t =
+  | True
+  | False
+  | Atom of Predicate.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Prev of t
+  | Once of t
+  | Historically of t
+  | Since of t * t
+  | Interval of t * t
+  | Start of t
+  | End of t
+
+let atom p = Atom p
+let cmp c a b = Atom (Predicate.make c a b)
+
+module Sset = Set.Make (String)
+
+let rec vars_set = function
+  | True | False -> Sset.empty
+  | Atom p -> Sset.of_list (Predicate.vars p)
+  | Not f | Prev f | Once f | Historically f | Start f | End f -> vars_set f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Since (f, g) | Interval (f, g) ->
+      Sset.union (vars_set f) (vars_set g)
+
+let vars f = Sset.elements (vars_set f)
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f | Prev f | Once f | Historically f | Start f | End f -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Since (f, g) | Interval (f, g) ->
+      1 + size f + size g
+
+let subformulas f =
+  let seen = ref [] in
+  let add f = if not (List.mem f !seen) then seen := f :: !seen in
+  let rec go f =
+    (match f with
+    | True | False | Atom _ -> ()
+    | Not g | Prev g | Once g | Historically g | Start g | End g -> go g
+    | And (g, h) | Or (g, h) | Implies (g, h) | Since (g, h) | Interval (g, h) ->
+        go g;
+        go h);
+    add f
+  in
+  go f;
+  List.rev !seen
+
+let equal (a : t) (b : t) = a = b
+let compare = Stdlib.compare
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom p -> Predicate.pp ppf p
+  | Not f -> Format.fprintf ppf "!%a" pp_atom f
+  | And (f, g) -> Format.fprintf ppf "%a and %a" pp_atom f pp_atom g
+  | Or (f, g) -> Format.fprintf ppf "%a or %a" pp_atom f pp_atom g
+  | Implies (f, g) -> Format.fprintf ppf "%a ==> %a" pp_atom f pp_atom g
+  | Prev f -> Format.fprintf ppf "prev %a" pp_atom f
+  | Once f -> Format.fprintf ppf "once %a" pp_atom f
+  | Historically f -> Format.fprintf ppf "always %a" pp_atom f
+  | Since (f, g) -> Format.fprintf ppf "%a since %a" pp_atom f pp_atom g
+  | Interval (f, g) -> Format.fprintf ppf "[%a, %a)" pp f pp g
+  | Start f -> Format.fprintf ppf "start %a" pp_atom f
+  | End f -> Format.fprintf ppf "end %a" pp_atom f
+
+and pp_atom ppf f =
+  match f with
+  | True | False | Atom _ | Interval _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f
+
+let veq x n = cmp Predicate.Eq (Predicate.Var x) (Predicate.Const n)
+
+let landing_spec =
+  Implies (Start (veq "landing" 1), Interval (veq "approved" 1, veq "radio" 0))
+
+let xyz_spec =
+  Implies
+    ( cmp Predicate.Gt (Predicate.Var "x") (Predicate.Const 0),
+      Interval (veq "y" 0, cmp Predicate.Gt (Predicate.Var "y") (Predicate.Var "z")) )

@@ -1,0 +1,65 @@
+(** Past-time LTL with the interval operator of the JMPaX specification
+    language (paper, Sections 1, 2.3, 4; operators from Havelund & Roşu,
+    "Synthesizing monitors for safety properties", TACAS'02).
+
+    A specification is a formula required to hold at {e every} state of
+    every multithreaded run; the predictive analyzer reports a violation
+    when some consistent run reaches a state falsifying it.
+
+    Initial-state convention (Havelund–Roşu): on the first state [s0],
+    [Prev f] evaluates to [f(s0)]; consequently [Start f] and [End f] are
+    false at [s0], and [Interval (p, q)] is [p(s0) && not (q(s0))]. *)
+
+open Trace
+
+type t =
+  | True
+  | False
+  | Atom of Predicate.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Prev of t  (** [⊙ f]: [f] held at the previous state *)
+  | Once of t  (** [◇· f]: [f] held at some past or present state *)
+  | Historically of t  (** [□· f]: [f] held at every past and present state *)
+  | Since of t * t
+      (** [f S g]: [g] held at some past or present state, and [f] has
+          held ever since (strictly after that point) *)
+  | Interval of t * t
+      (** [\[f, g)]: [f] held at some past or present state and [g] has
+          not held since then (inclusive of the [f]-point onward); the
+          paper's "(y = 0) has been true in the past, and since then
+          (y > z) was always false". Defined by
+          [\[f,g) = (f && !g) || (!g && Prev \[f,g))]. *)
+  | Start of t  (** [↑ f = f && !(⊙ f)]: [f] just became true *)
+  | End of t  (** [↓ f = !f && ⊙ f]: [f] just became false *)
+
+val atom : Predicate.t -> t
+val cmp : Predicate.cmp -> Predicate.aexp -> Predicate.aexp -> t
+
+val vars : t -> Types.var list
+(** All state variables the formula mentions — the relevant variables
+    the instrumentation module extracts (paper, Section 4.1). *)
+
+val size : t -> int
+(** Number of syntactic subformulas (with duplicates). *)
+
+val subformulas : t -> t list
+(** Bottom-up (children before parents), duplicates removed, the formula
+    itself last. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Paper specifications} *)
+
+val landing_spec : t
+(** Example 1: "if the plane has {e started} landing, then landing was
+    approved and since the approval the radio has never been down":
+    [Start(landing == 1) ==> \[approved == 1, radio == 0)]. *)
+
+val xyz_spec : t
+(** Example 2: [(x > 0) ==> \[y == 0, y > z)]. *)

@@ -1,0 +1,162 @@
+type t = {
+  formula : Formula.t;
+  atoms : Predicate.t array;
+  initial : int array;  (* letter -> state id *)
+  next : int array array;  (* state id -> letter -> state id *)
+  verdicts : bool array;
+}
+
+let formula t = t.formula
+let atoms t = Array.to_list t.atoms
+let state_count t = Array.length t.verdicts
+let alphabet_size t = 1 lsl Array.length t.atoms
+
+let collect_atoms f =
+  let seen = ref [] in
+  List.iter
+    (fun sub ->
+      match sub with
+      | Formula.Atom p -> if not (List.exists (Predicate.equal p) !seen) then seen := p :: !seen
+      | _ -> ())
+    (Formula.subformulas f);
+  Array.of_list (List.rev !seen)
+
+let oracle atoms letter p =
+  let rec index i =
+    if i >= Array.length atoms then assert false
+    else if Predicate.equal atoms.(i) p then i
+    else index (i + 1)
+  in
+  letter land (1 lsl index 0) <> 0
+
+let synthesize ?(max_states = 4096) f =
+  let atoms = collect_atoms f in
+  if Array.length atoms > 20 then
+    invalid_arg "Fsm.synthesize: too many distinct atoms (max 20)";
+  let nletters = 1 lsl Array.length atoms in
+  let compiled = Monitor.compile f in
+  let ids : (Monitor.state, int) Hashtbl.t = Hashtbl.create 64 in
+  let rev_states = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern mstate =
+    match Hashtbl.find_opt ids mstate with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        if !count > max_states then invalid_arg "Fsm.synthesize: state budget exceeded";
+        Hashtbl.replace ids mstate id;
+        rev_states := mstate :: !rev_states;
+        Queue.add (id, mstate) queue;
+        id
+  in
+  let initial =
+    Array.init nletters (fun letter ->
+        intern (Monitor.init_with compiled ~atom:(oracle atoms letter)))
+  in
+  let transitions : (int * int array) list ref = ref [] in
+  while not (Queue.is_empty queue) do
+    let id, mstate = Queue.pop queue in
+    let row =
+      Array.init nletters (fun letter ->
+          intern (Monitor.step_with compiled mstate ~atom:(oracle atoms letter)))
+    in
+    transitions := (id, row) :: !transitions
+  done;
+  let n = !count in
+  let next = Array.make n [||] in
+  List.iter (fun (id, row) -> next.(id) <- row) !transitions;
+  let states = Array.of_list (List.rev !rev_states) in
+  let verdicts = Array.map (Monitor.verdict compiled) states in
+  { formula = f; atoms; initial; next; verdicts }
+
+let valuation t global =
+  let letter = ref 0 in
+  Array.iteri
+    (fun i p -> if Predicate.holds p global then letter := !letter lor (1 lsl i))
+    t.atoms;
+  !letter
+
+let initial t letter =
+  if letter < 0 || letter >= alphabet_size t then invalid_arg "Fsm.initial: bad letter";
+  t.initial.(letter)
+
+let next t state letter =
+  if state < 0 || state >= state_count t then invalid_arg "Fsm.next: bad state";
+  if letter < 0 || letter >= alphabet_size t then invalid_arg "Fsm.next: bad letter";
+  t.next.(state).(letter)
+
+let verdict t state =
+  if state < 0 || state >= state_count t then invalid_arg "Fsm.verdict: bad state";
+  t.verdicts.(state)
+
+let run t trace =
+  match trace with
+  | [] -> []
+  | s0 :: rest ->
+      let state = ref (initial t (valuation t s0)) in
+      let out = ref [ verdict t !state ] in
+      List.iter
+        (fun s ->
+          state := next t !state (valuation t s);
+          out := verdict t !state :: !out)
+        rest;
+      List.rev !out
+
+let minimize t =
+  let n = state_count t in
+  let nletters = alphabet_size t in
+  (* Moore partition refinement: start from the verdict partition. *)
+  let block = Array.init n (fun i -> if t.verdicts.(i) then 1 else 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Signature of a state: its block plus the blocks of its successors. *)
+    let signatures = Hashtbl.create n in
+    let fresh = ref 0 in
+    let new_block = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let signature = (block.(s), Array.to_list (Array.map (fun d -> block.(d)) t.next.(s))) in
+      let b =
+        match Hashtbl.find_opt signatures signature with
+        | Some b -> b
+        | None ->
+            let b = !fresh in
+            incr fresh;
+            Hashtbl.replace signatures signature b;
+            b
+      in
+      new_block.(s) <- b
+    done;
+    if new_block <> block then begin
+      Array.blit new_block 0 block 0 n;
+      changed := true
+    end
+  done;
+  let nblocks = Array.fold_left (fun acc b -> max acc (b + 1)) 0 block in
+  let next = Array.make nblocks [||] in
+  let verdicts = Array.make nblocks false in
+  for s = 0 to n - 1 do
+    let b = block.(s) in
+    if next.(b) = [||] then begin
+      next.(b) <- Array.init nletters (fun letter -> block.(t.next.(s).(letter)));
+      verdicts.(b) <- t.verdicts.(s)
+    end
+  done;
+  let initial = Array.map (fun s -> block.(s)) t.initial in
+  { t with initial; next; verdicts }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>FSM for %a: %d states, %d letters (atoms: %a)@," Formula.pp
+    t.formula (state_count t) (alphabet_size t)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Predicate.pp)
+    (atoms t);
+  Array.iteri
+    (fun s row ->
+      Format.fprintf ppf "  %c%d ->" (if t.verdicts.(s) then '+' else '-') s;
+      Array.iter (fun d -> Format.fprintf ppf " %d" d) row;
+      Format.pp_print_cut ppf ())
+    t.next;
+  Format.fprintf ppf "@]"

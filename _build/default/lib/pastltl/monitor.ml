@@ -1,0 +1,62 @@
+type compiled = {
+  formula : Formula.t;
+  subs : Formula.t array;  (* bottom-up: children precede parents *)
+  index : (Formula.t * int) list;  (* reverse lookup *)
+}
+
+type state = bool array
+
+let compile formula =
+  let subs = Array.of_list (Formula.subformulas formula) in
+  let index = Array.to_list (Array.mapi (fun i f -> (f, i)) subs) in
+  { formula; subs; index }
+
+let formula c = c.formula
+let width c = Array.length c.subs
+
+let idx c f =
+  match List.assoc_opt f c.index with
+  | Some i -> i
+  | None -> assert false (* subformulas is closed under sub-terms *)
+
+(* [now] is filled bottom-up, so children are available when a parent is
+   computed. [prev] is [None] on the initial state, in which case the
+   Havelund–Roşu initial-state convention applies. *)
+let compute_with c ~prev ~atom =
+  let now = Array.make (width c) false in
+  let value f = now.(idx c f) in
+  let prev_of f = match prev with Some p -> p.(idx c f) | None -> value f in
+  Array.iteri
+    (fun i f ->
+      now.(i) <-
+        (match f with
+        | Formula.True -> true
+        | Formula.False -> false
+        | Formula.Atom p -> atom p
+        | Formula.Not g -> not (value g)
+        | Formula.And (g, h) -> value g && value h
+        | Formula.Or (g, h) -> value g || value h
+        | Formula.Implies (g, h) -> (not (value g)) || value h
+        | Formula.Prev g -> prev_of g
+        | Formula.Once g -> value g || (prev <> None && prev_of f)
+        | Formula.Historically g -> value g && (prev = None || prev_of f)
+        | Formula.Since (g, h) -> value h || (prev <> None && value g && prev_of f)
+        | Formula.Interval (g, h) ->
+            (not (value h)) && (value g || (prev <> None && prev_of f))
+        | Formula.Start g -> (match prev with None -> false | Some _ -> value g && not (prev_of g))
+        | Formula.End g -> (match prev with None -> false | Some _ -> (not (value g)) && prev_of g)))
+    c.subs;
+  now
+
+let init_with c ~atom = compute_with c ~prev:None ~atom
+let step_with c state ~atom = compute_with c ~prev:(Some state) ~atom
+let init c global = init_with c ~atom:(fun p -> Predicate.holds p global)
+let step c state global = step_with c state ~atom:(fun p -> Predicate.holds p global)
+let verdict c state = state.(width c - 1)
+let equal_state (a : state) (b : state) = a = b
+let compare_state = Stdlib.compare
+let hash_state = Hashtbl.hash
+
+let pp_state ppf s =
+  Format.pp_print_string ppf
+    (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list s)))

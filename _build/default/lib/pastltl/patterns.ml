@@ -1,0 +1,21 @@
+let absence p = Formula.Historically (Formula.Not p)
+let invariant p = p
+let existence_before ~trigger p = Formula.Implies (trigger, Formula.Once p)
+let precedence ~cause ~effect = Formula.Implies (effect, Formula.Once cause)
+
+let interval_since ~trigger ~opened ~closed =
+  Formula.Implies (trigger, Formula.Interval (opened, closed))
+
+let response_guard ~request ~forbidden =
+  Formula.Implies (Formula.Once request, Formula.Since (Formula.Not forbidden, request))
+
+let mutual_exclusion p q = Formula.Not (Formula.And (p, q))
+
+let nonzero v = Formula.cmp Predicate.Ne (Predicate.Var v) (Predicate.Const 0)
+
+let non_decreasing v =
+  Formula.Implies
+    ( Formula.Once (Formula.cmp Predicate.Gt (Predicate.Var v) (Predicate.Const 0)),
+      Formula.Not (Formula.cmp Predicate.Eq (Predicate.Var v) (Predicate.Const 0)) )
+
+let rising v = Formula.Start (nonzero v)

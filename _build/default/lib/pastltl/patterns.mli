@@ -1,0 +1,53 @@
+(** Common safety-specification patterns, pre-encoded in past-time LTL.
+
+    These are the past-time renderings of the classic specification
+    patterns (Dwyer et al.) restricted to safety — the class the paper's
+    predictive analysis targets. Each takes atomic formulas (usually
+    {!Formula.Atom}s) and returns a formula to be checked at every state
+    of every run.
+
+    The paper's own examples are instances: Example 1 is
+    [precedence_chain ~event:(start landing) ~first:approved
+    ~blocker:radio_down], i.e. the {!interval_since} pattern; Example 2
+    guards an {!interval_since} with a state predicate. *)
+
+val absence : Formula.t -> Formula.t
+(** [absence p]: [p] never holds (up to now): [always !p]. *)
+
+val invariant : Formula.t -> Formula.t
+(** [invariant p]: [p] holds at every state — [p] itself, checked at
+    every state by the analyzer. *)
+
+val existence_before : trigger:Formula.t -> Formula.t -> Formula.t
+(** [existence_before ~trigger p]: whenever [trigger] holds, [p] has held
+    at some point (possibly now): [trigger ==> once p]. *)
+
+val precedence : cause:Formula.t -> effect:Formula.t -> Formula.t
+(** [precedence ~cause ~effect]: [effect] cannot hold unless [cause] held
+    before or simultaneously: [effect ==> once cause]. *)
+
+val interval_since : trigger:Formula.t -> opened:Formula.t -> closed:Formula.t -> Formula.t
+(** [interval_since ~trigger ~opened ~closed]: whenever [trigger] holds,
+    [opened] held at some point and [closed] has not held since:
+    [trigger ==> \[opened, closed)] — the paper's operator. *)
+
+val response_guard : request:Formula.t -> forbidden:Formula.t -> Formula.t
+(** [response_guard ~request ~forbidden]: since the latest [request],
+    [forbidden] has not occurred: [once request ==> !forbidden since
+    request ...], rendered as [(start request or !forbidden) holds
+    whenever a request is pending] — encoded with Since:
+    [once request ==> ((!forbidden) since request)]. *)
+
+val mutual_exclusion : Formula.t -> Formula.t -> Formula.t
+(** Both never hold together: [always !(p and q)] at every state is
+    [!(p and q)]. *)
+
+val non_decreasing : Trace.Types.var -> Formula.t
+(** The variable never decreases between consecutive states — rendered
+    with one auxiliary comparison per step is impossible in pure ptLTL
+    over predicates, so this uses the weaker (and still useful) form
+    "once positive, never zero again": [once (v > 0) ==> !(v == 0)]. *)
+
+val rising : Trace.Types.var -> Formula.t
+(** [start (v != 0)]: the variable just became nonzero — a convenient
+    trigger for the patterns above. *)

@@ -1,0 +1,29 @@
+(** Global states as seen by the observer: a map from the relevant shared
+    variables to their values. Each relevant message [⟨x=v, i, V⟩] updates
+    one variable; the initial state comes from the program's shared
+    declarations (paper, Section 4: "each relevant event contains global
+    state update information"). *)
+
+open Trace
+
+type t
+
+val empty : t
+val of_list : (Types.var * Types.value) list -> t
+val to_list : t -> (Types.var * Types.value) list
+(** Sorted by variable name. *)
+
+val get : t -> Types.var -> Types.value
+(** Undeclared variables read as [0]. *)
+
+val set : t -> Types.var -> Types.value -> t
+(** Persistent update. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints as [<x=1, y=0>]. *)
+
+val pp_values : vars:Types.var list -> Format.formatter -> t -> unit
+(** Prints only the given variables, as the paper's tuples [<1,1,0>]. *)

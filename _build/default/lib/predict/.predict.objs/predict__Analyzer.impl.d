@@ -1,0 +1,1 @@
+lib/predict/analyzer.ml: Array Format Hashtbl List Observer Pastltl Printf Set String

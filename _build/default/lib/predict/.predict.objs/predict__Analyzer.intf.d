@@ -1,0 +1,1 @@
+lib/predict/analyzer.mli: Format Message Observer Pastltl Trace Types

@@ -1,0 +1,1 @@
+lib/predict/atomicity.ml: Array Event Exec Format Hashtbl List Option String Syncclock Trace Types Vclock

@@ -1,0 +1,1 @@
+lib/predict/atomicity.mli: Exec Format Trace Types

@@ -1,0 +1,1 @@
+lib/predict/counterexample.ml: Format List Message Observer Pastltl Trace

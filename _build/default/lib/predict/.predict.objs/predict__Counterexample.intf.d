@@ -1,0 +1,1 @@
+lib/predict/counterexample.mli: Format Message Observer Pastltl Trace Types

@@ -1,0 +1,1 @@
+lib/predict/liveness.ml: Array Format Hashtbl List Message Observer Pastltl Queue Trace

@@ -1,0 +1,1 @@
+lib/predict/liveness.mli: Format Message Observer Pastltl Trace Types

@@ -1,0 +1,1 @@
+lib/predict/lockgraph.ml: Array Event Exec Format Hashtbl List Option Set String Trace Types

@@ -1,0 +1,1 @@
+lib/predict/lockgraph.mli: Exec Format Trace Types

@@ -1,0 +1,1 @@
+lib/predict/online.ml: Analyzer Array Hashtbl List Message Observer Pastltl Printf Set Trace Types Vclock

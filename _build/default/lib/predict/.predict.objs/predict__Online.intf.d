@@ -1,0 +1,1 @@
+lib/predict/online.mli: Analyzer Message Pastltl Trace Types

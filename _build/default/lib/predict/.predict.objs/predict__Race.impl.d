@@ -1,0 +1,1 @@
+lib/predict/race.ml: Array Event Exec Format Hashtbl List Option Set String Syncclock Trace Types Vclock

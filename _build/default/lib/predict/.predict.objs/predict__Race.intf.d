@@ -1,0 +1,1 @@
+lib/predict/race.mli: Exec Format Trace Types Vclock

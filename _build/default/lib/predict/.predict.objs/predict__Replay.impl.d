@@ -1,0 +1,1 @@
+lib/predict/replay.ml: Counterexample Format List Message Mvc Pastltl Queue Tml Trace

@@ -1,0 +1,1 @@
+lib/predict/replay.mli: Counterexample Format Message Mvc Pastltl Tml Trace

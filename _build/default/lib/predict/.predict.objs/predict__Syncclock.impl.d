@@ -1,0 +1,1 @@
+lib/predict/syncclock.ml: Array Event Hashtbl Trace Types Vclock

@@ -1,0 +1,1 @@
+lib/predict/syncclock.mli: Event Trace Types Vclock

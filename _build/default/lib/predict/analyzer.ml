@@ -1,0 +1,151 @@
+type violation = {
+  cut : int array;
+  level : int;
+  state : Pastltl.State.t;
+  monitor_state : Pastltl.Monitor.state;
+}
+
+type stats = {
+  levels : int;
+  max_frontier_cuts : int;
+  max_frontier_entries : int;
+  monitor_steps : int;
+  cuts_visited : int;
+}
+
+type report = {
+  spec : Pastltl.Formula.t;
+  violations : violation list;
+  stats : stats;
+}
+
+module Mset = Set.Make (struct
+  type t = Pastltl.Monitor.state
+
+  let compare = Pastltl.Monitor.compare_state
+end)
+
+type entry = { state : Pastltl.State.t; msets : Mset.t }
+
+let analyze ?(stop_at_first = false) ?(max_violations = 1000) ~spec comp =
+  let monitor = Pastltl.Monitor.compile spec in
+  let violations = ref [] in
+  let n_violations = ref 0 in
+  let monitor_steps = ref 0 in
+  let max_frontier_cuts = ref 0 in
+  let max_frontier_entries = ref 0 in
+  let cuts_visited = ref 0 in
+  let levels = ref 0 in
+  let record_violations cut level entry =
+    Mset.iter
+      (fun m ->
+        if (not (Pastltl.Monitor.verdict monitor m)) && !n_violations < max_violations
+        then begin
+          incr n_violations;
+          violations :=
+            { cut = Array.copy cut; level; state = entry.state; monitor_state = m }
+            :: !violations
+        end)
+      entry.msets
+  in
+  (* Frontier for one level: cut (as int list) -> entry. *)
+  let init_state = Observer.Computation.init_state comp in
+  let m0 = Pastltl.Monitor.init monitor init_state in
+  incr monitor_steps;
+  let frontier = Hashtbl.create 64 in
+  Hashtbl.replace frontier
+    (Array.to_list (Observer.Computation.bottom comp))
+    { state = init_state; msets = Mset.singleton m0 };
+  let running = ref true in
+  while !running do
+    incr levels;
+    let cuts = Hashtbl.length frontier in
+    max_frontier_cuts := max !max_frontier_cuts cuts;
+    cuts_visited := !cuts_visited + cuts;
+    let entries =
+      Hashtbl.fold (fun _ e acc -> acc + Mset.cardinal e.msets) frontier 0
+    in
+    max_frontier_entries := max !max_frontier_entries entries;
+    let this_level_violated = ref false in
+    Hashtbl.iter
+      (fun key entry ->
+        record_violations (Array.of_list key) (!levels - 1) entry;
+        if Mset.exists (fun m -> not (Pastltl.Monitor.verdict monitor m)) entry.msets
+        then this_level_violated := true)
+      frontier;
+    if stop_at_first && !this_level_violated then running := false
+    else begin
+      (* Expand to the next level. *)
+      let next = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun key entry ->
+          let cut = Array.of_list key in
+          List.iter
+            (fun (tid, m) ->
+              let cut' = Array.copy cut in
+              cut'.(tid) <- cut'.(tid) + 1;
+              let state' = Observer.Computation.apply entry.state m in
+              let stepped =
+                Mset.fold
+                  (fun ms acc ->
+                    incr monitor_steps;
+                    Mset.add (Pastltl.Monitor.step monitor ms state') acc)
+                  entry.msets Mset.empty
+              in
+              let key' = Array.to_list cut' in
+              match Hashtbl.find_opt next key' with
+              | None -> Hashtbl.replace next key' { state = state'; msets = stepped }
+              | Some existing ->
+                  assert (Pastltl.State.equal existing.state state');
+                  Hashtbl.replace next key'
+                    { existing with msets = Mset.union existing.msets stepped })
+            (Observer.Computation.enabled comp cut))
+        frontier;
+      if Hashtbl.length next = 0 then running := false
+      else begin
+        Hashtbl.reset frontier;
+        Hashtbl.iter (Hashtbl.replace frontier) next
+      end
+    end
+  done;
+  { spec;
+    violations = List.rev !violations;
+    stats =
+      { levels = !levels;
+        max_frontier_cuts = !max_frontier_cuts;
+        max_frontier_entries = !max_frontier_entries;
+        monitor_steps = !monitor_steps;
+        cuts_visited = !cuts_visited } }
+
+let violated report = report.violations <> []
+
+let observed_run_verdict ~spec ~init messages =
+  let monitor = Pastltl.Monitor.compile spec in
+  let state0 = Pastltl.State.of_list init in
+  let m0 = Pastltl.Monitor.init monitor state0 in
+  let ok = ref (Pastltl.Monitor.verdict monitor m0) in
+  let _ =
+    List.fold_left
+      (fun (state, m) msg ->
+        let state' = Observer.Computation.apply state msg in
+        let m' = Pastltl.Monitor.step monitor m state' in
+        if not (Pastltl.Monitor.verdict monitor m') then ok := false;
+        (state', m'))
+      (state0, m0) messages
+  in
+  !ok
+
+let pp_violation ~vars ppf v =
+  Format.fprintf ppf "violation at level %d, cut (%s), state %a" v.level
+    (String.concat "," (List.map string_of_int (Array.to_list v.cut)))
+    (Pastltl.State.pp_values ~vars) v.state
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>spec: %a@,%s@,levels=%d max_cuts=%d max_entries=%d \
+                      monitor_steps=%d cuts_visited=%d@]"
+    Pastltl.Formula.pp r.spec
+    (match r.violations with
+    | [] -> "no violation predicted"
+    | vs -> Printf.sprintf "%d violating (cut, monitor-state) pairs predicted" (List.length vs))
+    r.stats.levels r.stats.max_frontier_cuts r.stats.max_frontier_entries
+    r.stats.monitor_steps r.stats.cuts_visited

@@ -1,0 +1,172 @@
+open Trace
+
+type access_kind = Read | Write
+
+type violation = {
+  tid : Types.tid;
+  lock : string;
+  var : Types.var;
+  first : int;
+  second : int;
+  remote : int;
+  remote_tid : Types.tid;
+  pattern : access_kind * access_kind * access_kind;
+}
+
+type report = {
+  transactions : int;
+  violations : violation list;
+}
+
+type access = {
+  a_eid : int;
+  a_tid : Types.tid;
+  a_var : Types.var;
+  a_kind : access_kind;
+  a_vc : Vclock.t;
+  a_block : (int * string) option;  (* transaction id and its first lock *)
+}
+
+let lock_name x =
+  let prefix = "#lock:" in
+  if String.length x > String.length prefix
+     && String.sub x 0 (String.length prefix) = prefix
+  then Some (String.sub x (String.length prefix) (String.length x - String.length prefix))
+  else None
+
+(* a1; r; a2 with r remote: the four unserializable triples. *)
+let unserializable = function
+  | Read, Write, Read -> true  (* stale re-read *)
+  | Write, Write, Read -> true  (* lost local write *)
+  | Read, Write, Write -> true  (* update from a stale read *)
+  | Write, Read, Write -> true  (* dirty intermediate read *)
+  | (Read | Write), _, (Read | Write) -> false
+
+let analyze ?(max_violations = 1000) exec =
+  let nthreads = Exec.nthreads exec in
+  let clocks = Syncclock.create ~nthreads in
+  (* Per-thread lock-nesting depth, the label of the current outermost
+     block, and a global transaction counter. *)
+  let depth = Array.make nthreads 0 in
+  let current = Array.make nthreads None in
+  let transactions = ref 0 in
+  let rev_accesses = ref [] in
+  Array.iter
+    (fun (e : Event.t) ->
+      (* Track lock regions before the clock update so the acquire event
+         itself opens the block. *)
+      (match e.kind with
+      | Event.Write (x, v) -> (
+          match lock_name x with
+          | Some l ->
+              if v = 1 then begin
+                if depth.(e.tid) = 0 then begin
+                  incr transactions;
+                  current.(e.tid) <- Some (!transactions, l)
+                end;
+                depth.(e.tid) <- depth.(e.tid) + 1
+              end
+              else begin
+                depth.(e.tid) <- max 0 (depth.(e.tid) - 1);
+                if depth.(e.tid) = 0 then current.(e.tid) <- None
+              end
+          | None -> ())
+      | Event.Read _ | Event.Internal -> ());
+      match Syncclock.observe clocks e with
+      | None -> ()
+      | Some vc ->
+          rev_accesses :=
+            { a_eid = e.eid;
+              a_tid = e.tid;
+              a_var = Option.get (Event.variable e);
+              a_kind = (if Event.is_write e then Write else Read);
+              a_vc = vc;
+              a_block = current.(e.tid) }
+            :: !rev_accesses)
+    (Exec.events exec);
+  let accesses = List.rev !rev_accesses in
+  (* Group block-local accesses by (block, var), keeping order. *)
+  let by_block_var : (int * string * Types.var, access list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun a ->
+      match a.a_block with
+      | None -> ()
+      | Some (block, lock) ->
+          let key = (block, lock, a.a_var) in
+          let bucket =
+            match Hashtbl.find_opt by_block_var key with
+            | Some b -> b
+            | None ->
+                let b = ref [] in
+                Hashtbl.replace by_block_var key b;
+                b
+          in
+          bucket := a :: !bucket)
+    accesses;
+  let violations = ref [] in
+  let count = ref 0 in
+  Hashtbl.iter
+    (fun (_, lock, var) bucket ->
+      let locals = List.rev !bucket in
+      (* All ordered local pairs: a remote access concurrent with both
+         ends can land anywhere between them, so non-adjacent pairs
+         (e.g. two writes separated by a local read) matter too. *)
+      let triple a1 a2 =
+        List.iter
+          (fun (r : access) ->
+            if
+              r.a_tid <> a1.a_tid && r.a_var = var
+              && unserializable (a1.a_kind, r.a_kind, a2.a_kind)
+              && Vclock.concurrent r.a_vc a1.a_vc
+              && Vclock.concurrent r.a_vc a2.a_vc
+              && !count < max_violations
+            then begin
+              incr count;
+              violations :=
+                { tid = a1.a_tid; lock; var; first = a1.a_eid; second = a2.a_eid;
+                  remote = r.a_eid; remote_tid = r.a_tid;
+                  pattern = (a1.a_kind, r.a_kind, a2.a_kind) }
+                :: !violations
+            end)
+          accesses
+      in
+      let rec pairs = function
+        | a1 :: (_ :: _ as rest) ->
+            List.iter (triple a1) rest;
+            pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs locals)
+    by_block_var;
+  { transactions = !transactions;
+    violations =
+      List.sort (fun a b -> compare (a.first, a.remote) (b.first, b.remote)) !violations }
+
+let serializable r = r.violations = []
+
+let pattern_name = function
+  | Read, Write, Read -> "stale re-read (R-W-R)"
+  | Write, Write, Read -> "lost local write (W-W-R)"
+  | Read, Write, Write -> "update from stale read (R-W-W)"
+  | Write, Read, Write -> "dirty intermediate read (W-R-W)"
+  | _ -> "serializable"
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "atomicity violation in %a's sync(%s) block on %s: %s — e%d .. e%d with remote e%d \
+     by %a"
+    Types.pp_tid v.tid v.lock v.var (pattern_name v.pattern) v.first v.second v.remote
+    Types.pp_tid v.remote_tid
+
+let pp_report ppf r =
+  match r.violations with
+  | [] ->
+      Format.fprintf ppf "all %d sync blocks serializable under every schedule"
+        r.transactions
+  | vs ->
+      Format.fprintf ppf "@[<v>%d atomicity violations over %d sync blocks@,%a@]"
+        (List.length vs) r.transactions
+        (Format.pp_print_list pp_violation)
+        vs

@@ -1,0 +1,51 @@
+(** Predictive atomicity-violation (block serializability) detection.
+
+    The paper's causal abstraction supports more than state-property
+    prediction; this module applies it to {e block atomicity}, the
+    analysis line (jPredictor) that grew out of JMPaX. Every outermost
+    [sync (l) { ... }] region is treated as a transaction. For two
+    accesses [a1, a2] to the same variable inside one transaction and a
+    {e remote} access [r] by another thread, the interleaving
+    [a1; r; a2] is unserializable when the access kinds form one of the
+    classic patterns (Lu et al.):
+
+    - local read, remote {b write}, local read — stale re-read;
+    - local write, remote {b write}, local read — lost local write;
+    - local read, remote {b write}, local write — update from a stale read;
+    - local write, remote {b read}, local write — dirty intermediate read.
+
+    The violation is {e predicted} when [r] is causally concurrent
+    (under the synchronization-only happens-before of {!Race}) with both
+    [a1] and [a2] — some schedule of the observed computation places it
+    between them, even if the observed run did not. A remote access
+    protected by the same lock is ordered with the block and can never
+    be flagged. *)
+
+open Trace
+
+type access_kind = Read | Write
+
+type violation = {
+  tid : Types.tid;  (** the transaction's thread *)
+  lock : string;  (** the lock delimiting the transaction *)
+  var : Types.var;
+  first : int;  (** eid of [a1] *)
+  second : int;  (** eid of [a2] *)
+  remote : int;  (** eid of [r] *)
+  remote_tid : Types.tid;
+  pattern : access_kind * access_kind * access_kind;
+      (** kinds of [a1], [r], [a2] *)
+}
+
+type report = {
+  transactions : int;  (** outermost sync blocks analyzed *)
+  violations : violation list;
+}
+
+val analyze : ?max_violations:int -> Exec.t -> report
+(** [max_violations] defaults to [1000]. *)
+
+val serializable : report -> bool
+val pattern_name : access_kind * access_kind * access_kind -> string
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

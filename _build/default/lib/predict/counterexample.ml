@@ -1,0 +1,47 @@
+open Trace
+
+type counterexample = {
+  run : Message.t list;
+  states : Pastltl.State.t list;
+  violation_index : int;
+}
+
+type report = {
+  spec : Pastltl.Formula.t;
+  total_runs : int;
+  violating : counterexample list;
+}
+
+let check ?max_runs ~spec comp =
+  let lattice = Observer.Lattice.build comp in
+  let runs = Observer.Lattice.runs ?max_runs lattice in
+  let violating =
+    List.filter_map
+      (fun run ->
+        let states = Observer.Lattice.states_of_run lattice run in
+        match Pastltl.Semantics.first_violation spec states with
+        | None -> None
+        | Some violation_index -> Some { run; states; violation_index })
+      runs
+  in
+  { spec; total_runs = List.length runs; violating }
+
+let violated r = r.violating <> []
+
+let pp_counterexample ~vars ppf ce =
+  Format.fprintf ppf "@[<v>violating run (bad state at index %d):@," ce.violation_index;
+  List.iteri
+    (fun i state ->
+      let marker = if i = ce.violation_index then "  <-- violation" else "" in
+      if i = 0 then
+        Format.fprintf ppf "  %a%s@," (Pastltl.State.pp_values ~vars) state marker
+      else
+        Format.fprintf ppf "  --%a--> %a%s@," Message.pp (List.nth ce.run (i - 1))
+          (Pastltl.State.pp_values ~vars) state marker)
+    ce.states;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>spec: %a@,runs: %d, violating: %d@]" Pastltl.Formula.pp r.spec
+    r.total_runs
+    (List.length r.violating)

@@ -1,0 +1,35 @@
+(** Counterexample extraction by explicit run enumeration over the
+    materialized lattice — the presentation the paper gives in its
+    Examples 1 and 2 ("the user will be given enough information — the
+    entire counterexample execution — to understand the error").
+
+    Exponential in general; intended for the small computations of the
+    worked examples and for cross-checking {!Analyzer} (which is
+    frontier-bounded but reports no full runs). *)
+
+open Trace
+
+type counterexample = {
+  run : Message.t list;  (** the violating multithreaded run *)
+  states : Pastltl.State.t list;  (** induced states, initial first *)
+  violation_index : int;  (** first state index falsifying the spec *)
+}
+
+type report = {
+  spec : Pastltl.Formula.t;
+  total_runs : int;
+  violating : counterexample list;
+}
+
+val check :
+  ?max_runs:int -> spec:Pastltl.Formula.t -> Observer.Computation.t -> report
+(** Builds the lattice, enumerates every run, and checks each run's state
+    sequence with the direct semantics ({!Pastltl.Semantics}).
+    @raise Observer.Lattice.Too_large past the budgets. *)
+
+val violated : report -> bool
+
+val pp_counterexample :
+  vars:Types.var list -> Format.formatter -> counterexample -> unit
+
+val pp_report : Format.formatter -> report -> unit

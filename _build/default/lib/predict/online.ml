@@ -1,0 +1,218 @@
+open Trace
+
+module Mset = Set.Make (struct
+  type t = Pastltl.Monitor.state
+
+  let compare = Pastltl.Monitor.compare_state
+end)
+
+type entry = { state : Pastltl.State.t; msets : Mset.t }
+
+type gc_stats = {
+  retired_cuts : int;
+  peak_frontier_cuts : int;
+  peak_frontier_entries : int;
+  monitor_steps : int;
+}
+
+type t = {
+  nthreads : int;
+  monitor : Pastltl.Monitor.compiled;
+  spec : Pastltl.Formula.t;
+  (* Message store: (tid, index) -> message, plus contiguous prefix
+     lengths and out-of-order buffer counts. *)
+  store : (Types.tid * int, Message.t) Hashtbl.t;
+  prefix : int array;  (* per thread: largest k with 1..k all received *)
+  beyond : int array;  (* per thread: received messages with index > prefix *)
+  ended : bool array;
+  (* Frontier: cuts of the current level. *)
+  mutable frontier : (int list, entry) Hashtbl.t;
+  mutable level : int;
+  mutable done_ : bool;  (* the frontier can never advance again *)
+  mutable rev_violations : Analyzer.violation list;
+  mutable retired_cuts : int;
+  mutable peak_frontier_cuts : int;
+  mutable peak_frontier_entries : int;
+  mutable monitor_steps : int;
+}
+
+let record_level_stats t =
+  let cuts = Hashtbl.length t.frontier in
+  t.peak_frontier_cuts <- max t.peak_frontier_cuts cuts;
+  let entries = Hashtbl.fold (fun _ e acc -> acc + Mset.cardinal e.msets) t.frontier 0 in
+  t.peak_frontier_entries <- max t.peak_frontier_entries entries
+
+let record_violations t =
+  Hashtbl.iter
+    (fun key entry ->
+      Mset.iter
+        (fun m ->
+          if not (Pastltl.Monitor.verdict t.monitor m) then
+            t.rev_violations <-
+              { Analyzer.cut = Array.of_list key;
+                level = t.level;
+                state = entry.state;
+                monitor_state = m }
+              :: t.rev_violations)
+        entry.msets)
+    t.frontier
+
+let create ~nthreads ~init ~spec =
+  if nthreads <= 0 then invalid_arg "Online.create: nthreads must be positive";
+  let monitor = Pastltl.Monitor.compile spec in
+  let init_state = Pastltl.State.of_list init in
+  let m0 = Pastltl.Monitor.init monitor init_state in
+  let frontier = Hashtbl.create 16 in
+  Hashtbl.replace frontier
+    (Array.to_list (Array.make nthreads 0))
+    { state = init_state; msets = Mset.singleton m0 };
+  let t =
+    { nthreads;
+      monitor;
+      spec;
+      store = Hashtbl.create 64;
+      prefix = Array.make nthreads 0;
+      beyond = Array.make nthreads 0;
+      ended = Array.make nthreads false;
+      frontier;
+      level = 0;
+      done_ = false;
+      rev_violations = [];
+      retired_cuts = 0;
+      peak_frontier_cuts = 0;
+      peak_frontier_entries = 0;
+      monitor_steps = 1 }
+  in
+  record_level_stats t;
+  record_violations t;
+  t
+
+(* Level L+1 can involve, per thread i, only events with index <= L+1;
+   safe to advance when each thread has delivered that much or is done
+   delivering. *)
+let can_advance t =
+  (not t.done_)
+  && (let ok = ref true in
+      for i = 0 to t.nthreads - 1 do
+        let have_enough = t.prefix.(i) >= t.level + 1 in
+        let finished = t.ended.(i) && t.beyond.(i) = 0 in
+        if not (have_enough || finished) then ok := false
+      done;
+      !ok)
+
+let rec advance_one_level t =
+  let next = Hashtbl.create (Hashtbl.length t.frontier * 2) in
+  Hashtbl.iter
+    (fun key entry ->
+      let cut = Array.of_list key in
+      for i = 0 to t.nthreads - 1 do
+        let k = cut.(i) + 1 in
+        if k <= t.prefix.(i) then begin
+          let m = Hashtbl.find t.store (i, k) in
+          (* Enabled iff every other component of the event's clock is
+             inside the cut. *)
+          let enabled = ref true in
+          for j = 0 to t.nthreads - 1 do
+            if j <> i && Vclock.get m.Message.mvc j > cut.(j) then enabled := false
+          done;
+          if !enabled then begin
+            let cut' = Array.copy cut in
+            cut'.(i) <- k;
+            let state' = Observer.Computation.apply entry.state m in
+            let stepped =
+              Mset.fold
+                (fun ms acc ->
+                  t.monitor_steps <- t.monitor_steps + 1;
+                  Mset.add (Pastltl.Monitor.step t.monitor ms state') acc)
+                entry.msets Mset.empty
+            in
+            let key' = Array.to_list cut' in
+            match Hashtbl.find_opt next key' with
+            | None -> Hashtbl.replace next key' { state = state'; msets = stepped }
+            | Some existing ->
+                assert (Pastltl.State.equal existing.state state');
+                Hashtbl.replace next key'
+                  { existing with msets = Mset.union existing.msets stepped }
+          end
+        end
+      done)
+    t.frontier;
+  if Hashtbl.length next = 0 then t.done_ <- true
+  else begin
+    t.retired_cuts <- t.retired_cuts + Hashtbl.length t.frontier;
+    t.frontier <- next;
+    t.level <- t.level + 1;
+    record_level_stats t;
+    record_violations t;
+    gc_store t
+  end
+
+(* A message (i, k) can never be consumed again once every frontier cut
+   already contains it; successors of the frontier only grow. Dropping
+   such messages is the paper's "garbage-collected while the analysis
+   process continues". *)
+and gc_store t =
+  let floor = Array.make t.nthreads max_int in
+  Hashtbl.iter
+    (fun key _ ->
+      List.iteri (fun i k -> if k < floor.(i) then floor.(i) <- k) key)
+    t.frontier;
+  for i = 0 to t.nthreads - 1 do
+    if floor.(i) < max_int then
+      for k = 1 to floor.(i) do
+        Hashtbl.remove t.store (i, k)
+      done
+  done
+
+let pump t =
+  while can_advance t do
+    advance_one_level t
+  done
+
+let feed t (m : Message.t) =
+  if m.tid < 0 || m.tid >= t.nthreads then invalid_arg "Online.feed: thread id out of range";
+  let seq = Message.seq m in
+  if seq <= t.prefix.(m.tid) || Hashtbl.mem t.store (m.tid, seq) then
+    invalid_arg "Online.feed: duplicate message";
+  if t.ended.(m.tid) then invalid_arg "Online.feed: thread already ended";
+  Hashtbl.replace t.store (m.tid, seq) m;
+  if seq = t.prefix.(m.tid) + 1 then begin
+    (* Extend the contiguous prefix as far as buffered messages allow. *)
+    let k = ref seq in
+    while Hashtbl.mem t.store (m.tid, !k + 1) do
+      incr k;
+      t.beyond.(m.tid) <- t.beyond.(m.tid) - 1
+    done;
+    t.prefix.(m.tid) <- !k
+  end
+  else t.beyond.(m.tid) <- t.beyond.(m.tid) + 1;
+  pump t
+
+let feed_all t ms = List.iter (feed t) ms
+
+let end_of_thread t tid =
+  if tid < 0 || tid >= t.nthreads then invalid_arg "Online.end_of_thread: bad thread id";
+  t.ended.(tid) <- true;
+  pump t
+
+let finish t =
+  for i = 0 to t.nthreads - 1 do
+    if t.beyond.(i) > 0 then
+      invalid_arg
+        (Printf.sprintf "Online.finish: thread %d is missing message %d" i (t.prefix.(i) + 1));
+    t.ended.(i) <- true
+  done;
+  pump t
+
+let violated t = t.rev_violations <> []
+let violations t = List.rev t.rev_violations
+let level t = t.level
+let frontier_cuts t = Hashtbl.length t.frontier
+
+let buffered t = Hashtbl.length t.store
+
+let gc_stats t =
+  { retired_cuts = t.retired_cuts;
+    peak_frontier_cuts = t.peak_frontier_cuts;
+    peak_frontier_entries = t.peak_frontier_entries;
+    monitor_steps = t.monitor_steps }

@@ -1,0 +1,67 @@
+(** Online predictive analysis: the observer of the paper's title.
+
+    Messages [⟨e, i, V⟩] arrive one at a time, in any order; the analyzer
+    buffers them, and as soon as every event that can occur in the next
+    lattice level is in hand, it advances its frontier by one level and
+    {e garbage-collects} the previous one (paper, Section 4: "one can
+    buffer them at the observer's side and then build the lattice on a
+    level-by-level basis ... as the events become available", "parts of
+    the lattice which become non-relevant ... can be garbage-collected
+    while the analysis process continues").
+
+    Level [L+1] of the lattice can only involve, from each thread [i],
+    that thread's relevant events with index [<= L+1]; the frontier
+    therefore advances to [L+1] once every thread has either delivered
+    its events [1..L+1] or finished with fewer. Thread completion is
+    announced with {!end_of_thread} (the instrumented program knows when
+    a thread halts); without it the analyzer still makes all progress
+    that is safe.
+
+    Verdicts are identical to the offline {!Analyzer} on the full message
+    list — a property the test suite checks exhaustively. *)
+
+open Trace
+
+type t
+
+val create :
+  nthreads:int ->
+  init:(Types.var * Types.value) list ->
+  spec:Pastltl.Formula.t ->
+  t
+(** The frontier starts as the bottom cut (level 0), already checked
+    against the specification. *)
+
+val feed : t -> Message.t -> unit
+(** Accept one message (any order) and advance as far as possible.
+    @raise Invalid_argument on duplicates or thread ids out of range. *)
+
+val feed_all : t -> Message.t list -> unit
+
+val end_of_thread : t -> Types.tid -> unit
+(** Declare that the thread will emit no further messages. *)
+
+val finish : t -> unit
+(** Declare end-of-stream for every thread.
+    @raise Invalid_argument if buffered messages are still missing a
+    predecessor (a lost message). *)
+
+val violated : t -> bool
+val violations : t -> Analyzer.violation list
+(** Violations found so far, in level order. *)
+
+val level : t -> int
+(** The frontier's current lattice level. *)
+
+val frontier_cuts : t -> int
+val buffered : t -> int
+(** Messages received but not yet consumed by the frontier. *)
+
+type gc_stats = {
+  retired_cuts : int;  (** cuts discarded after their level was passed *)
+  peak_frontier_cuts : int;
+  peak_frontier_entries : int;  (** (cut, monitor state) pairs *)
+  monitor_steps : int;
+}
+
+val gc_stats : t -> gc_stats

@@ -1,0 +1,80 @@
+open Trace
+
+type access = {
+  eid : int;
+  tid : Types.tid;
+  var : Types.var;
+  is_write : bool;
+  vc : Vclock.t;
+}
+
+type race = { first : access; second : access }
+
+type report = {
+  races : race list;
+  racy_vars : Types.var list;
+  accesses : int;
+}
+
+let detect ?(max_races = 10_000) exec =
+  let clocks = Syncclock.create ~nthreads:(Exec.nthreads exec) in
+  let by_var : (Types.var, access list ref) Hashtbl.t = Hashtbl.create 16 in
+  let races = ref [] in
+  let count = ref 0 in
+  let accesses = ref 0 in
+  let module Sset = Set.Make (String) in
+  let racy = ref Sset.empty in
+  Array.iter
+    (fun (e : Event.t) ->
+      match Syncclock.observe clocks e with
+      | None -> ()
+      | Some vc ->
+          incr accesses;
+          let x = Option.get (Event.variable e) in
+          let this =
+            { eid = e.eid; tid = e.tid; var = x; is_write = Event.is_write e; vc }
+          in
+          let bucket =
+            match Hashtbl.find_opt by_var x with
+            | Some b -> b
+            | None ->
+                let b = ref [] in
+                Hashtbl.replace by_var x b;
+                b
+          in
+          List.iter
+            (fun (prev : access) ->
+              if
+                (prev.is_write || this.is_write)
+                && prev.tid <> this.tid
+                && Vclock.concurrent prev.vc this.vc
+              then begin
+                racy := Sset.add x !racy;
+                if !count < max_races then begin
+                  incr count;
+                  races := { first = prev; second = this } :: !races
+                end
+              end)
+            !bucket;
+          bucket := this :: !bucket)
+    (Exec.events exec);
+  { races = List.rev !races; racy_vars = Sset.elements !racy; accesses = !accesses }
+
+let race_free r = r.racy_vars = []
+
+let pp_access ppf a =
+  Format.fprintf ppf "%s of %s by %a at e%d %a"
+    (if a.is_write then "write" else "read")
+    a.var Types.pp_tid a.tid a.eid Vclock.pp a.vc
+
+let pp_race ppf { first; second } =
+  Format.fprintf ppf "race: %a || %a" pp_access first pp_access second
+
+let pp_report ppf r =
+  match r.racy_vars with
+  | [] -> Format.fprintf ppf "no data races predicted (%d accesses)" r.accesses
+  | vars ->
+      Format.fprintf ppf "@[<v>%d racy pairs on {%s} (%d accesses)@,%a@]"
+        (List.length r.races) (String.concat ", " vars) r.accesses
+        (Format.pp_print_list pp_race)
+        r.races

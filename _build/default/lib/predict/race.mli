@@ -1,0 +1,38 @@
+(** Predictive data-race detection.
+
+    Uses the MVC machinery with the {e synchronization-only} causality:
+    thread order plus lock/notify dummy-variable writes (paper,
+    Section 3.1). Data accesses do not themselves create causal edges —
+    otherwise the two halves of a candidate race would order each other —
+    so two accesses to the same data variable, at least one a write,
+    whose clocks are concurrent constitute a race that {e some} schedule
+    can realize, even if the observed run ordered them safely. This is
+    the data-race instantiation of the paper's prediction idea (its
+    Section 1 names data-races as the motivating class). *)
+
+open Trace
+
+type access = {
+  eid : int;
+  tid : Types.tid;
+  var : Types.var;
+  is_write : bool;
+  vc : Vclock.t;  (** sync-only vector clock at the access *)
+}
+
+type race = { first : access; second : access }
+(** Ordered by observed position; clocks are concurrent. *)
+
+type report = {
+  races : race list;
+  racy_vars : Types.var list;  (** distinct data variables involved, sorted *)
+  accesses : int;  (** data accesses examined *)
+}
+
+val detect : ?max_races:int -> Exec.t -> report
+(** Replays a recorded execution; [max_races] (default [10_000]) caps the
+    pair list (detection still fills [racy_vars]). *)
+
+val race_free : report -> bool
+val pp_race : Format.formatter -> race -> unit
+val pp_report : Format.formatter -> report -> unit

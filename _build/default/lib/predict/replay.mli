@@ -1,0 +1,56 @@
+(** Counterexample replay: from a predicted violating run back to a
+    concrete schedule.
+
+    The analyzer predicts a violating {e relevant-event order}; this
+    module drives the instrumented VM so that its emission order matches
+    that run, yielding a real execution (and a {!Tml.Sched.script} that
+    reproduces it) in which the observed-run monitor itself sees the
+    violation — "the user will be given enough information (the entire
+    counterexample execution) to understand the error" (paper,
+    Section 1), made executable.
+
+    The target fixes only the {e relevant-event} order; the decisive
+    freedom is in the irrelevant steps (the paper's landing
+    counterexample needs the radio test's {e read} scheduled before the
+    radio-off write that the run places before the approval). Replay is
+    therefore a depth-first search over schedules, pruning every prefix
+    whose emissions diverge from the target. *)
+
+open Trace
+
+type outcome = {
+  script : Tml.Sched.script;  (** reproduces the execution exactly *)
+  result : Tml.Vm.run_result;
+  emitted : Message.t list;  (** relevant events, in the target order *)
+}
+
+type failure =
+  | Event_mismatch of { expected : Message.t; got : Message.t }
+  | Unexpected_event of Message.t
+      (** a relevant event emitted after the target run was complete *)
+  | Stuck of { remaining : int }  (** no runnable thread can make progress *)
+  | Budget_exhausted
+
+val run :
+  ?budget:int ->
+  relevance:Mvc.Relevance.t ->
+  image:Tml.Bytecode.image ->
+  Message.t list ->
+  (outcome, failure) result
+(** [run ~relevance ~image target] searches for a schedule of [image]
+    whose relevant events come out in [target]'s (thread, index, var,
+    value) order, and runs it to completion. [budget] (default
+    [100_000]) caps the total observable steps spent across the whole
+    search (each search node replays from the initial state). *)
+
+val replay_counterexample :
+  ?budget:int ->
+  spec:Pastltl.Formula.t ->
+  program:Tml.Ast.program ->
+  Counterexample.counterexample ->
+  (outcome, failure) result
+(** Convenience: instrument the program, replay the counterexample's
+    run, and (on success) assert that the observed-run monitor now
+    reports the violation. *)
+
+val pp_failure : Format.formatter -> failure -> unit

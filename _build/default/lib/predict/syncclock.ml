@@ -1,0 +1,46 @@
+open Trace
+
+type t = {
+  vi : Vclock.t array;
+  va : (Types.var, Vclock.t) Hashtbl.t;
+  vw : (Types.var, Vclock.t) Hashtbl.t;
+}
+
+let create ~nthreads =
+  { vi = Array.init nthreads (fun _ -> Vclock.zero nthreads);
+    va = Hashtbl.create 8;
+    vw = Hashtbl.create 8 }
+
+let n t = Array.length t.vi
+
+let var_clock t table x =
+  match Hashtbl.find_opt table x with Some v -> v | None -> Vclock.zero (n t)
+
+let tick t tid = t.vi.(tid) <- Vclock.inc t.vi.(tid) tid
+
+let sync_write t tid x =
+  let v = Vclock.max (var_clock t t.va x) t.vi.(tid) in
+  t.vi.(tid) <- v;
+  Hashtbl.replace t.va x v;
+  Hashtbl.replace t.vw x v
+
+let sync_read t tid x =
+  t.vi.(tid) <- Vclock.max t.vi.(tid) (var_clock t t.vw x);
+  Hashtbl.replace t.va x (Vclock.max (var_clock t t.va x) t.vi.(tid))
+
+let observe t (e : Event.t) =
+  match e.kind with
+  | Event.Internal -> None
+  | Event.Read (x, _) when Types.is_sync_var x ->
+      tick t e.tid;
+      sync_read t e.tid x;
+      None
+  | Event.Write (x, _) when Types.is_sync_var x ->
+      tick t e.tid;
+      sync_write t e.tid x;
+      None
+  | Event.Read _ | Event.Write _ ->
+      tick t e.tid;
+      Some t.vi.(e.tid)
+
+let clock t tid = t.vi.(tid)

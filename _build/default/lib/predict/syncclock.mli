@@ -1,0 +1,21 @@
+(** Synchronization-only vector clocks, shared by the predictive race
+    and atomicity analyses.
+
+    Every event advances its thread's own component (so accesses are
+    distinct points in the causal order), but cross-thread edges come
+    only from the dummy synchronization variables of Section 3.1 — data
+    accesses contribute no edges, otherwise the conflicting pair under
+    test would order itself. *)
+
+open Trace
+
+type t
+
+val create : nthreads:int -> t
+
+val observe : t -> Event.t -> Vclock.t option
+(** Advances the clocks for one event. Returns [Some vc] — the thread's
+    clock at that point — for {e data} accesses (the points the analyses
+    compare), [None] for internal events and synchronization traffic. *)
+
+val clock : t -> Types.tid -> Vclock.t

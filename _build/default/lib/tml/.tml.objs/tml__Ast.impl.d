@@ -1,0 +1,1 @@
+lib/tml/ast.ml: List Set String

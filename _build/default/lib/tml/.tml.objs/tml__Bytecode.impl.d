@@ -1,0 +1,1 @@
+lib/tml/bytecode.ml: Array Ast Format List Pretty String Trace Types

@@ -1,0 +1,1 @@
+lib/tml/bytecode.mli: Ast Format Trace Types

@@ -1,0 +1,1 @@
+lib/tml/compile.ml: Array Ast Bytecode Desugar Hashtbl List Parser Set String Typecheck

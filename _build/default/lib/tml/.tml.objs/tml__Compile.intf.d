@@ -1,0 +1,1 @@
+lib/tml/compile.mli: Ast Bytecode

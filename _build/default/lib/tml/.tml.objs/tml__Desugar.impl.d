@@ -1,0 +1,1 @@
+lib/tml/desugar.ml: Ast List Set String Trace

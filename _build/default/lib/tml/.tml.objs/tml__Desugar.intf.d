@@ -1,0 +1,1 @@
+lib/tml/desugar.mli: Ast Trace

@@ -1,0 +1,1 @@
+lib/tml/explore.ml: Hashtbl Instrument List Option Sched Vm

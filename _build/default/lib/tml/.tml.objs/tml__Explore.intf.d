@@ -1,0 +1,1 @@
+lib/tml/explore.mli: Ast Bytecode Sched Vm

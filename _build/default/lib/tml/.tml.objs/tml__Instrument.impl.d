@@ -1,0 +1,1 @@
+lib/tml/instrument.ml: Array Bytecode Compile Set String Trace

@@ -1,0 +1,1 @@
+lib/tml/instrument.mli: Ast Bytecode Trace

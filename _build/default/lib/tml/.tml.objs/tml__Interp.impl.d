@@ -1,0 +1,1 @@
+lib/tml/interp.ml: Array Ast Desugar Hashtbl List Mvc Printf Sched String Trace Typecheck Types Vm

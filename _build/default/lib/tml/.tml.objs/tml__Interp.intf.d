@@ -1,0 +1,1 @@
+lib/tml/interp.mli: Ast Message Mvc Sched Trace Types Vm

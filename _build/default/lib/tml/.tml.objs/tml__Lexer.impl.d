@@ -1,0 +1,1 @@
+lib/tml/lexer.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/tml/lexer.mli: Format

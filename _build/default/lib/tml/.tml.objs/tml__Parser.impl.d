@@ -1,0 +1,1 @@
+lib/tml/parser.ml: Ast Lexer List Printf

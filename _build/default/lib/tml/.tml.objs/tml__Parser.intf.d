@@ -1,0 +1,1 @@
+lib/tml/parser.mli: Ast Lexer

@@ -1,0 +1,1 @@
+lib/tml/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/tml/programs.ml: Buffer List Parser Printf Sched

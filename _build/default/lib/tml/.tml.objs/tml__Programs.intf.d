@@ -1,0 +1,1 @@
+lib/tml/programs.mli: Ast Sched

@@ -1,0 +1,1 @@
+lib/tml/sched.ml: Format List Printf Random Trace Types

@@ -1,0 +1,1 @@
+lib/tml/sched.mli: Format Trace Types

@@ -1,0 +1,1 @@
+lib/tml/typecheck.ml: Ast Format List Set String

@@ -1,0 +1,1 @@
+lib/tml/typecheck.mli: Ast Format

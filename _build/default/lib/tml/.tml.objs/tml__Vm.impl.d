@@ -1,0 +1,1 @@
+lib/tml/vm.ml: Array Ast Bytecode Exec Format Hashtbl Instrument List Message Mvc Printf Sched String Trace Types

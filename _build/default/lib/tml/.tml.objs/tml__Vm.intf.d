@@ -1,0 +1,1 @@
+lib/tml/vm.mli: Ast Bytecode Exec Format Message Mvc Sched Trace Types

@@ -1,0 +1,129 @@
+open Trace
+
+type instr =
+  | Push of int
+  | Pop
+  | Load_local of int
+  | Store_local of int
+  | Prim of Ast.binop
+  | Prim1 of Ast.unop
+  | Jump of int
+  | Jump_if_zero of int
+  | Jump_if_nonzero of int
+  | Choose_jump of int list
+  | Load_global of Types.var
+  | Store_global of Types.var
+  | Internal
+  | Acquire of string
+  | Release of string
+  | Wait_cond of string
+  | Notify_cond of string
+  | Instr_load of Types.var
+  | Instr_store of Types.var
+  | Instr_acquire of string
+  | Instr_release of string
+  | Instr_wait of string
+  | Instr_notify of string
+  | Halt
+
+type image = {
+  thread_names : string array;
+  code : instr array array;
+  nlocals : int array;
+  shared_init : (Types.var * Types.value) list;
+  instrumented : bool;
+}
+
+let nthreads image = Array.length image.code
+
+let is_silent = function
+  | Push _ | Pop | Load_local _ | Store_local _ | Prim _ | Prim1 _ | Jump _
+  | Jump_if_zero _ | Jump_if_nonzero _ | Choose_jump _ -> true
+  | Load_global _ | Store_global _ | Internal | Acquire _ | Release _ | Wait_cond _
+  | Notify_cond _ | Instr_load _ | Instr_store _ | Instr_acquire _ | Instr_release _
+  | Instr_wait _ | Instr_notify _ | Halt -> false
+
+let is_observable i = not (is_silent i)
+
+let is_instrumented_op = function
+  | Instr_load _ | Instr_store _ | Instr_acquire _ | Instr_release _ | Instr_wait _
+  | Instr_notify _ -> true
+  | _ -> false
+
+let is_plain_observable_op = function
+  | Load_global _ | Store_global _ | Acquire _ | Release _ | Wait_cond _
+  | Notify_cond _ -> true
+  | _ -> false
+
+let instr_count image = Array.fold_left (fun n c -> n + Array.length c) 0 image.code
+
+let validate image =
+  let problems = ref [] in
+  let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let n = nthreads image in
+  if Array.length image.thread_names <> n then problem "thread_names length mismatch";
+  if Array.length image.nlocals <> n then problem "nlocals length mismatch";
+  Array.iteri
+    (fun t code ->
+      let len = Array.length code in
+      if len = 0 || code.(len - 1) <> Halt then problem "thread %d: code not Halt-terminated" t;
+      Array.iteri
+        (fun pc instr ->
+          let check_target target =
+            if target < 0 || target >= len then
+              problem "thread %d: pc %d jumps out of range (%d)" t pc target
+          in
+          (match instr with
+          | Jump k | Jump_if_zero k | Jump_if_nonzero k -> check_target k
+          | Choose_jump ks ->
+              if ks = [] then problem "thread %d: pc %d empty choose" t pc;
+              List.iter check_target ks
+          | Load_local i | Store_local i ->
+              if i < 0 || (t < Array.length image.nlocals && i >= image.nlocals.(t)) then
+                problem "thread %d: pc %d local slot %d out of range" t pc i
+          | _ -> ());
+          if is_instrumented_op instr && not image.instrumented then
+            problem "thread %d: pc %d instrumented opcode in plain image" t pc;
+          if is_plain_observable_op instr && image.instrumented then
+            problem "thread %d: pc %d un-instrumented opcode in instrumented image" t pc)
+        code)
+    image.code;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " (List.rev ps))
+
+let pp_instr ppf = function
+  | Push n -> Format.fprintf ppf "push %d" n
+  | Pop -> Format.pp_print_string ppf "pop"
+  | Load_local i -> Format.fprintf ppf "loadl %d" i
+  | Store_local i -> Format.fprintf ppf "storel %d" i
+  | Prim op -> Format.fprintf ppf "prim %a" Pretty.pp_binop op
+  | Prim1 op -> Format.fprintf ppf "prim1 %a" Pretty.pp_unop op
+  | Jump k -> Format.fprintf ppf "jmp %d" k
+  | Jump_if_zero k -> Format.fprintf ppf "jz %d" k
+  | Jump_if_nonzero k -> Format.fprintf ppf "jnz %d" k
+  | Choose_jump ks ->
+      Format.fprintf ppf "choose [%s]" (String.concat ";" (List.map string_of_int ks))
+  | Load_global x -> Format.fprintf ppf "loadg %s" x
+  | Store_global x -> Format.fprintf ppf "storeg %s" x
+  | Internal -> Format.pp_print_string ppf "internal"
+  | Acquire l -> Format.fprintf ppf "acquire %s" l
+  | Release l -> Format.fprintf ppf "release %s" l
+  | Wait_cond c -> Format.fprintf ppf "wait %s" c
+  | Notify_cond c -> Format.fprintf ppf "notify %s" c
+  | Instr_load x -> Format.fprintf ppf "loadg! %s" x
+  | Instr_store x -> Format.fprintf ppf "storeg! %s" x
+  | Instr_acquire l -> Format.fprintf ppf "acquire! %s" l
+  | Instr_release l -> Format.fprintf ppf "release! %s" l
+  | Instr_wait c -> Format.fprintf ppf "wait! %s" c
+  | Instr_notify c -> Format.fprintf ppf "notify! %s" c
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp_image ppf image =
+  Format.fprintf ppf "@[<v>image (%d threads%s)@,"
+    (nthreads image)
+    (if image.instrumented then ", instrumented" else "");
+  Array.iteri
+    (fun t code ->
+      Format.fprintf ppf "thread %s (%d locals):@," image.thread_names.(t) image.nlocals.(t);
+      Array.iteri (fun pc i -> Format.fprintf ppf "  %3d: %a@," pc pp_instr i) code)
+    image.code;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,66 @@
+(** Stack bytecode for TML, mirroring the paper's setting where the
+    analyzed program is available in compiled form and instrumentation is
+    a {e code-to-code} transformation (paper, Sections 1 and 4.1).
+
+    Instructions are split into {e silent} ones (stack, locals, jumps —
+    thread-private, never a scheduling point) and {e observable} ones
+    (shared accesses, synchronization, internal no-ops — each is one
+    atomic event and one scheduling point). The instrumented variants
+    [Instr_*] additionally execute Algorithm A atomically with the
+    access; {!Instrument.instrument} introduces them. *)
+
+open Trace
+
+type instr =
+  (* silent *)
+  | Push of int
+  | Pop
+  | Load_local of int
+  | Store_local of int
+  | Prim of Ast.binop
+      (** pops [b] then [a], pushes [a op b]; not used for [And]/[Or],
+          which compile to jumps *)
+  | Prim1 of Ast.unop
+  | Jump of int  (** absolute target *)
+  | Jump_if_zero of int
+  | Jump_if_nonzero of int
+  | Choose_jump of int list  (** scheduler picks one target *)
+  (* observable, un-instrumented *)
+  | Load_global of Types.var
+  | Store_global of Types.var
+  | Internal  (** the [nop] event *)
+  | Acquire of string
+  | Release of string
+  | Wait_cond of string
+  | Notify_cond of string
+  (* observable, instrumented: same semantics plus Algorithm A *)
+  | Instr_load of Types.var
+  | Instr_store of Types.var
+  | Instr_acquire of string
+  | Instr_release of string
+  | Instr_wait of string
+  | Instr_notify of string
+  | Halt
+
+type image = {
+  thread_names : string array;
+  code : instr array array;  (** one code vector per thread *)
+  nlocals : int array;  (** local-slot count per thread *)
+  shared_init : (Types.var * Types.value) list;
+  instrumented : bool;
+}
+
+val nthreads : image -> int
+
+val is_silent : instr -> bool
+val is_observable : instr -> bool
+
+val instr_count : image -> int
+(** Total instructions over all threads. *)
+
+val validate : image -> (unit, string) result
+(** Checks jump targets in range, local slots in range, [Halt]-terminated
+    code vectors, and that [instrumented] matches the opcodes used. *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp_image : Format.formatter -> image -> unit

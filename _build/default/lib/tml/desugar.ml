@@ -1,0 +1,75 @@
+let spawn_gate tname = Trace.Types.notify_var ("spawn-" ^ tname)
+let join_flag tname = Trace.Types.notify_var ("join-" ^ tname)
+
+module Sset = Set.Make (String)
+
+let rec stmt_targets s =
+  match s with
+  | Ast.Spawn t -> (Sset.singleton t, Sset.empty)
+  | Ast.Join t -> (Sset.empty, Sset.singleton t)
+  | Ast.Seq ss ->
+      List.fold_left
+        (fun (sp, jn) s ->
+          let sp', jn' = stmt_targets s in
+          (Sset.union sp sp', Sset.union jn jn'))
+        (Sset.empty, Sset.empty) ss
+  | Ast.If (_, a, b) ->
+      let sa, ja = stmt_targets a in
+      let sb, jb = stmt_targets b in
+      (Sset.union sa sb, Sset.union ja jb)
+  | Ast.While (_, b) | Ast.Sync (_, b) -> stmt_targets b
+  | Ast.Skip | Ast.Nop _ | Ast.Assign _ | Ast.Local_decl _ | Ast.Lock _ | Ast.Unlock _
+  | Ast.Wait _ | Ast.Notify _ -> (Sset.empty, Sset.empty)
+
+let program_targets (p : Ast.program) =
+  List.fold_left
+    (fun (sp, jn) (t : Ast.thread) ->
+      let sp', jn' = stmt_targets t.body in
+      (Sset.union sp sp', Sset.union jn jn'))
+    (Sset.empty, Sset.empty) p.threads
+
+let uses_dynamic_threads p =
+  let sp, jn = program_targets p in
+  not (Sset.is_empty sp && Sset.is_empty jn)
+
+let spin_until_nonzero x =
+  Ast.While (Ast.Binop (Ast.Eq, Ast.Var x, Ast.Int 0), Ast.Nop 1)
+
+let rec rewrite_stmt s =
+  match s with
+  | Ast.Spawn t -> Ast.Assign (spawn_gate t, Ast.Int 1)
+  | Ast.Join t -> spin_until_nonzero (join_flag t)
+  | Ast.Seq ss -> Ast.seq (List.map rewrite_stmt ss)
+  | Ast.If (c, a, b) -> Ast.If (c, rewrite_stmt a, rewrite_stmt b)
+  | Ast.While (c, b) -> Ast.While (c, rewrite_stmt b)
+  | Ast.Sync (l, b) -> Ast.Sync (l, rewrite_stmt b)
+  | Ast.Skip | Ast.Nop _ | Ast.Assign _ | Ast.Local_decl _ | Ast.Lock _ | Ast.Unlock _
+  | Ast.Wait _ | Ast.Notify _ -> s
+
+let desugar (p : Ast.program) =
+  let spawned, joined = program_targets p in
+  if Sset.is_empty spawned && Sset.is_empty joined then p
+  else begin
+    let threads =
+      List.map
+        (fun (t : Ast.thread) ->
+          let body = rewrite_stmt t.body in
+          let body =
+            if Sset.mem t.tname spawned then
+              Ast.seq [ spin_until_nonzero (spawn_gate t.tname); body ]
+            else body
+          in
+          let body =
+            if Sset.mem t.tname joined then
+              Ast.seq [ body; Ast.Assign (join_flag t.tname, Ast.Int 1) ]
+            else body
+          in
+          { t with Ast.body })
+        p.threads
+    in
+    let extra =
+      List.map (fun t -> (spawn_gate t, 0)) (Sset.elements spawned)
+      @ List.map (fun t -> (join_flag t, 0)) (Sset.elements joined)
+    in
+    { Ast.shared = p.shared @ extra; threads }
+  end

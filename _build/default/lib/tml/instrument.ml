@@ -1,0 +1,32 @@
+open Bytecode
+
+let instrument_instr = function
+  | Load_global x -> Instr_load x
+  | Store_global x -> Instr_store x
+  | Acquire l -> Instr_acquire l
+  | Release l -> Instr_release l
+  | Wait_cond c -> Instr_wait c
+  | Notify_cond c -> Instr_notify c
+  | i -> i
+
+let instrument image =
+  if image.instrumented then invalid_arg "Instrument: image already instrumented";
+  let code = Array.map (Array.map instrument_instr) image.code in
+  let instrumented = { image with code; instrumented = true } in
+  (match validate instrumented with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Instrument: produced invalid image: " ^ msg));
+  instrumented
+
+let instrument_program p = instrument (Compile.compile p)
+
+let sync_variables image =
+  let module Sset = Set.Make (String) in
+  let add acc = function
+    | Acquire l | Release l | Instr_acquire l | Instr_release l ->
+        Sset.add (Trace.Types.lock_var l) acc
+    | Wait_cond c | Notify_cond c | Instr_wait c | Instr_notify c ->
+        Sset.add (Trace.Types.notify_var c) acc
+    | _ -> acc
+  in
+  Array.fold_left (Array.fold_left add) Sset.empty image.code |> Sset.elements

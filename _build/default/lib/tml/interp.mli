@@ -1,0 +1,37 @@
+(** Reference interpreter: a direct small-step semantics of TML at the
+    AST level, independent of {!Compile} and {!Vm}.
+
+    It implements exactly the same observable semantics as the bytecode
+    machine — same events, in the same order, under the same scheduler
+    decisions — so replaying a recorded {!Sched.script} through both and
+    comparing executions, messages and final states is a differential
+    test of the compiler, the instrumentation pass and the VM. *)
+
+open Trace
+
+type t
+
+val create :
+  ?relevance:Mvc.Relevance.t ->
+  ?sink:(Message.t -> unit) ->
+  sched:Sched.t ->
+  instrumented:bool ->
+  Ast.program ->
+  t
+(** @raise Invalid_argument if the program fails {!Typecheck.check}. *)
+
+val runnable : t -> Types.tid list
+val finished : t -> Vm.outcome option
+val step : t -> Types.tid -> unit
+val global_value : t -> Types.var -> Types.value
+
+val run : ?fuel:int -> t -> Vm.run_result
+(** Same result type as the VM for direct comparison. *)
+
+val run_program :
+  ?fuel:int ->
+  ?relevance:Mvc.Relevance.t ->
+  sched:Sched.t ->
+  Ast.program ->
+  Vm.run_result
+(** Instrumented run, mirroring {!Vm.run_program}. *)

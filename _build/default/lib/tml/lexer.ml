@@ -1,0 +1,153 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_SHARED | KW_THREAD | KW_LOCAL | KW_IF | KW_ELSE | KW_WHILE
+  | KW_LOCK | KW_UNLOCK | KW_SYNC | KW_WAIT | KW_NOTIFY
+  | KW_SKIP | KW_NOP | KW_CHOOSE | KW_SPAWN | KW_JOIN
+  | LBRACE | RBRACE | LPAREN | RPAREN | SEMI | COMMA
+  | ASSIGN
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ANDAND | OROR | BANG
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+let keywords =
+  [ ("shared", KW_SHARED); ("thread", KW_THREAD); ("local", KW_LOCAL); ("if", KW_IF);
+    ("else", KW_ELSE); ("while", KW_WHILE); ("lock", KW_LOCK); ("unlock", KW_UNLOCK);
+    ("sync", KW_SYNC); ("wait", KW_WAIT); ("notify", KW_NOTIFY); ("skip", KW_SKIP);
+    ("nop", KW_NOP); ("choose", KW_CHOOSE); ("spawn", KW_SPAWN); ("join", KW_JOIN) ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+type cursor = { src : string; mutable off : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.off < String.length cur.src then Some cur.src.[cur.off] else None
+
+let peek2 cur =
+  if cur.off + 1 < String.length cur.src then Some cur.src.[cur.off + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.off <- cur.off + 1
+
+let pos_of cur = { line = cur.line; col = cur.col }
+
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance cur;
+      skip_trivia cur
+  | Some '/' when peek2 cur = Some '/' ->
+      let rec to_eol () =
+        match peek cur with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance cur;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia cur
+  | Some '/' when peek2 cur = Some '*' ->
+      let start = pos_of cur in
+      advance cur;
+      advance cur;
+      let rec to_close () =
+        match (peek cur, peek2 cur) with
+        | Some '*', Some '/' ->
+            advance cur;
+            advance cur
+        | Some _, _ ->
+            advance cur;
+            to_close ()
+        | None, _ -> raise (Error ("unterminated block comment", start))
+      in
+      to_close ();
+      skip_trivia cur
+  | Some _ | None -> ()
+
+let lex_number cur =
+  let start = cur.off in
+  while match peek cur with Some c -> is_digit c | None -> false do
+    advance cur
+  done;
+  let text = String.sub cur.src start (cur.off - start) in
+  match int_of_string_opt text with
+  | Some n -> INT n
+  | None -> raise (Error ("integer literal out of range: " ^ text, pos_of cur))
+
+let lex_ident cur =
+  let start = cur.off in
+  while match peek cur with Some c -> is_ident_char c | None -> false do
+    advance cur
+  done;
+  let text = String.sub cur.src start (cur.off - start) in
+  match List.assoc_opt text keywords with Some kw -> kw | None -> IDENT text
+
+let lex_token cur =
+  let p = pos_of cur in
+  let simple tok = advance cur; (tok, p) in
+  let two_char tok = advance cur; advance cur; (tok, p) in
+  match peek cur with
+  | None -> (EOF, p)
+  | Some c when is_digit c -> (lex_number cur, p)
+  | Some c when is_ident_start c -> (lex_ident cur, p)
+  | Some '{' -> simple LBRACE
+  | Some '}' -> simple RBRACE
+  | Some '(' -> simple LPAREN
+  | Some ')' -> simple RPAREN
+  | Some ';' -> simple SEMI
+  | Some ',' -> simple COMMA
+  | Some '+' -> simple PLUS
+  | Some '-' -> simple MINUS
+  | Some '*' -> simple STAR
+  | Some '/' -> simple SLASH
+  | Some '%' -> simple PERCENT
+  | Some '=' -> if peek2 cur = Some '=' then two_char EQ else simple ASSIGN
+  | Some '!' -> if peek2 cur = Some '=' then two_char NE else simple BANG
+  | Some '<' -> if peek2 cur = Some '=' then two_char LE else simple LT
+  | Some '>' -> if peek2 cur = Some '=' then two_char GE else simple GT
+  | Some '&' ->
+      if peek2 cur = Some '&' then two_char ANDAND
+      else raise (Error ("expected '&&'", p))
+  | Some '|' ->
+      if peek2 cur = Some '|' then two_char OROR
+      else raise (Error ("expected '||'", p))
+  | Some c -> raise (Error (Printf.sprintf "unexpected character %C" c, p))
+
+let tokenize src =
+  let cur = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_trivia cur;
+    let (tok, p) = lex_token cur in
+    if tok = EOF then List.rev ((EOF, p) :: acc) else go ((tok, p) :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_SHARED -> "shared" | KW_THREAD -> "thread" | KW_LOCAL -> "local"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while"
+  | KW_LOCK -> "lock" | KW_UNLOCK -> "unlock" | KW_SYNC -> "sync"
+  | KW_WAIT -> "wait" | KW_NOTIFY -> "notify" | KW_SKIP -> "skip"
+  | KW_NOP -> "nop" | KW_CHOOSE -> "choose" | KW_SPAWN -> "spawn" | KW_JOIN -> "join"
+  | LBRACE -> "{" | RBRACE -> "}" | LPAREN -> "(" | RPAREN -> ")"
+  | SEMI -> ";" | COMMA -> ","
+  | ASSIGN -> "=" | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<="
+  | GT -> ">" | GE -> ">="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | EOF -> "<eof>"
+
+let pp_pos ppf (p : pos) = Format.fprintf ppf "line %d, column %d" p.line p.col

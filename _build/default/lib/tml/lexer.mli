@@ -1,0 +1,27 @@
+(** Hand-written lexer for TML concrete syntax.
+
+    Supports [//] line comments and [/* ... */] block comments. Every
+    token carries its source position for error reporting. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_SHARED | KW_THREAD | KW_LOCAL | KW_IF | KW_ELSE | KW_WHILE
+  | KW_LOCK | KW_UNLOCK | KW_SYNC | KW_WAIT | KW_NOTIFY
+  | KW_SKIP | KW_NOP | KW_CHOOSE | KW_SPAWN | KW_JOIN
+  | LBRACE | RBRACE | LPAREN | RPAREN | SEMI | COMMA
+  | ASSIGN  (** [=] *)
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ANDAND | OROR | BANG
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+val tokenize : string -> (token * pos) list
+(** @raise Error on an unrecognized character or unterminated comment. *)
+
+val token_to_string : token -> string
+val pp_pos : Format.formatter -> pos -> unit

@@ -1,0 +1,316 @@
+open Lexer
+
+exception Error of string * Lexer.pos
+
+type state = { mutable toks : (token * pos) list }
+
+let peek st = match st.toks with [] -> (EOF, { line = 0; col = 0 }) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let fail st msg =
+  let tok, p = peek st in
+  raise (Error (Printf.sprintf "%s (found %S)" msg (token_to_string tok), p))
+
+let expect st tok what =
+  let found, _ = peek st in
+  if found = tok then advance st else fail st ("expected " ^ what)
+
+let expect_ident st what =
+  match next st with
+  | IDENT x, _ -> x
+  | tok, p ->
+      raise (Error (Printf.sprintf "expected %s (found %S)" what (token_to_string tok), p))
+
+let expect_int st what =
+  match next st with
+  | INT n, _ -> n
+  | MINUS, _ -> (
+      match next st with
+      | INT n, _ -> -n
+      | tok, p ->
+          raise
+            (Error (Printf.sprintf "expected %s (found -%S)" what (token_to_string tok), p)))
+  | tok, p ->
+      raise (Error (Printf.sprintf "expected %s (found %S)" what (token_to_string tok), p))
+
+(* {1 Expressions} *)
+
+let rec parse_or st = parse_or_chain (parse_and st) st
+
+and parse_or_chain left st =
+  match peek st with
+  | OROR, _ ->
+      advance st;
+      parse_or_chain (Ast.Binop (Ast.Or, left, parse_and st)) st
+  | _ -> left
+
+and parse_and st = parse_and_chain (parse_cmp st) st
+
+and parse_and_chain left st =
+  match peek st with
+  | ANDAND, _ ->
+      advance st;
+      parse_and_chain (Ast.Binop (Ast.And, left, parse_cmp st)) st
+  | _ -> left
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match peek st with
+    | EQ, _ -> Some Ast.Eq
+    | NE, _ -> Some Ast.Ne
+    | LT, _ -> Some Ast.Lt
+    | LE, _ -> Some Ast.Le
+    | GT, _ -> Some Ast.Gt
+    | GE, _ -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+      advance st;
+      Ast.Binop (op, left, parse_add st)
+
+and parse_add st = parse_add_chain (parse_mul st) st
+
+and parse_add_chain left st =
+  match peek st with
+  | PLUS, _ ->
+      advance st;
+      parse_add_chain (Ast.Binop (Ast.Add, left, parse_mul st)) st
+  | MINUS, _ ->
+      advance st;
+      parse_add_chain (Ast.Binop (Ast.Sub, left, parse_mul st)) st
+  | _ -> left
+
+and parse_mul st = parse_mul_chain (parse_unary st) st
+
+and parse_mul_chain left st =
+  let op =
+    match peek st with
+    | STAR, _ -> Some Ast.Mul
+    | SLASH, _ -> Some Ast.Div
+    | PERCENT, _ -> Some Ast.Mod
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+      advance st;
+      parse_mul_chain (Ast.Binop (op, left, parse_unary st)) st
+
+and parse_unary st =
+  match peek st with
+  | MINUS, _ ->
+      advance st;
+      (* Fold -k into a literal so printed negative constants round-trip. *)
+      (match parse_unary st with
+      | Ast.Int n -> Ast.Int (-n)
+      | e -> Ast.Unop (Ast.Neg, e))
+  | BANG, _ ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | INT n, _ ->
+      advance st;
+      Ast.Int n
+  | IDENT x, _ ->
+      advance st;
+      Ast.Var x
+  | LPAREN, _ ->
+      advance st;
+      let e = parse_or st in
+      expect st RPAREN "')'";
+      e
+  | KW_CHOOSE, _ ->
+      advance st;
+      expect st LPAREN "'(' after choose";
+      let rec args acc =
+        let e = parse_or st in
+        match peek st with
+        | COMMA, _ ->
+            advance st;
+            args (e :: acc)
+        | _ ->
+            expect st RPAREN "')' closing choose";
+            List.rev (e :: acc)
+      in
+      Ast.Choose (args [])
+  | _ -> fail st "expected expression"
+
+let parse_expression = parse_or
+
+(* {1 Statements} *)
+
+let rec parse_block st =
+  expect st LBRACE "'{'";
+  let rec stmts acc =
+    match peek st with
+    | RBRACE, _ ->
+        advance st;
+        Ast.seq (List.rev acc)
+    | EOF, _ -> fail st "unterminated block"
+    | _ -> stmts (parse_statement st :: acc)
+  in
+  stmts []
+
+and parse_statement st =
+  match peek st with
+  | KW_SKIP, _ ->
+      advance st;
+      expect st SEMI "';'";
+      Ast.Skip
+  | KW_NOP, _ ->
+      advance st;
+      let k = match peek st with INT n, _ -> advance st; n | _ -> 1 in
+      expect st SEMI "';'";
+      if k < 1 then fail st "nop count must be >= 1";
+      Ast.Nop k
+  | KW_LOCAL, _ ->
+      advance st;
+      let x = expect_ident st "local variable name" in
+      expect st ASSIGN "'='";
+      let e = parse_expression st in
+      expect st SEMI "';'";
+      Ast.Local_decl (x, e)
+  | KW_IF, _ ->
+      advance st;
+      expect st LPAREN "'('";
+      let c = parse_expression st in
+      expect st RPAREN "')'";
+      let then_branch = parse_block st in
+      let else_branch =
+        match peek st with
+        | KW_ELSE, _ -> (
+            advance st;
+            match peek st with
+            | KW_IF, _ -> parse_statement st
+            | _ -> parse_block st)
+        | _ -> Ast.Skip
+      in
+      Ast.If (c, then_branch, else_branch)
+  | KW_WHILE, _ ->
+      advance st;
+      expect st LPAREN "'('";
+      let c = parse_expression st in
+      expect st RPAREN "')'";
+      Ast.While (c, parse_block st)
+  | KW_LOCK, _ ->
+      advance st;
+      let l = expect_ident st "lock name" in
+      expect st SEMI "';'";
+      Ast.Lock l
+  | KW_UNLOCK, _ ->
+      advance st;
+      let l = expect_ident st "lock name" in
+      expect st SEMI "';'";
+      Ast.Unlock l
+  | KW_SYNC, _ ->
+      advance st;
+      expect st LPAREN "'('";
+      let l = expect_ident st "lock name" in
+      expect st RPAREN "')'";
+      Ast.Sync (l, parse_block st)
+  | KW_WAIT, _ ->
+      advance st;
+      let c = expect_ident st "condition name" in
+      expect st SEMI "';'";
+      Ast.Wait c
+  | KW_NOTIFY, _ ->
+      advance st;
+      let c = expect_ident st "condition name" in
+      expect st SEMI "';'";
+      Ast.Notify c
+  | KW_SPAWN, _ ->
+      advance st;
+      let t = expect_ident st "thread name" in
+      expect st SEMI "';'";
+      Ast.Spawn t
+  | KW_JOIN, _ ->
+      advance st;
+      let t = expect_ident st "thread name" in
+      expect st SEMI "';'";
+      Ast.Join t
+  | IDENT x, _ ->
+      advance st;
+      expect st ASSIGN "'=' in assignment";
+      let e = parse_expression st in
+      expect st SEMI "';'";
+      Ast.Assign (x, e)
+  | _ -> fail st "expected statement"
+
+(* {1 Programs} *)
+
+let parse_shared_decls st =
+  let rec sections acc =
+    match peek st with
+    | KW_SHARED, _ ->
+        advance st;
+        let rec decls acc =
+          let x = expect_ident st "shared variable name" in
+          expect st ASSIGN "'='";
+          let v = expect_int st "initial value" in
+          let acc = (x, v) :: acc in
+          match peek st with
+          | COMMA, _ ->
+              advance st;
+              decls acc
+          | _ ->
+              expect st SEMI "';'";
+              acc
+        in
+        sections (decls acc)
+    | _ -> List.rev acc
+  in
+  sections []
+
+let parse_threads st =
+  let rec go acc =
+    match peek st with
+    | KW_THREAD, _ ->
+        advance st;
+        let tname = expect_ident st "thread name" in
+        let body = parse_block st in
+        go (Ast.{ tname; body } :: acc)
+    | EOF, _ ->
+        if acc = [] then fail st "program must declare at least one thread";
+        List.rev acc
+    | _ -> fail st "expected 'thread' or end of input"
+  in
+  go []
+
+let run_parser f src =
+  let st = { toks = Lexer.tokenize src } in
+  let result = f st in
+  (match peek st with EOF, _ -> () | _ -> fail st "trailing input");
+  result
+
+let parse_program src =
+  run_parser
+    (fun st ->
+      let shared = parse_shared_decls st in
+      let threads = parse_threads st in
+      Ast.{ shared; threads })
+    src
+
+let parse_expr src = run_parser parse_expression src
+
+let parse_stmt src =
+  run_parser
+    (fun st ->
+      let rec stmts acc =
+        match peek st with
+        | EOF, _ -> Ast.seq (List.rev acc)
+        | _ -> stmts (parse_statement st :: acc)
+      in
+      stmts [])
+    src

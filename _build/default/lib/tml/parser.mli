@@ -1,0 +1,38 @@
+(** Recursive-descent parser for TML concrete syntax.
+
+    Grammar (EBNF; [*] repetition, [?] option):
+    {v
+    program   ::= shared* thread+
+    shared    ::= "shared" decl ("," decl)* ";"
+    decl      ::= ident "=" "-"? int
+    thread    ::= "thread" ident block
+    block     ::= "{" stmt* "}"
+    stmt      ::= "skip" ";" | "nop" int? ";"
+                | ident "=" expr ";" | "local" ident "=" expr ";"
+                | "if" "(" expr ")" block ("else" (block | if-stmt))?
+                | "while" "(" expr ")" block
+                | "lock" ident ";" | "unlock" ident ";"
+                | "sync" "(" ident ")" block
+                | "wait" ident ";" | "notify" ident ";"
+    expr      ::= or
+    or        ::= and ("||" and)*
+    and       ::= cmp ("&&" cmp)*
+    cmp       ::= add (("=="|"!="|"<"|"<="|">"|">=") add)?
+    add       ::= mul (("+"|"-") mul)*
+    mul       ::= unary (("*"|"/"|"%") unary)*
+    unary     ::= ("-"|"!") unary | atom
+    atom      ::= int | ident | "(" expr ")"
+                | "choose" "(" expr ("," expr)* ")"
+    v} *)
+
+exception Error of string * Lexer.pos
+
+val parse_program : string -> Ast.program
+(** @raise Error on syntax errors, with the offending position.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a standalone expression (must consume all input). *)
+
+val parse_stmt : string -> Ast.stmt
+(** Parses a standalone statement sequence (must consume all input). *)

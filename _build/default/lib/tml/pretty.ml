@@ -1,0 +1,90 @@
+open Ast
+
+let unop_symbol = function Neg -> "-" | Not -> "!"
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+(* Precedence levels, higher binds tighter; mirrors Parser. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let unary_prec = 6
+
+let pp_unop ppf op = Format.pp_print_string ppf (unop_symbol op)
+let pp_binop ppf op = Format.pp_print_string ppf (binop_symbol op)
+
+let rec pp_expr_prec prec ppf = function
+  | Int n ->
+      if n < 0 && prec >= unary_prec then Format.fprintf ppf "(%d)" n
+      else Format.pp_print_int ppf n
+  | Var x -> Format.pp_print_string ppf x
+  | Unop (op, e) ->
+      let body ppf () = Format.fprintf ppf "%s%a" (unop_symbol op) (pp_expr_prec unary_prec) e in
+      if prec > unary_prec then Format.fprintf ppf "(%a)" body () else body ppf ()
+  | Binop (op, a, b) ->
+      let p = binop_prec op in
+      (* Comparison operators are non-associative in the grammar; all
+         other binary operators parse left-associatively, so the right
+         operand needs a strictly higher level. *)
+      let left_prec = match op with Eq | Ne | Lt | Le | Gt | Ge -> p + 1 | _ -> p in
+      let body ppf () =
+        Format.fprintf ppf "%a %s %a" (pp_expr_prec left_prec) a (binop_symbol op)
+          (pp_expr_prec (p + 1)) b
+      in
+      if prec > p then Format.fprintf ppf "(%a)" body () else body ppf ()
+  | Choose es ->
+      Format.fprintf ppf "choose(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_expr_prec 0))
+        es
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let rec pp_stmt ppf = function
+  | Skip -> Format.fprintf ppf "skip;"
+  | Nop 1 -> Format.fprintf ppf "nop;"
+  | Nop k -> Format.fprintf ppf "nop %d;" k
+  | Assign (x, e) -> Format.fprintf ppf "@[<h>%s = %a;@]" x pp_expr e
+  | Local_decl (x, e) -> Format.fprintf ppf "@[<h>local %s = %a;@]" x pp_expr e
+  | Seq ss ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf ss
+  | If (c, a, Skip) -> Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_stmt a
+  | If (c, a, b) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c
+        pp_stmt a pp_stmt b
+  | While (c, b) -> Format.fprintf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_stmt b
+  | Lock l -> Format.fprintf ppf "lock %s;" l
+  | Unlock l -> Format.fprintf ppf "unlock %s;" l
+  | Sync (l, b) -> Format.fprintf ppf "@[<v 2>sync (%s) {@,%a@]@,}" l pp_stmt b
+  | Wait c -> Format.fprintf ppf "wait %s;" c
+  | Notify c -> Format.fprintf ppf "notify %s;" c
+  | Spawn t -> Format.fprintf ppf "spawn %s;" t
+  | Join t -> Format.fprintf ppf "join %s;" t
+
+let pp_shared ppf shared =
+  if shared <> [] then
+    Format.fprintf ppf "@[<h>shared %a;@]@,"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (x, v) -> Format.fprintf ppf "%s = %d" x v))
+      shared
+
+let pp_thread ppf { tname; body } =
+  Format.fprintf ppf "@[<v 2>thread %s {@,%a@]@,}" tname pp_stmt body
+
+let pp_program ppf { shared; threads } =
+  Format.fprintf ppf "@[<v>%a%a@]" pp_shared shared
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_thread)
+    threads
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let stmt_to_string s = Format.asprintf "%a" pp_stmt s
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,1 @@
+lib/trace/causality.ml: Array Event Exec List String

@@ -1,0 +1,1 @@
+lib/trace/causality.mli: Event Exec Types

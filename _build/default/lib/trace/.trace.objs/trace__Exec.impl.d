@@ -1,0 +1,1 @@
+lib/trace/exec.ml: Array Event Format List Set String Types

@@ -1,0 +1,1 @@
+lib/trace/exec.mli: Event Format Types

@@ -1,0 +1,1 @@
+lib/trace/message.ml: Format Stdlib Types Vclock

@@ -1,0 +1,1 @@
+lib/trace/message.mli: Format Types Vclock

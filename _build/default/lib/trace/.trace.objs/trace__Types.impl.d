@@ -1,0 +1,1 @@
+lib/trace/types.ml: Format String

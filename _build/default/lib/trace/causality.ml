@@ -1,0 +1,81 @@
+type t = { exec : Exec.t; reach : bool array array }
+
+(* reach.(a).(b) iff event a strictly causally precedes event b. *)
+
+let compute exec =
+  let r = Exec.length exec in
+  let evs = Exec.events exec in
+  let reach = Array.init r (fun _ -> Array.make r false) in
+  (* Direct edges. Observed order means a < b implies evs.(a) occurs
+     before evs.(b), so only pairs a < b need be considered. *)
+  for b = 0 to r - 1 do
+    for a = 0 to b - 1 do
+      let ea = evs.(a) and eb = evs.(b) in
+      let program_order = ea.Event.tid = eb.Event.tid in
+      let variable_conflict =
+        match (Event.variable ea, Event.variable eb) with
+        | Some x, Some y ->
+            String.equal x y && (Event.is_write ea || Event.is_write eb)
+        | _ -> false
+      in
+      if program_order || variable_conflict then reach.(a).(b) <- true
+    done
+  done;
+  (* Transitive closure; edges only go forward in observed order, so a
+     single ascending sweep closes the relation. *)
+  for b = 0 to r - 1 do
+    for a = 0 to b - 1 do
+      if reach.(a).(b) then
+        for c = b + 1 to r - 1 do
+          if reach.(b).(c) then reach.(a).(c) <- true
+        done
+    done
+  done;
+  { exec; reach }
+
+let check_bounds c eid =
+  if eid < 0 || eid >= Exec.length c.exec then invalid_arg "Causality: event id out of bounds"
+
+let precedes c a b =
+  check_bounds c a;
+  check_bounds c b;
+  c.reach.(a).(b)
+
+let concurrent c a b = a <> b && (not (precedes c a b)) && not (precedes c b a)
+
+let relevant_precedes c ~relevant a b =
+  relevant (Exec.event c.exec a) && relevant (Exec.event c.exec b) && precedes c a b
+
+let check_partial_order c =
+  let r = Exec.length c.exec in
+  let ok = ref true in
+  for a = 0 to r - 1 do
+    if c.reach.(a).(a) then ok := false;
+    for b = 0 to r - 1 do
+      if c.reach.(a).(b) then
+        for d = 0 to r - 1 do
+          if c.reach.(b).(d) && not c.reach.(a).(d) then ok := false
+        done
+    done
+  done;
+  !ok
+
+let predecessors c eid =
+  check_bounds c eid;
+  let acc = ref [] in
+  for a = Exec.length c.exec - 1 downto 0 do
+    if c.reach.(a).(eid) then acc := a :: !acc
+  done;
+  !acc
+
+let downset_count c ~relevant eid j =
+  check_bounds c eid;
+  let e = Exec.event c.exec eid in
+  let count = ref 0 in
+  let consider a =
+    let ea = Exec.event c.exec a in
+    if ea.Event.tid = j && relevant ea then incr count
+  in
+  List.iter consider (predecessors c eid);
+  if e.Event.tid = j && relevant e then incr count;
+  !count

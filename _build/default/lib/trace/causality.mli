@@ -1,0 +1,40 @@
+(** Brute-force computation of the causal partial order [≺] of a recorded
+    execution (paper, Section 2.2) and of the relevant causality
+    [⊳ = ≺ ∩ (R × R)] (Section 2.3).
+
+    This module materializes the full transitive closure in O(r³) time and
+    O(r²) space and is intended as the {e ground-truth oracle} for testing
+    Algorithm A (which computes the same relation online in O(r·n)); it is
+    not used on the hot path. *)
+
+type t
+
+val compute : Exec.t -> t
+(** Builds [≺] from its definition:
+    - [e{^k}{_i} ≺ e{^l}{_i}] when [k < l] (program order);
+    - [e ≺ e'] when both access the same variable, at least one is a
+      write, and [e] occurs first (access order);
+    - transitive closure of the above. *)
+
+val precedes : t -> int -> int -> bool
+(** [precedes c eid eid'] iff the event with id [eid] strictly causally
+    precedes the one with id [eid']. Irreflexive. *)
+
+val concurrent : t -> int -> int -> bool
+(** [e || e']: neither precedes the other and they are distinct. *)
+
+val relevant_precedes : t -> relevant:(Event.t -> bool) -> int -> int -> bool
+(** The relation [⊳]: both events relevant and [precedes]. *)
+
+val check_partial_order : t -> bool
+(** Sanity: irreflexivity and transitivity of the closed relation. *)
+
+val predecessors : t -> int -> int list
+(** Event ids strictly preceding the given event, ascending. *)
+
+val downset_count : t -> relevant:(Event.t -> bool) -> int -> Types.tid -> int
+(** [downset_count c ~relevant eid j] is the number of relevant events of
+    thread [j] that causally precede event [eid], {e including} [eid]
+    itself when it is a relevant event of thread [j] — i.e. the value
+    requirement (a) of the paper prescribes for [V_i\[j\]] right after the
+    event is processed. *)

@@ -1,0 +1,17 @@
+type tid = int
+type var = string
+type value = int
+
+let lock_prefix = "#lock:"
+let notify_prefix = "#notify:"
+let lock_var l = lock_prefix ^ l
+let notify_var c = notify_prefix ^ c
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_sync_var x = has_prefix ~prefix:lock_prefix x || has_prefix ~prefix:notify_prefix x
+let is_data_var x = not (is_sync_var x)
+let pp_tid ppf i = Format.fprintf ppf "T%d" i
+let pp_var = Format.pp_print_string

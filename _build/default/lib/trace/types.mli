@@ -1,0 +1,36 @@
+(** Shared primitive types of the whole system.
+
+    Threads are numbered [0 .. nthreads-1]. Shared variables are named by
+    strings. Synchronization objects (locks, condition variables) are
+    lowered to writes of {e dummy shared variables} (paper, Section 3.1);
+    dummy variables live in a reserved namespace so that analyses can
+    distinguish them from program data. *)
+
+type tid = int
+(** Thread identifier, [0]-based. *)
+
+type var = string
+(** Shared-variable name. *)
+
+type value = int
+(** All TML values are integers; booleans are [0]/[1]. *)
+
+val lock_var : string -> var
+(** [lock_var l] is the dummy shared variable standing for lock [l]:
+    acquiring or releasing [l] is instrumented as a write of this
+    variable (paper, Section 3.1). *)
+
+val notify_var : string -> var
+(** Dummy variable written by notifier and woken waiter of a condition
+    variable, creating the expected happens-before edge. *)
+
+val is_sync_var : var -> bool
+(** True for variables created by {!lock_var} or {!notify_var}. *)
+
+val is_data_var : var -> bool
+(** Negation of {!is_sync_var}. *)
+
+val pp_tid : Format.formatter -> tid -> unit
+(** Prints as [T0], [T1], ... *)
+
+val pp_var : Format.formatter -> var -> unit

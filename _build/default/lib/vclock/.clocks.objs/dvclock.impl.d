@@ -1,0 +1,1 @@
+lib/vclock/dvclock.ml: Array Format Int List Map Stdlib Vclock

@@ -1,0 +1,1 @@
+lib/vclock/dvclock.mli: Format Vclock

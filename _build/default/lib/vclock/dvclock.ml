@@ -1,0 +1,57 @@
+module Imap = Map.Make (Int)
+
+(* Invariant: no zero entries are stored, so structural equality of the
+   maps is clock equality. *)
+type t = int Imap.t
+
+let empty = Imap.empty
+
+let check_id i = if i < 0 then invalid_arg "Dvclock: negative thread id"
+
+let get v i =
+  check_id i;
+  match Imap.find_opt i v with Some k -> k | None -> 0
+
+let set v i k =
+  check_id i;
+  if k < 0 then invalid_arg "Dvclock.set: negative count";
+  if k = 0 then Imap.remove i v else Imap.add i k v
+
+let inc v i = set v i (get v i + 1)
+
+let max a b =
+  Imap.union (fun _ x y -> Some (Stdlib.max x y)) a b
+
+let leq a b = Imap.for_all (fun i k -> k <= get b i) a
+let equal = Imap.equal Int.equal
+let lt a b = leq a b && not (equal a b)
+let compare = Imap.compare Int.compare
+let concurrent a b = (not (leq a b)) && not (leq b a)
+let support v = List.map fst (Imap.bindings v)
+let sum v = Imap.fold (fun _ k acc -> acc + k) v 0
+
+let of_list l = List.fold_left (fun v (i, k) -> set v i k) empty l
+let to_list v = Imap.bindings v
+
+let of_vclock vc =
+  let v = ref empty in
+  for i = 0 to Vclock.dim vc - 1 do
+    v := set !v i (Vclock.get vc i)
+  done;
+  !v
+
+let to_vclock ~dim v =
+  List.iter
+    (fun (i, _) ->
+      if i >= dim then invalid_arg "Dvclock.to_vclock: entry beyond dimension")
+    (to_list v);
+  Vclock.of_array (Array.init dim (get v))
+
+let pp ppf v =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (i, k) -> Format.fprintf ppf "%d:%d" i k))
+    (to_list v)
+
+let to_string v = Format.asprintf "%a" pp v

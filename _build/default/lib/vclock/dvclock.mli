@@ -1,0 +1,46 @@
+(** Sparse (dynamic-dimension) vector clocks.
+
+    The paper fixes the number of threads but notes (Section 2) that the
+    technique "can be easily extended to systems consisting of a variable
+    number of threads, where these can be dynamically created and/or
+    destroyed". A sparse clock maps thread ids to counts, with absent
+    entries reading 0, so the dimension never needs declaring: spawning a
+    thread simply starts using its id. *)
+
+type t
+
+val empty : t
+(** The zero clock of any dimension. *)
+
+val get : t -> int -> int
+(** Absent ids read 0.
+    @raise Invalid_argument on a negative id. *)
+
+val set : t -> int -> int -> t
+(** @raise Invalid_argument on negative id or count. *)
+
+val inc : t -> int -> t
+val max : t -> t -> t
+val leq : t -> t -> bool
+val lt : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val concurrent : t -> t -> bool
+
+val support : t -> int list
+(** Thread ids with nonzero count, ascending. *)
+
+val sum : t -> int
+
+val of_list : (int * int) list -> t
+val to_list : t -> (int * int) list
+(** Nonzero entries, ascending by id. *)
+
+val of_vclock : Vclock.t -> t
+val to_vclock : dim:int -> t -> Vclock.t
+(** @raise Invalid_argument if some entry's id is [>= dim]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0:2, 3:1}]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Array Dsim Event Exec List Mvc Printf QCheck QCheck_alcotest String Tml Trace Vclock

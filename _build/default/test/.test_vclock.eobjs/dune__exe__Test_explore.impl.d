@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Explore Instrument Interp List Parser Programs Sched Tml Vm

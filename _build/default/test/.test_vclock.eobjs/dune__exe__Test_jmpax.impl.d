@@ -1,0 +1,1 @@
+test/test_jmpax.ml: Alcotest Filename Fun Jmpax List Mvc Observer Option Pastltl Predict Printf Scanf String Sys Tml Trace Vclock

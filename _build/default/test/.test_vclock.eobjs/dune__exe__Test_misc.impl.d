@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Dvclock Event Exec Format Jmpax List Message Mvc Observer Pastltl Predict String Tml Trace Types Vclock

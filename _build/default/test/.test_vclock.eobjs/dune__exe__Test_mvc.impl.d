@@ -1,0 +1,1 @@
+test/test_mvc.ml: Alcotest Array Causality Dvclock Event Exec Hashtbl List Message Mvc Option Printf QCheck QCheck_alcotest String Tml Trace Types Vclock

@@ -1,0 +1,1 @@
+test/test_observer.ml: Alcotest Array Format List Message Mvc Observer Pastltl Printf Set String Tml Trace

@@ -1,0 +1,1 @@
+test/test_pastltl.ml: Alcotest Array Fmt Format Formula Fparser Fsm List Monitor Pastltl Patterns Predicate Printf QCheck QCheck_alcotest Semantics State

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Format List Message Mvc Observer Option Pastltl Predict Tml Trace

@@ -1,0 +1,1 @@
+test/test_tml_parser.ml: Alcotest Ast Bytecode Compile Fmt Instrument Lexer List Parser Pretty Printf Programs QCheck QCheck_alcotest Result String Tml Trace Typecheck

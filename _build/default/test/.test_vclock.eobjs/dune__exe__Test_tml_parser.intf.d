@@ -1,0 +1,1 @@
+test/test_tml_parser.mli:

@@ -1,0 +1,1 @@
+test/test_tml_vm.ml: Alcotest Array Ast Compile Desugar Explore Instrument Interp List Option Parser Predict Printf Programs Result Sched String Tml Trace Typecheck Vm

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Causality Event Exec List Printf QCheck QCheck_alcotest String Trace Types

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Array Dvclock List QCheck QCheck_alcotest String Vclock

@@ -1,0 +1,119 @@
+(* Tests for exhaustive schedule exploration. *)
+
+open Tml
+
+let parse = Parser.parse_program
+
+let test_single_thread_single_run () =
+  let explored = Explore.all_program_runs (parse {| shared x = 0; thread t { x = 1; x = 2; } |}) in
+  Alcotest.(check bool) "complete" true explored.Explore.complete;
+  Alcotest.(check int) "one run" 1 (List.length explored.Explore.runs)
+
+let test_two_independent_events () =
+  (* One observable event per thread: exactly 2 interleavings. *)
+  let explored =
+    Explore.all_program_runs (parse {| shared x = 0, y = 0; thread a { x = 1; } thread b { y = 1; } |})
+  in
+  Alcotest.(check int) "two runs" 2 (List.length explored.Explore.runs)
+
+let test_interleaving_count_grid () =
+  (* Two threads, 2 constant writes each: C(4,2) = 6 interleavings. *)
+  let explored =
+    Explore.all_program_runs
+      (parse {| shared x = 0, y = 0; thread a { x = 1; x = 2; } thread b { y = 1; y = 2; } |})
+  in
+  Alcotest.(check int) "binomial(4,2)" 6 (List.length explored.Explore.runs)
+
+let test_choose_branches_explored () =
+  let explored =
+    Explore.all_program_runs (parse {| shared x = 0; thread t { x = choose(1, 2, 3); } |})
+  in
+  Alcotest.(check int) "three runs" 3 (List.length explored.Explore.runs);
+  let finals =
+    List.map (fun (_, r) -> List.assoc "x" r.Vm.final) explored.Explore.runs
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "all branches" [ 1; 2; 3 ] finals
+
+let test_scripts_are_distinct_and_replayable () =
+  let program = Programs.racy_counter ~increments:1 in
+  let image = Instrument.instrument_program program in
+  let explored = Explore.all_program_runs program in
+  let scripts = List.map fst explored.Explore.runs in
+  Alcotest.(check int) "scripts unique" (List.length scripts)
+    (List.length (List.sort_uniq compare scripts));
+  (* Each script replays to the same final state. *)
+  List.iter
+    (fun (script, (r : Vm.run_result)) ->
+      let r' = Vm.run_image ~sched:(Sched.of_script script) image in
+      Alcotest.(check (list (pair string int))) "replay matches" r.Vm.final r'.Vm.final)
+    explored.Explore.runs
+
+let test_max_runs_truncates () =
+  let explored =
+    Explore.all_program_runs ~max_runs:3 (Programs.racy_counter ~increments:2)
+  in
+  Alcotest.(check bool) "truncated" false explored.Explore.complete;
+  Alcotest.(check int) "kept three" 3 (List.length explored.Explore.runs)
+
+let test_landing_bounded_outcomes () =
+  let explored = Explore.all_program_runs Programs.landing_bounded in
+  Alcotest.(check bool) "complete" true explored.Explore.complete;
+  Alcotest.(check bool) "all complete" true
+    (List.for_all (fun (_, r) -> r.Vm.outcome = Vm.Completed) explored.Explore.runs);
+  (* The landing flag ends at 1 unless the radio-off write lands before
+     the approval test. *)
+  let finals =
+    List.map (fun (_, r) -> List.assoc "landing" r.Vm.final) explored.Explore.runs
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "both landing outcomes occur" [ 0; 1 ] finals
+
+let test_bank_transfer_deadlocks_somewhere () =
+  let explored = Explore.all_program_runs Programs.bank_transfer in
+  let outcomes = Explore.count_outcomes explored in
+  let deadlocks =
+    List.filter (fun (o, _) -> match o with Vm.Deadlocked _ -> true | _ -> false) outcomes
+  in
+  Alcotest.(check bool) "some schedule deadlocks" true (deadlocks <> []);
+  Alcotest.(check bool) "some schedule completes" true
+    (List.mem_assoc Vm.Completed outcomes);
+  (* Completed runs conserve money. *)
+  List.iter
+    (fun (_, (r : Vm.run_result)) ->
+      if r.Vm.outcome = Vm.Completed then
+        Alcotest.(check int) "conservation" 200
+          (List.assoc "acct_a" r.Vm.final + List.assoc "acct_b" r.Vm.final))
+    explored.Explore.runs
+
+let test_explore_interp_agrees () =
+  (* Exploring the interpreter yields the same multiset of final states
+     as exploring the VM. *)
+  let program = Programs.dekker_sketch in
+  let vm_runs = Explore.all_program_runs program in
+  let interp_runs =
+    Explore.explore
+      ~run:(fun ~sched -> Interp.run_program ~sched program)
+      ()
+  in
+  let finals ex =
+    List.map (fun (_, r) -> r.Vm.final) ex.Explore.runs |> List.sort compare
+  in
+  Alcotest.(check int) "same run count" (List.length vm_runs.Explore.runs)
+    (List.length interp_runs.Explore.runs);
+  Alcotest.(check bool) "same final multiset" true (finals vm_runs = finals interp_runs)
+
+let () =
+  Alcotest.run "explore"
+    [ ( "exploration",
+        [ Alcotest.test_case "single thread" `Quick test_single_thread_single_run;
+          Alcotest.test_case "two independent events" `Quick test_two_independent_events;
+          Alcotest.test_case "grid count" `Quick test_interleaving_count_grid;
+          Alcotest.test_case "choose branches" `Quick test_choose_branches_explored;
+          Alcotest.test_case "scripts distinct and replayable" `Quick
+            test_scripts_are_distinct_and_replayable;
+          Alcotest.test_case "max_runs truncates" `Quick test_max_runs_truncates;
+          Alcotest.test_case "landing outcomes" `Quick test_landing_bounded_outcomes;
+          Alcotest.test_case "bank transfer deadlocks" `Quick
+            test_bank_transfer_deadlocks_somewhere;
+          Alcotest.test_case "interpreter agrees" `Quick test_explore_interp_agrees ] ) ]

@@ -1,0 +1,475 @@
+(* Tests for the TML virtual machine and the reference interpreter:
+   semantics of expressions/statements, synchronization, error handling,
+   scheduling, and the VM-vs-interpreter differential under identical
+   recorded schedules. *)
+
+open Tml
+
+let parse = Parser.parse_program
+let rr () = Sched.round_robin ()
+
+let run_src ?fuel ?sched src =
+  let sched = match sched with Some s -> s | None -> rr () in
+  Vm.run_program ?fuel ~sched (parse src)
+
+let final_of result = result.Vm.final
+
+let check_completed msg (r : Vm.run_result) =
+  Alcotest.(check bool) (msg ^ ": completed") true (r.Vm.outcome = Vm.Completed)
+
+(* {1 Sequential semantics} *)
+
+let test_arithmetic () =
+  let r =
+    run_src
+      {| shared a = 0, b = 0, c = 0, d = 0, e = 0;
+         thread t {
+           a = 7 + 3 * 2;
+           b = (7 - 10) / 2;
+           c = 17 % 5;
+           d = -a;
+           e = 0 - 3 % 2;
+         } |}
+  in
+  check_completed "arithmetic" r;
+  Alcotest.(check (list (pair string int))) "values"
+    [ ("a", 13); ("b", -1); ("c", 2); ("d", -13); ("e", -1) ]
+    (final_of r)
+
+let test_comparisons_and_logic () =
+  let r =
+    run_src
+      {| shared a = 0, b = 0, c = 0, d = 0, e = 0, f = 0;
+         thread t {
+           a = 1 < 2;
+           b = 2 <= 1;
+           c = 3 == 3 && 4 != 4;
+           d = 0 || 7;
+           e = !5;
+           f = !0;
+         } |}
+  in
+  check_completed "logic" r;
+  Alcotest.(check (list (pair string int))) "values"
+    [ ("a", 1); ("b", 0); ("c", 0); ("d", 1); ("e", 0); ("f", 1) ]
+    (final_of r)
+
+let test_short_circuit () =
+  (* The right operand of && must not be evaluated when the left is
+     false: evaluating it would divide by zero. *)
+  let r =
+    run_src
+      {| shared a = 0, zero = 0;
+         thread t { a = 0 && 1 / zero; } |}
+  in
+  check_completed "short circuit" r;
+  Alcotest.(check (list (pair string int))) "no division" [ ("a", 0); ("zero", 0) ]
+    (final_of r)
+
+let test_if_while () =
+  let r =
+    run_src
+      {| shared s = 0;
+         thread t {
+           local i = 0;
+           while (i < 5) {
+             if (i % 2 == 0) { s = s + i; }
+             i = i + 1;
+           }
+         } |}
+  in
+  check_completed "if/while" r;
+  Alcotest.(check (list (pair string int))) "sum of evens" [ ("s", 6) ] (final_of r)
+
+let test_locals_are_private () =
+  let r =
+    run_src
+      {| shared out0 = 0, out1 = 0;
+         thread t0 { local v = 10; nop 3; out0 = v; }
+         thread t1 { local v = 20; nop 3; out1 = v; } |}
+  in
+  check_completed "locals" r;
+  Alcotest.(check (list (pair string int))) "no interference"
+    [ ("out0", 10); ("out1", 20) ] (final_of r)
+
+(* {1 Runtime errors} *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let outcome_is_error (r : Vm.run_result) msg_fragment =
+  match r.Vm.outcome with
+  | Vm.Runtime_error { message; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S (got %S)" msg_fragment message)
+        true
+        (contains ~needle:msg_fragment message)
+  | o -> Alcotest.failf "expected runtime error, got %a" Vm.pp_outcome o
+
+let test_division_by_zero () =
+  let r = run_src {| shared a = 0, zero = 0; thread t { a = 1 / zero; } |} in
+  outcome_is_error r "division by zero"
+
+let test_modulo_by_zero () =
+  let r = run_src {| shared a = 0, zero = 0; thread t { a = 1 % zero; } |} in
+  outcome_is_error r "modulo by zero"
+
+let test_unlock_not_held () =
+  let r = run_src {| thread t { unlock m; } |} in
+  outcome_is_error r "not held"
+
+let test_silent_loop_detected () =
+  let r = run_src {| thread t { local i = 1; while (i) { skip; } } |} in
+  outcome_is_error r "silent instruction budget"
+
+(* {1 Scheduling and outcomes} *)
+
+let test_fuel_exhaustion () =
+  let r = run_src ~fuel:10 {| shared x = 1; thread t { while (x) { x = 1; } } |} in
+  Alcotest.(check bool) "fuel exhausted" true (r.Vm.outcome = Vm.Fuel_exhausted);
+  Alcotest.(check int) "steps equal fuel" 10 r.Vm.steps
+
+let test_deadlock_two_locks () =
+  (* Force the interleaving that deadlocks bank_transfer: T0 takes la,
+     T1 takes lb, then both block. *)
+  let script = Sched.[ Pick 0; Pick 1 ] in
+  let image = Instrument.instrument_program Programs.bank_transfer in
+  let r = Vm.run_image ~sched:(Sched.of_script script) image in
+  (match r.Vm.outcome with
+  | Vm.Deadlocked tids -> Alcotest.(check (list int)) "both threads blocked" [ 0; 1 ] tids
+  | o -> Alcotest.failf "expected deadlock, got %a" Vm.pp_outcome o);
+  (* The ordered variant cannot deadlock under any schedule. *)
+  let explored = Explore.all_program_runs Programs.bank_transfer_ordered in
+  Alcotest.(check bool) "ordered variant never deadlocks" true
+    (List.for_all (fun (_, r) -> r.Vm.outcome = Vm.Completed) explored.Explore.runs)
+
+let test_lock_mutual_exclusion () =
+  (* With the lock, no update is lost under any seed. *)
+  List.iter
+    (fun seed ->
+      let r =
+        Vm.run_program ~sched:(Sched.random ~seed) (Programs.locked_counter ~increments:4)
+      in
+      check_completed "locked counter" r;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "seed %d: all increments kept" seed)
+        [ ("counter", 8) ] (final_of r))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_racy_counter_loses_updates () =
+  (* Some schedule loses an update; exhaustive exploration must find a
+     final counter below the maximum. *)
+  let explored = Explore.all_program_runs (Programs.racy_counter ~increments:1) in
+  let finals =
+    List.map
+      (fun (_, r) -> List.assoc "counter" r.Vm.final)
+      explored.Explore.runs
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "both 1 (lost update) and 2 occur" [ 1; 2 ] finals
+
+let test_reentrant_lock () =
+  let r =
+    run_src
+      {| shared a = 0;
+         thread t { sync (m) { sync (m) { a = 1; } } } |}
+  in
+  check_completed "reentrant sync" r;
+  Alcotest.(check (list (pair string int))) "body ran" [ ("a", 1) ] (final_of r)
+
+let test_lock_blocks_other_thread () =
+  (* T0 holds m; T1 must not be runnable at its acquire. *)
+  let image =
+    Instrument.instrument_program
+      (parse {| shared a = 0; thread t0 { lock m; a = 1; unlock m; }
+                thread t1 { lock m; a = 2; unlock m; } |})
+  in
+  let vm = Vm.create ~sched:(rr ()) image in
+  Vm.step vm 0 (* t0 acquires m *);
+  Alcotest.(check (list int)) "t1 blocked" [ 0 ] (Vm.runnable vm);
+  Vm.step vm 0 (* a = 1, a constant store *);
+  Vm.step vm 0 (* unlock m; t0 then settles onto Halt *);
+  Alcotest.(check (list int)) "t1 unblocked after release" [ 1 ] (Vm.runnable vm)
+
+let test_wait_notify () =
+  let r = Vm.run_program ~sched:(rr ()) (Programs.producer_consumer ~items:3) in
+  check_completed "producer/consumer" r;
+  Alcotest.(check (list (pair string int))) "buffer drained"
+    [ ("buf", 0); ("full", 0) ] (final_of r)
+
+let test_notify_without_waiter_is_lost () =
+  (* t1 parks on its wait only when its settle reaches it; the leading
+     nop delays that until after t0's notify, so the notification is
+     lost and t1 waits forever — as in Java. *)
+  let src =
+    {| shared a = 0;
+       thread t0 { notify c; a = 1; }
+       thread t1 { nop; wait c; a = 2; } |}
+  in
+  let r =
+    Vm.run_image
+      ~sched:(Sched.of_script Sched.[ Pick 0; Pick 0; Pick 1 ])
+      (Instrument.instrument_program (parse src))
+  in
+  match r.Vm.outcome with
+  | Vm.Deadlocked [ 1 ] -> ()
+  | o -> Alcotest.failf "expected t1 deadlocked, got %a" Vm.pp_outcome o
+
+let test_notify_wakes_all_waiters () =
+  (* Distinct target variables: a shared counter would race between the
+     two woken threads and lose an update. *)
+  let src =
+    {| shared a1 = 0, a2 = 0;
+       thread w1 { wait c; a1 = 1; }
+       thread w2 { wait c; a2 = 1; }
+       thread n  { nop; notify c; } |}
+  in
+  let r = Vm.run_image ~sched:(rr ()) (Instrument.instrument_program (parse src)) in
+  check_completed "notify-all" r;
+  Alcotest.(check (list (pair string int))) "both woke" [ ("a1", 1); ("a2", 1) ] (final_of r)
+
+let test_choose_follows_scheduler () =
+  let src = {| shared a = 0; thread t { a = choose(10, 20, 30); } |} in
+  let image = Instrument.instrument_program (parse src) in
+  List.iteri
+    (fun branch expected ->
+      let r = Vm.run_image ~sched:(Sched.of_script Sched.[ Choice branch; Pick 0 ]) image in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "branch %d" branch)
+        [ ("a", expected) ] r.Vm.final)
+    [ 10; 20; 30 ]
+
+let test_step_not_runnable_rejected () =
+  let image = Instrument.instrument_program (parse {| thread t { nop; } |}) in
+  let vm = Vm.create ~sched:(rr ()) image in
+  Alcotest.check_raises "bad tid" (Invalid_argument "Vm.step: thread 3 is not runnable")
+    (fun () -> Vm.step vm 3)
+
+(* {1 Dynamic threads (spawn/join via desugaring)} *)
+
+let test_desugar_shape () =
+  let p = Programs.fork_join ~workers:2 in
+  Alcotest.(check bool) "uses dynamic threads" true (Desugar.uses_dynamic_threads p);
+  let d = Desugar.desugar p in
+  Alcotest.(check bool) "desugared is static" false (Desugar.uses_dynamic_threads d);
+  Alcotest.(check bool) "gate variables declared" true
+    (List.mem_assoc (Desugar.spawn_gate "worker0") d.Ast.shared
+    && List.mem_assoc (Desugar.join_flag "worker1") d.Ast.shared);
+  Alcotest.(check bool) "gates are sync-namespace vars" true
+    (Trace.Types.is_sync_var (Desugar.spawn_gate "worker0"));
+  let plain = parse {| shared x = 0; thread t { x = 1; } |} in
+  Alcotest.(check bool) "static program unchanged" true
+    (Ast.equal_program plain (Desugar.desugar plain))
+
+let test_spawn_orders_child_after_parent () =
+  (* The worker must see the master's pre-spawn write. *)
+  let src =
+    {| shared a = 0, b = 0;
+       thread master { a = 41; spawn worker; }
+       thread worker { b = a + 1; } |}
+  in
+  List.iter
+    (fun seed ->
+      let r = Vm.run_program ~sched:(Sched.random ~seed) (parse src) in
+      check_completed "spawn" r;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "seed %d: worker saw the write" seed)
+        [ ("a", 41); ("b", 42) ] (final_of r))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_fork_join_deterministic () =
+  (* join makes the total schedule-independent: 1 + 4 + 9 = 14. *)
+  List.iter
+    (fun seed ->
+      let r = Vm.run_program ~sched:(Sched.random ~seed) (Programs.fork_join ~workers:3) in
+      check_completed "fork/join" r;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: total" seed)
+        14
+        (List.assoc "total" r.Vm.final))
+    [ 7; 8; 9; 10; 11; 12 ]
+
+let test_spawn_typecheck () =
+  let unknown = parse {| thread t { spawn ghost; } |} in
+  Alcotest.(check bool) "unknown target rejected" true
+    (Result.is_error (Typecheck.check unknown));
+  let self = parse {| thread t { join t; } |} in
+  Alcotest.(check bool) "self join rejected" true (Result.is_error (Typecheck.check self))
+
+let test_unspawned_thread_never_runs () =
+  (* worker is dormant and nobody spawns it: the program cannot finish,
+     and the worker's effect never happens. *)
+  let src =
+    {| shared a = 0, dummy = 0;
+       thread main2 { a = 1; join worker2; }
+       thread worker2 { dummy = 9; }
+       thread igniter { spawn worker2; } |}
+  in
+  (* With the igniter present everything completes... *)
+  let r = Vm.run_program ~sched:(rr ()) (parse src) in
+  check_completed "ignited" r;
+  Alcotest.(check int) "worker ran" 9 (List.assoc "dummy" r.Vm.final);
+  (* ...without it (spawn statically present but never executed) the
+     dormant thread spins until fuel runs out. *)
+  let src_orphan =
+    {| shared dummy = 0;
+       thread main2 { if (0 == 1) { spawn worker2; } }
+       thread worker2 { dummy = 9; } |}
+  in
+  let r = Vm.run_program ~fuel:500 ~sched:(rr ()) (parse src_orphan) in
+  Alcotest.(check bool) "orphan spins" true (r.Vm.outcome = Vm.Fuel_exhausted);
+  Alcotest.(check int) "orphan never ran" 0 (List.assoc "dummy" r.Vm.final)
+
+let test_spawn_unsynchronized_races () =
+  let serial =
+    Sched.make_raw ~name:"serial"
+      ~pick_fn:(fun runnable -> List.hd runnable)
+      ~choose_fn:(fun _ -> 0)
+  in
+  let r = Vm.run_program ~sched:serial Programs.spawn_unsynchronized in
+  check_completed "spawn-unsynchronized" r;
+  let report = Predict.Race.detect (Option.get r.Vm.exec) in
+  Alcotest.(check (list string)) "cell is racy" [ "cell" ] report.Predict.Race.racy_vars;
+  (* The pre-spawn write is ordered before the worker; only the
+     post-spawn write races with it. *)
+  Alcotest.(check int) "exactly one racy pair" 1 (List.length report.Predict.Race.races)
+
+let test_philosophers () =
+  let serial =
+    Sched.make_raw ~name:"serial"
+      ~pick_fn:(fun runnable -> List.hd runnable)
+      ~choose_fn:(fun _ -> 0)
+  in
+  let r = Vm.run_program ~sched:serial (Programs.philosophers ~n:3) in
+  check_completed "philosophers serial" r;
+  Alcotest.(check int) "all ate" 3 (List.assoc "meals" r.Vm.final);
+  let report = Predict.Lockgraph.analyze (Option.get r.Vm.exec) in
+  Alcotest.(check (list (list string))) "fork cycle predicted"
+    [ [ "fork0"; "fork1"; "fork2" ] ]
+    report.Predict.Lockgraph.cycles;
+  (* Exhaustive exploration of the 2-philosopher instance finds a real
+     deadlock. *)
+  let explored = Explore.all_program_runs (Programs.philosophers ~n:2) in
+  Alcotest.(check bool) "some schedule deadlocks" true
+    (List.exists
+       (fun (_, res) ->
+         match res.Vm.outcome with Vm.Deadlocked _ -> true | _ -> false)
+       explored.Explore.runs)
+
+(* {1 Instrumentation transparency} *)
+
+let programs_pool =
+  [ ("landing", Programs.landing_bounded);
+    ("xyz", Programs.xyz);
+    ("racy", Programs.racy_counter ~increments:2);
+    ("locked", Programs.locked_counter ~increments:2);
+    ("peterson", Programs.peterson);
+    ("dekker", Programs.dekker_sketch);
+    ("producer-consumer", Programs.producer_consumer ~items:2);
+    ("pipeline", Programs.pipeline ~stages:3);
+    ("landing-full", Programs.landing_full ~rounds:2) ]
+
+let test_instrumentation_preserves_results () =
+  (* Record a schedule on the instrumented image, replay it on the plain
+     one: same outcome, same final shared state, no messages. *)
+  List.iter
+    (fun (name, program) ->
+      List.iter
+        (fun seed ->
+          let image = Compile.compile program in
+          let instrumented = Instrument.instrument image in
+          let sched, get_script = Sched.recording (Sched.random ~seed) in
+          let ri = Vm.run_image ~fuel:2_000 ~sched instrumented in
+          let rp = Vm.run_image ~fuel:2_000 ~sched:(Sched.of_script (get_script ())) image in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d: same outcome" name seed)
+            true (ri.Vm.outcome = rp.Vm.outcome);
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s seed %d: same final state" name seed)
+            ri.Vm.final rp.Vm.final;
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed %d: plain image emits nothing" name seed)
+            0
+            (List.length rp.Vm.messages))
+        [ 11; 22; 33 ])
+    programs_pool
+
+(* {1 VM vs reference interpreter differential} *)
+
+let check_differential name program seed =
+  let sched, get_script = Sched.recording (Sched.random ~seed) in
+  let rv = Vm.run_program ~fuel:2_000 ~sched program in
+  let script = get_script () in
+  let ri = Interp.run_program ~fuel:2_000 ~sched:(Sched.of_script script) program in
+  let tag fmt = Printf.sprintf "%s seed %d: %s" name seed fmt in
+  Alcotest.(check bool) (tag "same outcome") true (rv.Vm.outcome = ri.Vm.outcome);
+  Alcotest.(check (list (pair string int))) (tag "same final state") rv.Vm.final ri.Vm.final;
+  Alcotest.(check int) (tag "same steps") rv.Vm.steps ri.Vm.steps;
+  let events r =
+    match r.Vm.exec with
+    | Some e -> Array.to_list (Trace.Exec.events e)
+    | None -> []
+  in
+  Alcotest.(check bool) (tag "same event sequence") true
+    (List.equal Trace.Event.equal (events rv) (events ri));
+  Alcotest.(check bool) (tag "same messages") true
+    (List.equal Trace.Message.equal rv.Vm.messages ri.Vm.messages)
+
+let test_vm_vs_interp () =
+  List.iter
+    (fun (name, program) ->
+      List.iter (check_differential name program) [ 1; 2; 3; 4; 5; 42; 99; 1234 ])
+    programs_pool
+
+let test_vm_vs_interp_round_robin () =
+  List.iter
+    (fun (name, program) ->
+      let sched, get_script = Sched.recording (rr ()) in
+      let rv = Vm.run_program ~fuel:2_000 ~sched program in
+      let ri = Interp.run_program ~fuel:2_000 ~sched:(Sched.of_script (get_script ())) program in
+      Alcotest.(check bool) (name ^ ": same outcome") true (rv.Vm.outcome = ri.Vm.outcome);
+      Alcotest.(check (list (pair string int))) (name ^ ": same final") rv.Vm.final ri.Vm.final)
+    programs_pool
+
+let () =
+  Alcotest.run "tml-vm"
+    [ ( "sequential",
+        [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "comparisons and logic" `Quick test_comparisons_and_logic;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "if/while" `Quick test_if_while;
+          Alcotest.test_case "locals are private" `Quick test_locals_are_private ] );
+      ( "errors",
+        [ Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "modulo by zero" `Quick test_modulo_by_zero;
+          Alcotest.test_case "unlock not held" `Quick test_unlock_not_held;
+          Alcotest.test_case "silent loop" `Quick test_silent_loop_detected ] );
+      ( "scheduling",
+        [ Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "deadlock" `Quick test_deadlock_two_locks;
+          Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion;
+          Alcotest.test_case "racy counter loses updates" `Quick test_racy_counter_loses_updates;
+          Alcotest.test_case "reentrant lock" `Quick test_reentrant_lock;
+          Alcotest.test_case "lock blocks" `Quick test_lock_blocks_other_thread;
+          Alcotest.test_case "wait/notify" `Quick test_wait_notify;
+          Alcotest.test_case "lost notification" `Quick test_notify_without_waiter_is_lost;
+          Alcotest.test_case "notify-all" `Quick test_notify_wakes_all_waiters;
+          Alcotest.test_case "choose" `Quick test_choose_follows_scheduler;
+          Alcotest.test_case "step validation" `Quick test_step_not_runnable_rejected ] );
+      ( "dynamic-threads",
+        [ Alcotest.test_case "desugar shape" `Quick test_desugar_shape;
+          Alcotest.test_case "spawn orders child" `Quick test_spawn_orders_child_after_parent;
+          Alcotest.test_case "fork/join deterministic" `Quick test_fork_join_deterministic;
+          Alcotest.test_case "typecheck" `Quick test_spawn_typecheck;
+          Alcotest.test_case "orphan dormant thread" `Quick test_unspawned_thread_never_runs;
+          Alcotest.test_case "unsynchronized spawn races" `Quick
+            test_spawn_unsynchronized_races;
+          Alcotest.test_case "philosophers" `Quick test_philosophers ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "transparency" `Quick test_instrumentation_preserves_results ] );
+      ( "differential",
+        [ Alcotest.test_case "VM = interpreter (random)" `Quick test_vm_vs_interp;
+          Alcotest.test_case "VM = interpreter (round robin)" `Quick
+            test_vm_vs_interp_round_robin ] ) ]
