@@ -61,6 +61,25 @@ let channel_arg =
   in
   Arg.(value & opt string "in-order" & info [ "channel" ] ~docv:"MODEL" ~doc)
 
+let clock_arg =
+  let doc =
+    Printf.sprintf "Clock backend for Algorithm A: %s."
+      (String.concat ", "
+         (List.map (Printf.sprintf "$(b,%s)") (Clock.Registry.names ())))
+  in
+  Arg.(
+    value
+    & opt string Clock.Registry.default_name
+    & info [ "clock-backend" ] ~docv:"BACKEND" ~doc)
+
+let parse_clock s =
+  match Clock.Registry.find s with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown clock backend %S (known: %s)" s
+           (String.concat ", " (Clock.Registry.names ())))
+
 let parse_channel s =
   match String.split_on_char ':' s with
   | [ "in-order" ] -> Ok Jmpax.Config.In_order
@@ -96,15 +115,17 @@ let parse_spec = function
 (* {1 check} *)
 
 let check_cmd =
-  let run example file spec seed fuel channel counterexamples replay =
+  let run example file spec seed fuel channel clock counterexamples replay =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
     let channel = or_die (parse_channel channel) in
+    let clock = or_die (parse_clock clock) in
     let config =
       { (Jmpax.Config.default ()) with
         Jmpax.Config.sched = sched_of_seed seed;
         fuel;
-        channel }
+        channel;
+        clock }
     in
     let output = Jmpax.Pipeline.check ~config ~spec program in
     Format.printf "%a@." Jmpax.Pipeline.pp_output output;
@@ -142,13 +163,14 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a program once and predict violations over all causally consistent runs.")
     Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
-          $ channel_arg $ counterexamples $ replay)
+          $ channel_arg $ clock_arg $ counterexamples $ replay)
 
 (* {1 run} *)
 
 let run_cmd =
-  let run example file seed fuel output spec =
+  let run example file seed fuel output spec clock =
     let program = or_die (load_program ~example ~file) in
+    let clock = or_die (parse_clock clock) in
     let relevance, relevant_vars =
       match spec with
       | None -> (Mvc.Relevance.all_writes, List.map fst program.Tml.Ast.shared)
@@ -157,7 +179,7 @@ let run_cmd =
           let vars = Pastltl.Formula.vars f in
           (Mvc.Relevance.writes_of_vars vars, vars)
     in
-    let r = Tml.Vm.run_program ~fuel ~relevance ~sched:(sched_of_seed seed) program in
+    let r = Tml.Vm.run_program ~clock ~fuel ~relevance ~sched:(sched_of_seed seed) program in
     Format.printf "outcome: %a (%d observable steps)@." Tml.Vm.pp_outcome
       r.Tml.Vm.outcome r.Tml.Vm.steps;
     Format.printf "final state:";
@@ -185,7 +207,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute an instrumented program once and dump its messages.")
-    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg $ output $ spec_arg)
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg $ output $ spec_arg
+          $ clock_arg)
 
 (* {1 observe} *)
 
@@ -219,11 +242,15 @@ let observe_cmd =
 (* {1 lattice} *)
 
 let lattice_cmd =
-  let run example file spec seed fuel dot =
+  let run example file spec seed fuel clock dot =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
+    let clock = or_die (parse_clock clock) in
     let config =
-      { (Jmpax.Config.default ()) with Jmpax.Config.sched = sched_of_seed seed; fuel }
+      { (Jmpax.Config.default ()) with
+        Jmpax.Config.sched = sched_of_seed seed;
+        fuel;
+        clock }
     in
     let output = Jmpax.Pipeline.check ~config ~spec program in
     if dot then begin
@@ -249,7 +276,8 @@ let lattice_cmd =
   Cmd.v
     (Cmd.info "lattice"
        ~doc:"Print the computation lattice of one monitored run (cf. the paper's Figs. 5 and 6).")
-    Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg $ dot)
+    Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
+          $ clock_arg $ dot)
 
 (* {1 race} *)
 
@@ -344,11 +372,15 @@ let fsm_cmd =
 (* {1 monitor (online)} *)
 
 let monitor_cmd =
-  let run example file spec seed fuel =
+  let run example file spec seed fuel clock =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
+    let clock = or_die (parse_clock clock) in
     let config =
-      { (Jmpax.Config.default ()) with Jmpax.Config.sched = sched_of_seed seed; fuel }
+      { (Jmpax.Config.default ()) with
+        Jmpax.Config.sched = sched_of_seed seed;
+        fuel;
+        clock }
     in
     let o = Jmpax.Pipeline.check_online ~config ~spec program in
     Format.printf
@@ -366,7 +398,8 @@ let monitor_cmd =
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Monitor a program online: the lattice is analyzed while the program runs.")
-    Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg)
+    Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
+          $ clock_arg)
 
 (* {1 examples} *)
 

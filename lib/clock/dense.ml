@@ -1,0 +1,41 @@
+(* The dense backend: the existing fixed-dimension Vclock, unchanged.
+   Every join physically writes all n components of the result array,
+   which is what E14's entry-update counter records. *)
+
+type t = Vclock.t
+
+let name = "dense"
+let zero n = Vclock.zero n
+let get = Vclock.get
+let inc = Vclock.inc
+
+let max a b =
+  let r = Vclock.max a b in
+  Stats.note_join ~entries:(Vclock.dim r);
+  r
+
+let absorb = max
+let leq = Vclock.leq
+let lt = Vclock.lt
+let equal = Vclock.equal
+let compare = Vclock.compare
+let concurrent = Vclock.concurrent
+let sum = Vclock.sum
+let hash = Vclock.hash
+let pp = Vclock.pp
+let to_string = Vclock.to_string
+let serialize = Vclock.to_string
+let deserialize = Vclock.of_string
+let of_vclock v = v
+
+let to_vclock ~dim v =
+  if Vclock.dim v = dim then v
+  else if Vclock.dim v < dim then
+    Vclock.of_array (Array.init dim (fun j -> if j < Vclock.dim v then Vclock.get v j else 0))
+  else begin
+    for j = dim to Vclock.dim v - 1 do
+      if Vclock.get v j <> 0 then
+        invalid_arg "Dense.to_vclock: nonzero component beyond dimension"
+    done;
+    Vclock.of_array (Array.init dim (Vclock.get v))
+  end

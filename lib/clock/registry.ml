@@ -1,0 +1,40 @@
+(* Name -> backend lookup for CLI flags and tests. *)
+
+let builtin : Spec.backend list = [ (module Dense); (module Sparse); (module Tree) ]
+let registered : Spec.backend list ref = ref builtin
+
+let register (b : Spec.backend) =
+  let module B = (val b) in
+  if
+    List.exists
+      (fun (c : Spec.backend) ->
+        let module C = (val c) in
+        C.name = B.name)
+      !registered
+  then invalid_arg (Printf.sprintf "Registry.register: backend %S already registered" B.name)
+  else registered := !registered @ [ b ]
+
+let names () =
+  List.map
+    (fun (b : Spec.backend) ->
+      let module B = (val b) in
+      B.name)
+    !registered
+
+let find name =
+  List.find_opt
+    (fun (b : Spec.backend) ->
+      let module B = (val b) in
+      B.name = name)
+    !registered
+
+let get name =
+  match find name with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.get: unknown clock backend %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let default : Spec.backend = (module Dense)
+let default_name = Dense.name

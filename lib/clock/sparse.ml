@@ -1,0 +1,71 @@
+(* The sparse backend: Dvclock maps with absent entries reading 0.
+   Joins write the support of the union, so the entry-update count is
+   |supp a ∪ supp b| — already sublinear in the thread count when few
+   threads have communicated. *)
+
+type t = Dvclock.t
+
+let name = "sparse"
+
+let zero n =
+  if n <= 0 then invalid_arg "Sparse.zero: dimension must be positive";
+  Dvclock.empty
+
+let get = Dvclock.get
+let inc = Dvclock.inc
+
+let is_empty v = Dvclock.to_list v = []
+
+let max a b =
+  if is_empty b then begin
+    Stats.note_join ~entries:0;
+    a
+  end
+  else if is_empty a then begin
+    Stats.note_join ~entries:0;
+    b
+  end
+  else begin
+    let r = Dvclock.max a b in
+    Stats.note_join ~entries:(List.length (Dvclock.to_list r));
+    r
+  end
+
+let absorb = max
+let leq = Dvclock.leq
+let lt = Dvclock.lt
+let equal = Dvclock.equal
+let compare = Dvclock.compare
+let concurrent = Dvclock.concurrent
+let sum = Dvclock.sum
+let hash v = Hashtbl.hash (Dvclock.to_list v)
+let pp = Dvclock.pp
+let to_string = Dvclock.to_string
+
+let serialize v =
+  String.concat ","
+    (List.map (fun (i, k) -> Printf.sprintf "%d:%d" i k) (Dvclock.to_list v))
+
+let deserialize s =
+  let s = String.trim s in
+  (* Accept both the bare "i:k,j:l" wire form and the {i:k, j:l} print
+     form. *)
+  let s =
+    let n = String.length s in
+    if n >= 2 && s.[0] = '{' && s.[n - 1] = '}' then String.sub s 1 (n - 2) else s
+  in
+  if String.trim s = "" then Dvclock.empty
+  else
+    Dvclock.of_list
+      (List.map
+         (fun part ->
+           match String.split_on_char ':' (String.trim part) with
+           | [ i; k ] -> (
+               match (int_of_string_opt (String.trim i), int_of_string_opt (String.trim k)) with
+               | Some i, Some k -> (i, k)
+               | _ -> invalid_arg "Sparse.deserialize: malformed entry")
+           | _ -> invalid_arg "Sparse.deserialize: expected i:k entries")
+         (String.split_on_char ',' s))
+
+let of_vclock = Dvclock.of_vclock
+let to_vclock ~dim v = Dvclock.to_vclock ~dim v

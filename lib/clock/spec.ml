@@ -1,0 +1,94 @@
+(** The pluggable clock-backend signature.
+
+    Algorithm A (paper, Fig. 2) is generic in the clock data structure:
+    all it needs is a bottom element, per-thread increment, the lattice
+    join, and the causal order. [CLOCK] captures exactly the operations
+    {!Vclock} already exposes, so the dense clock is the canonical
+    backend; {!Dense}, {!Sparse} and {!Tree} implement it and
+    {!Registry} selects one by name.
+
+    {2 The protocol precondition}
+
+    Backends may exploit how clocks arise in an execution. Operations
+    are sound for {e protocol-generated} clocks — families built from
+    [zero] where every component [i] is advanced only through the single
+    live clock of thread [i] ([inc v i] / [absorb vi _]), as Algorithm A
+    and its dynamic variant do. The dense and sparse backends are
+    insensitive to this; the tree backend's sublinear join relies on it
+    for its pruning certificates (clocks built by [of_vclock] or
+    [deserialize] carry no certificates and degrade to per-entry joins,
+    staying correct on arbitrary inputs). *)
+
+module type CLOCK = sig
+  type t
+
+  val name : string
+  (** Registry name, e.g. ["dense"]. *)
+
+  val zero : int -> t
+  (** [zero n] is the bottom clock. [n] is a capacity hint — the thread
+      count for fixed-dimension backends; open-dimension backends ignore
+      it.
+      @raise Invalid_argument if [n <= 0]. *)
+
+  val get : t -> int -> int
+  (** Component [j]; absent components read 0 for open-dimension
+      backends.
+      @raise Invalid_argument on a negative or (dense) out-of-range
+      index. *)
+
+  val inc : t -> int -> t
+  (** [inc v i] increments component [i] — the [Vi\[i\] <- Vi\[i\] + 1]
+      step of Algorithm A. *)
+
+  val max : t -> t -> t
+  (** The join of the MVC lattice (componentwise maximum). *)
+
+  val absorb : t -> t -> t
+  (** [absorb vi w] is [max vi w] with a usage promise: [vi] is the live
+      clock of the thread that owns it, and the result replaces it.
+      Semantically identical to [max]; backends may use the promise for
+      internal housekeeping (the tree backend compacts its structure
+      here), so the algorithm layer calls it with the live thread clock
+      as the first argument. *)
+
+  val leq : t -> t -> bool
+  (** The causal order: [leq v w] iff every component of [v] is [<=] the
+      corresponding component of [w]. *)
+
+  val lt : t -> t -> bool
+  (** Strict causal order: [leq v w] and [not (equal v w)]. *)
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** A total order for sets and maps; unrelated to [leq]. *)
+
+  val concurrent : t -> t -> bool
+  (** Neither [leq v w] nor [leq w v]. *)
+
+  val sum : t -> int
+  (** Sum of all components — the lattice level of a cut. *)
+
+  val hash : t -> int
+  (** Compatible with [equal]. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  val serialize : t -> string
+  (** Canonical wire form; [deserialize] inverts it. *)
+
+  val deserialize : string -> t
+  (** @raise Invalid_argument on malformed input. *)
+
+  val of_vclock : Vclock.t -> t
+  (** Import a dense clock (components beyond its dimension read 0). *)
+
+  val to_vclock : dim:int -> t -> Vclock.t
+  (** Export the first [dim] components as a dense clock.
+      @raise Invalid_argument if a nonzero component lies at or beyond
+      [dim]. *)
+end
+
+type backend = (module CLOCK)

@@ -1,0 +1,31 @@
+(* Join-cost accounting, shared by every backend.
+
+   A join "touches" an entry when it physically writes that component
+   into the result: the dense backend writes all n slots of the output
+   array, the sparse backend writes the support of the union, and the
+   tree backend writes only the entries its monotone copy actually
+   transfers (pruned subtrees and structurally shared results count 0).
+   Bench E14 compares these counters across backends on identical event
+   streams. *)
+
+type t = {
+  mutable joins : int;  (* max/absorb calls *)
+  mutable entry_updates : int;  (* component writes performed by joins *)
+  mutable fast_joins : int;  (* joins answered without touching any entry *)
+}
+
+let counters = { joins = 0; entry_updates = 0; fast_joins = 0 }
+
+let reset () =
+  counters.joins <- 0;
+  counters.entry_updates <- 0;
+  counters.fast_joins <- 0
+
+let note_join ~entries =
+  counters.joins <- counters.joins + 1;
+  counters.entry_updates <- counters.entry_updates + entries;
+  if entries = 0 then counters.fast_joins <- counters.fast_joins + 1
+
+let joins () = counters.joins
+let entry_updates () = counters.entry_updates
+let fast_joins () = counters.fast_joins

@@ -1,0 +1,281 @@
+(* A persistent tree clock with monotone-copy joins.
+
+   The idea follows the tree clocks of Mathur, Pavlogiannis, Tunç and
+   Viswanathan (TACAS'22): arrange the entries of a vector clock in a
+   tree so that a join [max a b] only visits the parts of [b] that [a]
+   has not seen, sharing everything else structurally. A join then
+   costs O(changed entries) instead of O(n), which is the effect E14
+   measures through {!Stats}.
+
+   The original algorithm is imperative and assumes every recipient of
+   a thread's clock got it at a well-defined local time of that thread.
+   Algorithm A breaks that assumption in two ways: clocks flow through
+   variable clocks [Va_x]/[Vw_x] that no thread owns, and non-relevant
+   events join without incrementing, so a thread exports growing
+   knowledge at an unchanged local timestamp ("stale exports"). Naive
+   subtree pruning keyed on clock values alone is therefore unsound
+   here. We restore soundness with explicit certificates:
+
+   - A global monotone counter hands out {e versions}. [inc v i] stamps
+     the new root with a fresh version [k] and thereby defines
+     [content(i@k)] := the whole resulting clock value.
+   - Per clock we keep an authoritative map [entries : tid -> {clk;
+     ver}] where [ver] is the largest version of [tid] whose content
+     this clock dominates. Values are exact; joins take pointwise
+     maxima of both fields, so domination is preserved (the map, not
+     the tree, answers [get]/[leq]/[equal]/[compare]/[hash]/[sum]).
+   - A tree node [u] is {e clean} when its subtree values are dominated
+     by [content(u.tid@u.ver)]. Fresh-inc roots are clean by
+     definition; copies of clean nodes stay clean (subtrees only
+     shrink); a root that receives join attachments becomes {e dirty},
+     because its subtree now exceeds what its certificate covers.
+   - Join prune rule: skip [u]'s whole subtree iff [u] is clean,
+     [u.ver <= ver_of a u.tid] and [u.clk <= get a u.tid]. The version
+     check covers the descendants (a dominates [content(u.tid@u.ver)]
+     which dominates the subtree), the clock check covers [u]'s own
+     entry even when [u.ver] predates [u.clk] (flattened leaves). Dirty
+     or uncertified nodes are never pruned wholesale — we compare their
+     entry and descend per child, which is always correct.
+
+   Nodes carrying no new information are hoisted out of the copy (their
+   newer descendants attach directly), so stale duplicates never pile
+   up in the copied forest; duplicates of a thread id in a tree are
+   permitted and harmless since the entries map is authoritative.
+   Because the structure is persistent, old attachments accumulate
+   under long-lived roots; when the node count exceeds a small multiple
+   of the support we flatten the tree back to certified leaves under a
+   dirty root, and the next [inc] re-certifies the root wholesale.
+
+   Clocks built by [of_vclock]/[deserialize] carry version 0 (no
+   certificate) and a dirty root: they join correctly on arbitrary
+   inputs but degrade to per-entry work until the owning thread's
+   [inc]s re-certify them. *)
+
+module Imap = Map.Make (Int)
+
+type entry = { clk : int; ver : int }
+
+type node = {
+  tid : int;
+  clk : int;
+  ver : int; (* certificate version; 0 = uncertified *)
+  dirty : bool; (* subtree may exceed content(tid@ver) *)
+  sub : node list;
+}
+
+type t = {
+  root : node option;
+  entries : entry Imap.t; (* authoritative values and best-known certs *)
+  nodes : int; (* tree size, drives compaction *)
+}
+
+let name = "tree"
+
+let next_ver = ref 0
+
+let fresh_ver () =
+  incr next_ver;
+  !next_ver
+
+let zero n =
+  if n <= 0 then invalid_arg "Tree.zero: dimension must be positive";
+  { root = None; entries = Imap.empty; nodes = 0 }
+
+let get t j =
+  if j < 0 then invalid_arg "Tree.get: negative index";
+  match Imap.find_opt j t.entries with Some e -> e.clk | None -> 0
+
+let inc t i =
+  if i < 0 then invalid_arg "Tree.inc: negative index";
+  let c = get t i + 1 in
+  let v = fresh_ver () in
+  let entries = Imap.add i { clk = c; ver = v } t.entries in
+  match t.root with
+  | Some r when r.tid = i ->
+      (* Re-certify in place: content(i@v) is defined as this very
+         value, so the whole existing subtree is covered again. *)
+      { root = Some { r with clk = c; ver = v; dirty = false }; entries; nodes = t.nodes }
+  | _ ->
+      let sub = match t.root with None -> [] | Some r -> [ r ] in
+      {
+        root = Some { tid = i; clk = c; ver = v; dirty = false; sub };
+        entries;
+        nodes = t.nodes + 1;
+      }
+
+(* Flatten to certified leaves under a dirty root. Keeps the per-entry
+   certificates (sound for leaves thanks to the double prune check) but
+   drops the deep structure; the owner's next [inc] restores a clean
+   root covering everything. *)
+let compact t =
+  match t.root with
+  | None -> t
+  | Some r ->
+      let leaves =
+        Imap.fold
+          (fun tid (e : entry) acc ->
+            if tid = r.tid then acc
+            else { tid; clk = e.clk; ver = e.ver; dirty = false; sub = [] } :: acc)
+          t.entries []
+      in
+      let rclk, rver =
+        match Imap.find_opt r.tid t.entries with
+        | Some e -> (e.clk, e.ver)
+        | None -> (r.clk, r.ver)
+      in
+      {
+        root = Some { tid = r.tid; clk = rclk; ver = rver; dirty = true; sub = leaves };
+        entries = t.entries;
+        nodes = Imap.cardinal t.entries;
+      }
+
+let compact_if_needed t =
+  if t.nodes > (4 * Imap.cardinal t.entries) + 8 then compact t else t
+
+let max a b =
+  if a == b || b.nodes = 0 then begin
+    Stats.note_join ~entries:0;
+    a
+  end
+  else if a.nodes = 0 then begin
+    Stats.note_join ~entries:0;
+    b
+  end
+  else begin
+    let written = ref 0 in
+    let added = ref 0 in
+    let entries = ref a.entries in
+    (* The monotone copy: the forest of [b]'s nodes that carry
+       information [a] lacks. Prune decisions compare against the
+       original [a]; entry writes accumulate into [entries]. *)
+    let rec residue u =
+      let clk_a, ver_a =
+        match Imap.find_opt u.tid a.entries with
+        | Some e -> (e.clk, e.ver)
+        | None -> (0, 0)
+      in
+      if (not u.dirty) && u.ver <= ver_a && u.clk <= clk_a then []
+      else
+        let kids = List.concat_map residue u.sub in
+        if u.clk > clk_a then begin
+          incr written;
+          incr added;
+          entries :=
+            Imap.update u.tid
+              (function
+                | Some (e : entry) ->
+                    Some { clk = Stdlib.max e.clk u.clk; ver = Stdlib.max e.ver u.ver }
+                | None -> Some { clk = u.clk; ver = u.ver })
+              !entries;
+          [ { u with sub = kids } ]
+        end
+        else kids (* hoist: u itself is stale, keep only its newer part *)
+    in
+    let forest = match b.root with None -> [] | Some r -> residue r in
+    Stats.note_join ~entries:!written;
+    if forest = [] then a
+    else
+      match a.root with
+      | None -> assert false (* a.nodes > 0 *)
+      | Some r ->
+          (* Attachments are not covered by the root's certificate. *)
+          let root = { r with sub = forest @ r.sub; dirty = true } in
+          compact_if_needed { root = Some root; entries = !entries; nodes = a.nodes + !added }
+  end
+
+let absorb a b = max a b
+
+let leq a b = Imap.for_all (fun j (e : entry) -> e.clk <= get b j) a.entries
+let equal a b = Imap.equal (fun (x : entry) (y : entry) -> x.clk = y.clk) a.entries b.entries
+let lt a b = leq a b && not (equal a b)
+let compare a b = Imap.compare (fun (x : entry) (y : entry) -> Int.compare x.clk y.clk) a.entries b.entries
+let concurrent a b = (not (leq a b)) && not (leq b a)
+let sum t = Imap.fold (fun _ (e : entry) acc -> acc + e.clk) t.entries 0
+
+let hash t =
+  Hashtbl.hash (Imap.fold (fun j (e : entry) acc -> (j, e.clk) :: acc) t.entries [])
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  ignore
+    (List.fold_left
+       (fun first ((j, e) : int * entry) ->
+         if not first then Format.fprintf ppf ", ";
+         Format.fprintf ppf "%d:%d" j e.clk;
+         false)
+       true (Imap.bindings t.entries));
+  Format.fprintf ppf "}"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Import a list of (tid, clk) pairs as an uncertified flat tree. *)
+let of_entry_list l =
+  let entries =
+    List.fold_left
+      (fun m (i, k) ->
+        if i < 0 then invalid_arg "Tree: negative thread id";
+        if k < 0 then invalid_arg "Tree: negative component";
+        if k = 0 then m
+        else
+          Imap.update i
+            (function
+              | Some (e : entry) when e.clk >= k -> Some e
+              | _ -> Some { clk = k; ver = 0 })
+            m)
+      Imap.empty l
+  in
+  if Imap.is_empty entries then { root = None; entries; nodes = 0 }
+  else
+    let rt, re = Imap.min_binding entries in
+    let leaves =
+      Imap.fold
+        (fun tid (e : entry) acc ->
+          if tid = rt then acc
+          else { tid; clk = e.clk; ver = 0; dirty = false; sub = [] } :: acc)
+        entries []
+    in
+    {
+      root = Some { tid = rt; clk = re.clk; ver = 0; dirty = true; sub = leaves };
+      entries;
+      nodes = Imap.cardinal entries;
+    }
+
+let serialize t =
+  String.concat ","
+    (List.map (fun ((j, e) : int * entry) -> Printf.sprintf "%d:%d" j e.clk) (Imap.bindings t.entries))
+
+let deserialize s =
+  let s = String.trim s in
+  let s =
+    let n = String.length s in
+    if n >= 2 && s.[0] = '{' && s.[n - 1] = '}' then String.sub s 1 (n - 2) else s
+  in
+  if String.trim s = "" then { root = None; entries = Imap.empty; nodes = 0 }
+  else
+    of_entry_list
+      (List.map
+         (fun part ->
+           match String.split_on_char ':' (String.trim part) with
+           | [ i; k ] -> (
+               match
+                 (int_of_string_opt (String.trim i), int_of_string_opt (String.trim k))
+               with
+               | Some i, Some k -> (i, k)
+               | _ -> invalid_arg "Tree.deserialize: malformed entry")
+           | _ -> invalid_arg "Tree.deserialize: expected i:k entries")
+         (String.split_on_char ',' s))
+
+let of_vclock v =
+  let l = ref [] in
+  for j = Vclock.dim v - 1 downto 0 do
+    l := (j, Vclock.get v j) :: !l
+  done;
+  of_entry_list !l
+
+let to_vclock ~dim t =
+  if dim <= 0 then invalid_arg "Tree.to_vclock: dimension must be positive";
+  Imap.iter
+    (fun j _ ->
+      if j >= dim then invalid_arg "Tree.to_vclock: nonzero component beyond dimension")
+    t.entries;
+  Vclock.of_array (Array.init dim (get t))

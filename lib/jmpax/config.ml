@@ -7,6 +7,7 @@ type t = {
   sched : Tml.Sched.t;
   fuel : int;
   channel : channel_model;
+  clock : Clock.Spec.backend;
   stop_at_first : bool;
   detect_races : bool;
   detect_deadlocks : bool;
@@ -17,6 +18,7 @@ let default () =
   { sched = Tml.Sched.round_robin ();
     fuel = 100_000;
     channel = In_order;
+    clock = Clock.Registry.default;
     stop_at_first = false;
     detect_races = true;
     detect_deadlocks = true;
@@ -25,3 +27,12 @@ let default () =
 let with_sched sched t = { t with sched }
 let with_seed seed t = { t with sched = Tml.Sched.random ~seed }
 let with_channel channel t = { t with channel }
+let with_clock clock t = { t with clock }
+
+let with_clock_name name t =
+  match Clock.Registry.find name with
+  | Some clock -> { t with clock }
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Config.with_clock_name: unknown clock backend %S (known: %s)" name
+           (String.concat ", " (Clock.Registry.names ())))

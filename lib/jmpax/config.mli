@@ -9,6 +9,7 @@ type t = {
   sched : Tml.Sched.t;
   fuel : int;  (** observable-step budget for the monitored run *)
   channel : channel_model;  (** delivery model between program and observer *)
+  clock : Clock.Spec.backend;  (** Algorithm A clock backend *)
   stop_at_first : bool;  (** stop the predictive sweep at the first bad level *)
   detect_races : bool;
   detect_deadlocks : bool;
@@ -16,11 +17,17 @@ type t = {
 }
 
 val default : unit -> t
-(** Round-robin schedule, [fuel = 100_000], in-order delivery, full
-    sweep, race, deadlock and atomicity detection on. *)
+(** Round-robin schedule, [fuel = 100_000], in-order delivery, dense
+    clocks, full sweep, race, deadlock and atomicity detection on. *)
 
 val with_sched : Tml.Sched.t -> t -> t
 val with_seed : int -> t -> t
 (** Replaces the scheduler by [Tml.Sched.random ~seed]. *)
 
 val with_channel : channel_model -> t -> t
+
+val with_clock : Clock.Spec.backend -> t -> t
+
+val with_clock_name : string -> t -> t
+(** Looks the backend up in {!Clock.Registry}.
+    @raise Invalid_argument on an unknown name. *)

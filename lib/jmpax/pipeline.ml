@@ -24,7 +24,8 @@ let check ?(config = Config.default ()) ~spec program =
   let image = Tml.Instrument.instrument_program program in
   let relevance = Mvc.Relevance.writes_of_vars relevant_vars in
   let run =
-    Tml.Vm.run_image ~fuel:config.Config.fuel ~relevance ~sched:config.Config.sched image
+    Tml.Vm.run_image ~clock:config.Config.clock ~fuel:config.Config.fuel ~relevance
+      ~sched:config.Config.sched image
   in
   (match run.Tml.Vm.outcome with
   | Tml.Vm.Runtime_error { tid; message } ->
@@ -90,7 +91,7 @@ let check_online ?(config = Config.default ()) ~spec program =
   let nthreads = List.length program.Tml.Ast.threads in
   let online = Predict.Online.create ~nthreads ~init ~spec in
   let run =
-    Tml.Vm.run_image ~fuel:config.Config.fuel ~relevance
+    Tml.Vm.run_image ~clock:config.Config.clock ~fuel:config.Config.fuel ~relevance
       ~sink:(Predict.Online.feed online) ~sched:config.Config.sched image
   in
   (match run.Tml.Vm.outcome with

@@ -1,22 +1,35 @@
 open Trace
 
+(* The algorithm state is erased behind closures so one emitter type
+   serves every clock backend; messages always carry dense clocks, so
+   the wire format is backend-independent. *)
 type t = {
   builder : Exec.builder;
-  algo : Algorithm.t;
+  run : Types.tid -> Event.kind -> Vclock.t option;
+  check : unit -> bool;
+  backend : string;
   sink : Message.t -> unit;
   mutable rev_messages : Message.t list;
   mutable count : int;
 }
 
-let create ~nthreads ~init ~relevance ?(sink = fun _ -> ()) () =
+let create ?(clock = Clock.Registry.default) ~nthreads ~init ~relevance
+    ?(sink = fun _ -> ()) () =
+  let module C = (val clock : Clock.Spec.CLOCK) in
+  let module A = Algorithm.Make (C) in
+  let algo = A.create ~nthreads ~relevance in
   { builder = Exec.builder ~nthreads ~init;
-    algo = Algorithm.create ~nthreads ~relevance;
+    run =
+      (fun tid kind ->
+        Option.map (C.to_vclock ~dim:nthreads) (A.process algo tid kind));
+    check = (fun () -> A.invariant algo);
+    backend = C.name;
     sink;
     rev_messages = [];
     count = 0 }
 
 let dispatch t (e : Event.t) =
-  match Algorithm.process t.algo e.tid e.kind with
+  match t.run e.tid e.kind with
   | None -> ()
   | Some mvc ->
       let var, value =
@@ -37,6 +50,7 @@ let dispatch t (e : Event.t) =
 let on_internal t tid = dispatch t (Exec.add_internal t.builder tid)
 let on_read t tid x v = dispatch t (Exec.add_read t.builder tid x v)
 let on_write t tid x v = dispatch t (Exec.add_write t.builder tid x v)
-let algorithm t = t.algo
+let invariant t = t.check ()
+let backend_name t = t.backend
 let message_count t = t.count
 let finish t = (Exec.freeze t.builder, List.rev t.rev_messages)

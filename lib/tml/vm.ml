@@ -119,7 +119,7 @@ and exec_silent t tid ts instr =
       ts.pc <- List.nth targets c
   | _ -> assert false
 
-let create ?(relevance = Mvc.Relevance.all_writes) ?sink ~sched image =
+let create ?clock ?(relevance = Mvc.Relevance.all_writes) ?sink ~sched image =
   (match Bytecode.validate image with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Vm.create: invalid image: " ^ msg));
@@ -128,7 +128,7 @@ let create ?(relevance = Mvc.Relevance.all_writes) ?sink ~sched image =
   let emitter =
     if image.instrumented then
       Some
-        (Mvc.Emitter.create ~nthreads:(nthreads image) ~init:image.shared_init
+        (Mvc.Emitter.create ?clock ~nthreads:(nthreads image) ~init:image.shared_init
            ~relevance ?sink ())
     else None
   in
@@ -318,11 +318,11 @@ let run ?(fuel = 100_000) t =
   loop ();
   result t
 
-let run_image ?fuel ?relevance ?sink ~sched image =
-  run ?fuel (create ?relevance ?sink ~sched image)
+let run_image ?clock ?fuel ?relevance ?sink ~sched image =
+  run ?fuel (create ?clock ?relevance ?sink ~sched image)
 
-let run_program ?fuel ?relevance ~sched program =
-  run_image ?fuel ?relevance ~sched (Instrument.instrument_program program)
+let run_program ?clock ?fuel ?relevance ~sched program =
+  run_image ?clock ?fuel ?relevance ~sched (Instrument.instrument_program program)
 
 let pp_outcome ppf = function
   | Completed -> Format.pp_print_string ppf "completed"
