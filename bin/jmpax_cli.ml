@@ -54,6 +54,14 @@ let fuel_arg =
   let doc = "Maximum observable steps before the run is cut off." in
   Arg.(value & opt int 100_000 & info [ "fuel" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains for the predictive analyzer's frontier engine: $(b,1) = \
+     sequential, $(b,0) = all cores. Verdicts are identical for every \
+     value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let channel_arg =
   let doc =
     "Delivery model between program and observer: $(b,in-order), \
@@ -115,7 +123,7 @@ let parse_spec = function
 (* {1 check} *)
 
 let check_cmd =
-  let run example file spec seed fuel channel clock counterexamples replay =
+  let run example file spec seed fuel channel clock jobs counterexamples replay =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
     let channel = or_die (parse_channel channel) in
@@ -125,7 +133,8 @@ let check_cmd =
         Jmpax.Config.sched = sched_of_seed seed;
         fuel;
         channel;
-        clock }
+        clock;
+        jobs }
     in
     let output = Jmpax.Pipeline.check ~config ~spec program in
     Format.printf "%a@." Jmpax.Pipeline.pp_output output;
@@ -163,7 +172,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a program once and predict violations over all causally consistent runs.")
     Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
-          $ channel_arg $ clock_arg $ counterexamples $ replay)
+          $ channel_arg $ clock_arg $ jobs_arg $ counterexamples $ replay)
 
 (* {1 run} *)
 
@@ -213,7 +222,7 @@ let run_cmd =
 (* {1 observe} *)
 
 let observe_cmd =
-  let run trace spec =
+  let run trace spec jobs =
     let spec = parse_spec spec in
     match Jmpax.Wire.read_file trace with
     | Error e -> or_die (Error e)
@@ -224,7 +233,7 @@ let observe_cmd =
         with
         | Error e -> or_die (Error ("trace is not a computation: " ^ e))
         | Ok comp ->
-            let report = Predict.Analyzer.analyze ~spec comp in
+            let report = Predict.Analyzer.analyze ~jobs ~spec comp in
             Format.printf "%d messages, %d threads@." (List.length messages)
               header.Jmpax.Wire.nthreads;
             Format.printf "%a@." Predict.Analyzer.pp_report report;
@@ -237,12 +246,12 @@ let observe_cmd =
   Cmd.v
     (Cmd.info "observe"
        ~doc:"Run the external observer on a previously recorded wire trace.")
-    Term.(const run $ trace $ spec_arg)
+    Term.(const run $ trace $ spec_arg $ jobs_arg)
 
 (* {1 lattice} *)
 
 let lattice_cmd =
-  let run example file spec seed fuel clock dot =
+  let run example file spec seed fuel clock jobs dot =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
     let clock = or_die (parse_clock clock) in
@@ -250,11 +259,12 @@ let lattice_cmd =
       { (Jmpax.Config.default ()) with
         Jmpax.Config.sched = sched_of_seed seed;
         fuel;
-        clock }
+        clock;
+        jobs }
     in
     let output = Jmpax.Pipeline.check ~config ~spec program in
     if dot then begin
-      let lattice = Observer.Lattice.build output.Jmpax.Pipeline.computation in
+      let lattice = Observer.Lattice.build ~jobs output.Jmpax.Pipeline.computation in
       let violating =
         List.map
           (fun v -> Array.to_list v.Predict.Analyzer.cut)
@@ -277,7 +287,7 @@ let lattice_cmd =
     (Cmd.info "lattice"
        ~doc:"Print the computation lattice of one monitored run (cf. the paper's Figs. 5 and 6).")
     Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
-          $ clock_arg $ dot)
+          $ clock_arg $ jobs_arg $ dot)
 
 (* {1 race} *)
 
@@ -372,7 +382,7 @@ let fsm_cmd =
 (* {1 monitor (online)} *)
 
 let monitor_cmd =
-  let run example file spec seed fuel clock =
+  let run example file spec seed fuel clock jobs =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
     let clock = or_die (parse_clock clock) in
@@ -380,7 +390,8 @@ let monitor_cmd =
       { (Jmpax.Config.default ()) with
         Jmpax.Config.sched = sched_of_seed seed;
         fuel;
-        clock }
+        clock;
+        jobs }
     in
     let o = Jmpax.Pipeline.check_online ~config ~spec program in
     Format.printf
@@ -399,7 +410,7 @@ let monitor_cmd =
     (Cmd.info "monitor"
        ~doc:"Monitor a program online: the lattice is analyzed while the program runs.")
     Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
-          $ clock_arg)
+          $ clock_arg $ jobs_arg)
 
 (* {1 examples} *)
 

@@ -10,6 +10,9 @@ type t = {
   fuel : int;  (** observable-step budget for the monitored run *)
   channel : channel_model;  (** delivery model between program and observer *)
   clock : Clock.Spec.backend;  (** Algorithm A clock backend *)
+  jobs : int;
+  (** domains for the analyzer's frontier engine: [1] = sequential
+      (default), [0] = all cores *)
   stop_at_first : bool;  (** stop the predictive sweep at the first bad level *)
   detect_races : bool;
   detect_deadlocks : bool;
@@ -27,6 +30,9 @@ val with_seed : int -> t -> t
 val with_channel : channel_model -> t -> t
 
 val with_clock : Clock.Spec.backend -> t -> t
+
+val with_jobs : int -> t -> t
+(** @raise Invalid_argument when negative. *)
 
 val with_clock_name : string -> t -> t
 (** Looks the backend up in {!Clock.Registry}.

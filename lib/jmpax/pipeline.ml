@@ -46,7 +46,8 @@ let check ?(config = Config.default ()) ~spec program =
     | Error msg -> invalid_arg ("Pipeline.check: observer could not reassemble: " ^ msg)
   in
   let predictive =
-    Predict.Analyzer.analyze ~stop_at_first:config.Config.stop_at_first ~spec computation
+    Predict.Analyzer.analyze ~stop_at_first:config.Config.stop_at_first
+      ~jobs:config.Config.jobs ~spec computation
   in
   let observed_ok =
     Predict.Analyzer.observed_run_verdict ~spec ~init run.Tml.Vm.messages
@@ -89,7 +90,7 @@ let check_online ?(config = Config.default ()) ~spec program =
     List.filter (fun (x, _) -> List.mem x relevant_vars) program.Tml.Ast.shared
   in
   let nthreads = List.length program.Tml.Ast.threads in
-  let online = Predict.Online.create ~nthreads ~init ~spec in
+  let online = Predict.Online.create ~jobs:config.Config.jobs ~nthreads ~init ~spec () in
   let run =
     Tml.Vm.run_image ~clock:config.Config.clock ~fuel:config.Config.fuel ~relevance
       ~sink:(Predict.Online.feed online) ~sched:config.Config.sched image

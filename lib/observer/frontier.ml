@@ -1,0 +1,311 @@
+(* The shared frontier engine: packed interned cuts plus deterministic
+   domain-parallel level expansion.  Used by Lattice.build,
+   Predict.Analyzer and Predict.Online. *)
+
+module Pool = struct
+  type t = { jobs : int }
+
+  let max_jobs = 64
+
+  let create ~jobs =
+    if jobs < 0 then invalid_arg "Frontier.Pool.create: jobs must be >= 0";
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+    { jobs = max 1 (min jobs max_jobs) }
+
+  let jobs t = t.jobs
+
+  (* Run [f s] for every shard [s] in [0 .. nshards-1], shard 0 on the
+     calling domain, the rest on freshly spawned domains.  Joins every
+     domain before returning; the first exception (shard order) is
+     re-raised. *)
+  let run t ~nshards f =
+    let nshards = max 1 (min nshards t.jobs) in
+    if nshards = 1 then f 0
+    else begin
+      let doms =
+        Array.init (nshards - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+      in
+      let first_exn = ref None in
+      (try f 0 with e -> first_exn := Some e);
+      Array.iter
+        (fun d ->
+          try Domain.join d
+          with e -> if !first_exn = None then first_exn := Some e)
+        doms;
+      match !first_exn with None -> () | Some e -> raise e
+    end
+end
+
+module Cutset = struct
+  type t = {
+    width : int;
+    mutable arena : int array;  (* cut [id] lives at [id*width .. id*width+width-1] *)
+    mutable count : int;
+    mutable slots : int array;  (* open addressing: cut id or -1 *)
+    mutable mask : int;
+    scratch : int array;  (* reused candidate buffer for intern_succ *)
+  }
+
+  let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+  let create ?(capacity = 16) ~width () =
+    if width <= 0 then invalid_arg "Frontier.Cutset.create: width must be positive";
+    let capacity = max 1 capacity in
+    let cap = pow2_at_least (2 * capacity) 8 in
+    { width;
+      arena = Array.make (capacity * width) 0;
+      count = 0;
+      slots = Array.make cap (-1);
+      mask = cap - 1;
+      scratch = Array.make width 0 }
+
+  let width t = t.width
+  let count t = t.count
+
+  (* FNV-1a over one cut, masked nonnegative. *)
+  let hash_slice (a : int array) off width =
+    let h = ref 0x811c9dc5 in
+    for i = off to off + width - 1 do
+      h := (!h lxor a.(i)) * 0x01000193
+    done;
+    !h land max_int
+
+  let slice_equal t id (a : int array) off =
+    let base = id * t.width in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < t.width do
+      if t.arena.(base + !i) <> a.(off + !i) then ok := false;
+      incr i
+    done;
+    !ok
+
+  (* Slot holding [a[off..]]'s id, or the first empty slot. *)
+  let find_slot t (a : int array) off =
+    let i = ref (hash_slice a off t.width land t.mask) in
+    while
+      let id = t.slots.(!i) in
+      id >= 0 && not (slice_equal t id a off)
+    do
+      i := (!i + 1) land t.mask
+    done;
+    !i
+
+  let grow_slots t =
+    let cap = 2 * Array.length t.slots in
+    t.slots <- Array.make cap (-1);
+    t.mask <- cap - 1;
+    for id = 0 to t.count - 1 do
+      let i = ref (hash_slice t.arena (id * t.width) t.width land t.mask) in
+      while t.slots.(!i) >= 0 do
+        i := (!i + 1) land t.mask
+      done;
+      t.slots.(!i) <- id
+    done
+
+  let ensure_arena t =
+    let need = (t.count + 1) * t.width in
+    if need > Array.length t.arena then begin
+      let arena = Array.make (max need (2 * Array.length t.arena)) 0 in
+      Array.blit t.arena 0 arena 0 (t.count * t.width);
+      t.arena <- arena
+    end
+
+  let intern_off t (a : int array) off =
+    if 2 * (t.count + 1) > Array.length t.slots then grow_slots t;
+    let s = find_slot t a off in
+    let id = t.slots.(s) in
+    if id >= 0 then id
+    else begin
+      let id = t.count in
+      ensure_arena t;
+      Array.blit a off t.arena (id * t.width) t.width;
+      t.count <- id + 1;
+      t.slots.(s) <- id;
+      id
+    end
+
+  let intern t a =
+    if Array.length a <> t.width then
+      invalid_arg "Frontier.Cutset.intern: wrong cut width";
+    intern_off t a 0
+
+  let find t a =
+    if Array.length a <> t.width then
+      invalid_arg "Frontier.Cutset.find: wrong cut width";
+    let id = t.slots.(find_slot t a 0) in
+    if id >= 0 then Some id else None
+
+  let get t id i = t.arena.((id * t.width) + i)
+  let blit t id dst = Array.blit t.arena (id * t.width) dst 0 t.width
+  let to_array t id = Array.sub t.arena (id * t.width) t.width
+
+  (* Successor cut of [src_id] in [src] with component [tid] bumped,
+     interned into [t] without allocating: the candidate goes through
+     [t.scratch]. *)
+  let intern_succ t ~src ~src_id ~tid =
+    Array.blit src.arena (src_id * src.width) t.scratch 0 t.width;
+    t.scratch.(tid) <- t.scratch.(tid) + 1;
+    intern_off t t.scratch 0
+
+  (* Re-intern cut [src_id] of [src] into [t] unchanged (merge phase). *)
+  let intern_from t ~src ~src_id = intern_off t src.arena (src_id * src.width)
+
+  let compare_ids t a b =
+    let ba = a * t.width and bb = b * t.width in
+    let rec go i =
+      if i = t.width then 0
+      else
+        let c = compare t.arena.(ba + i) t.arena.(bb + i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+  let mem_words t = Array.length t.arena + Array.length t.slots + t.width + 8
+end
+
+module type PAYLOAD = sig
+  type t
+
+  val merge : t -> t -> t
+  (** Must be associative; called when two expansions reach the same cut. *)
+end
+
+(* A growable array that needs no dummy element: growth reuses the
+   pushed element as filler. *)
+type 'a buf = { mutable data : 'a array; mutable len : int }
+
+let buf_make () = { data = [||]; len = 0 }
+
+let buf_push b x =
+  if b.len = Array.length b.data then begin
+    let data = Array.make (max 8 (2 * b.len)) x in
+    Array.blit b.data 0 data 0 b.len;
+    b.data <- data
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let default_par_threshold = 128
+
+module Make (P : PAYLOAD) = struct
+  type frontier = {
+    cuts : Cutset.t;
+    order : int array;  (* canonical (lexicographic) iteration order -> cut id *)
+    payloads : P.t array;  (* indexed by cut id *)
+  }
+
+  let singleton ~width cut payload =
+    let cuts = Cutset.create ~capacity:4 ~width () in
+    let id = Cutset.intern cuts cut in
+    { cuts; order = [| id |]; payloads = [| payload |] }
+
+  let size f = Array.length f.order
+  let width f = Cutset.width f.cuts
+
+  let iter g f =
+    let buf = Array.make (width f) 0 in
+    Array.iter
+      (fun id ->
+        Cutset.blit f.cuts id buf;
+        g buf f.payloads.(id))
+      f.order
+
+  let fold g acc f =
+    let buf = Array.make (width f) 0 in
+    Array.fold_left
+      (fun acc id ->
+        Cutset.blit f.cuts id buf;
+        g acc buf f.payloads.(id))
+      acc f.order
+
+  let find f cut =
+    match Cutset.find f.cuts cut with
+    | Some id -> Some f.payloads.(id)
+    | None -> None
+
+  let min_components f =
+    let w = width f in
+    let floor = Array.make w max_int in
+    Array.iter
+      (fun id ->
+        for i = 0 to w - 1 do
+          let v = Cutset.get f.cuts id i in
+          if v < floor.(i) then floor.(i) <- v
+        done)
+      f.order;
+    floor
+
+  let mem_words f =
+    Cutset.mem_words f.cuts + Array.length f.order + Array.length f.payloads
+
+  (* One level step.  Every frontier cut is expanded through [moves]
+     (which must not retain its scratch argument) and [transition];
+     successors landing on the same cut are combined with [P.merge].
+
+     Determinism: the frontier is iterated in canonical order; shards
+     are contiguous chunks of that order; each shard merges its local
+     successors in iteration order; shard results are then merged
+     sequentially in shard order.  For an associative [P.merge] the
+     payload of every successor cut is therefore the same fold, in the
+     same operand order, as the sequential ([nshards = 1]) run — and the
+     output [order] is re-sorted, so the result is identical for every
+     jobs count.  [moves] and [transition] run concurrently across
+     shards and must be thread-safe (pure, or writing only to
+     shard-indexed slots). *)
+  let expand pool ?(par_threshold = default_par_threshold) ~moves ~transition f =
+    let n = size f in
+    let w = width f in
+    let jobs = Pool.jobs pool in
+    let nshards =
+      if jobs <= 1 || n < 2 || n < par_threshold then 1 else min jobs n
+    in
+    let locals =
+      Array.init nshards (fun _ ->
+          (Cutset.create ~capacity:(max 4 (2 * n / nshards)) ~width:w (), buf_make ()))
+    in
+    Pool.run pool ~nshards (fun s ->
+        let lo = n * s / nshards and hi = n * (s + 1) / nshards in
+        let lc, lp = locals.(s) in
+        let cutbuf = Array.make w 0 in
+        for pos = lo to hi - 1 do
+          let id = f.order.(pos) in
+          Cutset.blit f.cuts id cutbuf;
+          let p = f.payloads.(id) in
+          List.iter
+            (fun (tid, m) ->
+              let p' = transition ~shard:s p ~tid m in
+              let lid = Cutset.intern_succ lc ~src:f.cuts ~src_id:id ~tid in
+              if lid = lp.len then buf_push lp p'
+              else lp.data.(lid) <- P.merge lp.data.(lid) p')
+            (moves ~shard:s cutbuf)
+        done);
+    let cuts, payloads =
+      if nshards = 1 then begin
+        (* The single shard's local table already is the merged result;
+           skip the second interning pass (the sequential fast path
+           allocates one cutset per level, not two). *)
+        let lc, lp = locals.(0) in
+        (lc, Array.sub lp.data 0 lp.len)
+      end
+      else begin
+        let total =
+          Array.fold_left (fun acc (lc, _) -> acc + Cutset.count lc) 0 locals
+        in
+        let cuts = Cutset.create ~capacity:(max 4 total) ~width:w () in
+        let payloads = buf_make () in
+        Array.iter
+          (fun (lc, lp) ->
+            for lid = 0 to Cutset.count lc - 1 do
+              let gid = Cutset.intern_from cuts ~src:lc ~src_id:lid in
+              if gid = payloads.len then buf_push payloads lp.data.(lid)
+              else payloads.data.(gid) <- P.merge payloads.data.(gid) lp.data.(lid)
+            done)
+          locals;
+        (cuts, Array.sub payloads.data 0 payloads.len)
+      end
+    in
+    let order = Array.init (Cutset.count cuts) Fun.id in
+    Array.sort (Cutset.compare_ids cuts) order;
+    { cuts; order; payloads }
+end

@@ -12,7 +12,7 @@ type edge = { src : int; dst : int; label : Message.t }
 type t = {
   comp : Computation.t;
   nodes : node array;
-  by_cut : (int list, int) Hashtbl.t;
+  by_cut : Frontier.Cutset.t;  (* node id = interned cut id *)
   succ : (Message.t * int) list array;  (* indexed by node id *)
   pred : (Message.t * int) list array;
   levels : int list array;  (* node ids per level, ascending *)
@@ -20,43 +20,61 @@ type t = {
 
 exception Too_large of int
 
-let build ?(max_nodes = 200_000) comp =
-  let by_cut = Hashtbl.create 64 in
+(* Frontier payload during the build: the node id once the level is
+   finalized, the global state, and the incoming edges ((source node
+   id, message) pairs).  [merge] concatenates predecessor lists — an
+   associative operation, so the parallel expansion is deterministic. *)
+type building = {
+  mutable nid : int;
+  bstate : Pastltl.State.t;
+  preds : (int * Message.t) list;
+}
+
+module F = Frontier.Make (struct
+  type t = building
+
+  let merge a b = { nid = -1; bstate = a.bstate; preds = a.preds @ b.preds }
+end)
+
+let build ?(max_nodes = 200_000) ?(jobs = 1) ?par_threshold comp =
+  let pool = Frontier.Pool.create ~jobs in
+  let width = Computation.nthreads comp in
+  let by_cut = Frontier.Cutset.create ~capacity:64 ~width () in
   let rev_nodes = ref [] in
   let rev_edges = ref [] in
   let count = ref 0 in
-  let add_node cut state level =
+  let add_node cut state level preds =
     let id = !count in
     incr count;
     if !count > max_nodes then raise (Too_large max_nodes);
-    let n = { id; cut = Array.copy cut; state; level } in
-    Hashtbl.replace by_cut (Array.to_list cut) id;
-    rev_nodes := n :: !rev_nodes;
-    n
+    (* Node ids coincide with interned-cut ids: both are assigned in
+       level order, canonical within a level. *)
+    let interned = Frontier.Cutset.intern by_cut cut in
+    assert (interned = id);
+    rev_nodes := { id; cut = Array.copy cut; state; level } :: !rev_nodes;
+    List.iter (fun (src, m) -> rev_edges := { src; dst = id; label = m } :: !rev_edges) preds;
+    id
   in
-  let bottom = add_node (Computation.bottom comp) (Computation.init_state comp) 0 in
-  let frontier = ref [ bottom ] in
-  while !frontier <> [] do
-    let next = ref [] in
-    List.iter
-      (fun n ->
-        List.iter
-          (fun (tid, m) ->
-            let cut' = Array.copy n.cut in
-            cut'.(tid) <- cut'.(tid) + 1;
-            let key = Array.to_list cut' in
-            let dst =
-              match Hashtbl.find_opt by_cut key with
-              | Some id -> id
-              | None ->
-                  let n' = add_node cut' (Computation.apply n.state m) (n.level + 1) in
-                  next := n' :: !next;
-                  n'.id
-            in
-            rev_edges := { src = n.id; dst; label = m } :: !rev_edges)
-          (Computation.enabled comp n.cut))
-      !frontier;
-    frontier := List.rev !next
+  let bottom_cut = Computation.bottom comp in
+  let p0 = { nid = 0; bstate = Computation.init_state comp; preds = [] } in
+  p0.nid <- add_node bottom_cut p0.bstate 0 [];
+  let frontier = ref (F.singleton ~width bottom_cut p0) in
+  let level = ref 0 in
+  let running = ref true in
+  while !running do
+    let next =
+      F.expand pool ?par_threshold
+        ~moves:(fun ~shard:_ cut -> Computation.enabled comp cut)
+        ~transition:(fun ~shard:_ p ~tid:_ m ->
+          { nid = -1; bstate = Computation.apply p.bstate m; preds = [ (p.nid, m) ] })
+        !frontier
+    in
+    if F.size next = 0 then running := false
+    else begin
+      incr level;
+      F.iter (fun cut p -> p.nid <- add_node cut p.bstate !level p.preds) next;
+      frontier := next
+    end
   done;
   let nodes = Array.of_list (List.rev !rev_nodes) in
   let succ = Array.make (Array.length nodes) [] in
@@ -83,10 +101,21 @@ let node t id =
 let bottom t = t.nodes.(0)
 
 let top t =
-  let full = Array.to_list (Computation.top t.comp) in
-  Option.map (node t) (Hashtbl.find_opt t.by_cut full)
+  Option.map (node t) (Frontier.Cutset.find t.by_cut (Computation.top t.comp))
 
-let compare_nodes a b = compare (a.level, Array.to_list a.cut) (b.level, Array.to_list b.cut)
+let compare_cuts a b =
+  let w = Array.length a in
+  let rec go i =
+    if i = w then 0
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let compare_nodes a b =
+  let c = compare a.level b.level in
+  if c <> 0 then c else compare_cuts a.cut b.cut
 
 let nodes t = List.sort compare_nodes (Array.to_list t.nodes)
 
@@ -100,20 +129,34 @@ let max_width t = Array.fold_left (fun acc ids -> max acc (List.length ids)) 0 t
 let successors t n = List.rev_map (fun (m, id) -> (m, node t id)) t.succ.(n.id)
 let predecessors t n = List.rev_map (fun (m, id) -> (m, node t id)) t.pred.(n.id)
 
-let run_count t =
+(* Path-count DP with saturation: C(levels, cut) overflows 63-bit ints
+   long before the lattice itself is large (e.g. an independent 2×40
+   grid has 1681 nodes but C(80,40) ≈ 1.08e23 runs). *)
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let run_count_info t =
   match top t with
-  | None -> 0
-  | Some _ ->
+  | None -> (0, false)
+  | Some top_node ->
       let paths = Array.make (node_count t) 0 in
+      let clamped = ref false in
       paths.(0) <- 1;
-      (* Node ids are assigned in BFS order, so every edge goes from a
-         smaller to a larger id. *)
+      (* Node ids are assigned in level (BFS) order, so every edge goes
+         from a smaller to a larger id. *)
       Array.iteri
         (fun src outs ->
-          List.iter (fun (_, dst) -> paths.(dst) <- paths.(dst) + paths.(src)) outs)
+          List.iter
+            (fun (_, dst) ->
+              let sum = sat_add paths.(dst) paths.(src) in
+              if sum = max_int then clamped := true;
+              paths.(dst) <- sum)
+            outs)
         t.succ;
-      let top_node = Option.get (top t) in
-      paths.(top_node.id)
+      let n = paths.(top_node.id) in
+      (n, !clamped && n = max_int)
+
+let run_count t = fst (run_count_info t)
+let run_count_saturated t = snd (run_count_info t)
 
 let runs ?(max_runs = 100_000) t =
   match top t with
@@ -173,8 +216,10 @@ let to_dot ?(highlight = fun _ -> false) t =
 
 let pp ppf t =
   let vars = Computation.variables t.comp in
-  Format.fprintf ppf "@[<v>lattice: %d nodes, %d edges, %d runs@," (node_count t)
-    (edge_count t) (run_count t);
+  let nruns, saturated = run_count_info t in
+  Format.fprintf ppf "@[<v>lattice: %d nodes, %d edges, %s runs@," (node_count t)
+    (edge_count t)
+    (if saturated then ">= max_int (saturated)" else string_of_int nruns);
   for l = 0 to level_count t - 1 do
     Format.fprintf ppf "level %d:" l;
     List.iter

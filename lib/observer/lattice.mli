@@ -25,8 +25,15 @@ exception Too_large of int
 (** Raised by {!build} when the node budget is exceeded; carries the
     budget. *)
 
-val build : ?max_nodes:int -> Computation.t -> t
-(** Breadth-first, level by level. [max_nodes] defaults to [200_000].
+val build : ?max_nodes:int -> ?jobs:int -> ?par_threshold:int -> Computation.t -> t
+(** Breadth-first, level by level, on the {!Frontier} engine: cuts are
+    interned in a packed arena and, with [jobs > 1], each level is
+    expanded in parallel across a domain pool ([jobs = 0] means all
+    cores; default [1] = sequential). The result is identical for every
+    jobs count. [par_threshold] is the minimum level width before a
+    level is sharded (default {!Frontier.default_par_threshold}; [0]
+    forces sharding — a testing knob). [max_nodes] defaults to
+    [200_000].
     @raise Too_large when the lattice exceeds the budget. *)
 
 val computation : t -> Computation.t
@@ -62,7 +69,15 @@ val runs : ?max_runs:int -> t -> Message.t list list
     @raise Too_large when there are more runs than the budget. *)
 
 val run_count : t -> int
-(** Number of runs (paths), by dynamic programming — no enumeration. *)
+(** Number of runs (paths), by dynamic programming — no enumeration.
+    Additions saturate at [max_int] (an independent 2×40 grid already
+    has C(80,40) ≈ 1.08e23 paths); see {!run_count_info}. *)
+
+val run_count_info : t -> int * bool
+(** [(run_count, saturated)] — [saturated] is [true] when the count hit
+    the [max_int] ceiling and is therefore a lower bound, not exact. *)
+
+val run_count_saturated : t -> bool
 
 val states_of_run : t -> Message.t list -> Pastltl.State.t list
 (** The global-state sequence a run induces, starting from the initial

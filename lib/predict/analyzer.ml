@@ -27,7 +27,19 @@ end)
 
 type entry = { state : Pastltl.State.t; msets : Mset.t }
 
-let analyze ?(stop_at_first = false) ?(max_violations = 1000) ~spec comp =
+(* Two expansions meeting at one cut denote the same global state — the
+   cut determines it (paper, Section 3), so [a.state] and [b.state] are
+   equal by construction and only the monitor-state sets need unioning.
+   Set union is associative, so the parallel merge is deterministic. *)
+module F = Observer.Frontier.Make (struct
+  type t = entry
+
+  let merge a b = { a with msets = Mset.union a.msets b.msets }
+end)
+
+let analyze ?(stop_at_first = false) ?(max_violations = 1000) ?(jobs = 1)
+    ?par_threshold ~spec comp =
+  let pool = Observer.Frontier.Pool.create ~jobs in
   let monitor = Pastltl.Monitor.compile spec in
   let violations = ref [] in
   let n_violations = ref 0 in
@@ -48,64 +60,53 @@ let analyze ?(stop_at_first = false) ?(max_violations = 1000) ~spec comp =
         end)
       entry.msets
   in
-  (* Frontier for one level: cut (as int list) -> entry. *)
   let init_state = Observer.Computation.init_state comp in
   let m0 = Pastltl.Monitor.init monitor init_state in
   incr monitor_steps;
-  let frontier = Hashtbl.create 64 in
-  Hashtbl.replace frontier
-    (Array.to_list (Observer.Computation.bottom comp))
-    { state = init_state; msets = Mset.singleton m0 };
+  let frontier =
+    ref
+      (F.singleton
+         ~width:(Observer.Computation.nthreads comp)
+         (Observer.Computation.bottom comp)
+         { state = init_state; msets = Mset.singleton m0 })
+  in
   let running = ref true in
   while !running do
     incr levels;
-    let cuts = Hashtbl.length frontier in
+    let cuts = F.size !frontier in
     max_frontier_cuts := max !max_frontier_cuts cuts;
     cuts_visited := !cuts_visited + cuts;
-    let entries =
-      Hashtbl.fold (fun _ e acc -> acc + Mset.cardinal e.msets) frontier 0
-    in
+    let entries = F.fold (fun acc _ e -> acc + Mset.cardinal e.msets) 0 !frontier in
     max_frontier_entries := max !max_frontier_entries entries;
     let this_level_violated = ref false in
-    Hashtbl.iter
-      (fun key entry ->
-        record_violations (Array.of_list key) (!levels - 1) entry;
+    F.iter
+      (fun cut entry ->
+        record_violations cut (!levels - 1) entry;
         if Mset.exists (fun m -> not (Pastltl.Monitor.verdict monitor m)) entry.msets
         then this_level_violated := true)
-      frontier;
+      !frontier;
     if stop_at_first && !this_level_violated then running := false
     else begin
-      (* Expand to the next level. *)
-      let next = Hashtbl.create 64 in
-      Hashtbl.iter
-        (fun key entry ->
-          let cut = Array.of_list key in
-          List.iter
-            (fun (tid, m) ->
-              let cut' = Array.copy cut in
-              cut'.(tid) <- cut'.(tid) + 1;
-              let state' = Observer.Computation.apply entry.state m in
-              let stepped =
-                Mset.fold
-                  (fun ms acc ->
-                    incr monitor_steps;
-                    Mset.add (Pastltl.Monitor.step monitor ms state') acc)
-                  entry.msets Mset.empty
-              in
-              let key' = Array.to_list cut' in
-              match Hashtbl.find_opt next key' with
-              | None -> Hashtbl.replace next key' { state = state'; msets = stepped }
-              | Some existing ->
-                  assert (Pastltl.State.equal existing.state state');
-                  Hashtbl.replace next key'
-                    { existing with msets = Mset.union existing.msets stepped })
-            (Observer.Computation.enabled comp cut))
-        frontier;
-      if Hashtbl.length next = 0 then running := false
-      else begin
-        Hashtbl.reset frontier;
-        Hashtbl.iter (Hashtbl.replace frontier) next
-      end
+      (* Expand to the next level.  Monitor steps are counted in
+         shard-indexed slots so the total is order-independent. *)
+      let steps = Array.make (Observer.Frontier.Pool.jobs pool) 0 in
+      let next =
+        F.expand pool ?par_threshold
+          ~moves:(fun ~shard:_ cut -> Observer.Computation.enabled comp cut)
+          ~transition:(fun ~shard entry ~tid:_ m ->
+            let state' = Observer.Computation.apply entry.state m in
+            let stepped =
+              Mset.fold
+                (fun ms acc ->
+                  steps.(shard) <- steps.(shard) + 1;
+                  Mset.add (Pastltl.Monitor.step monitor ms state') acc)
+                entry.msets Mset.empty
+            in
+            { state = state'; msets = stepped })
+          !frontier
+      in
+      monitor_steps := Array.fold_left ( + ) !monitor_steps steps;
+      if F.size next = 0 then running := false else frontier := next
     end
   done;
   { spec;

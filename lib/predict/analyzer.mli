@@ -40,11 +40,22 @@ type report = {
 val analyze :
   ?stop_at_first:bool ->
   ?max_violations:int ->
+  ?jobs:int ->
+  ?par_threshold:int ->
   spec:Pastltl.Formula.t ->
   Observer.Computation.t ->
   report
 (** [stop_at_first] (default [false]) abandons the sweep at the first
-    violating level; [max_violations] (default [1000]) caps the report. *)
+    violating level; [max_violations] (default [1000]) caps the report.
+
+    The sweep runs on the {!Observer.Frontier} engine: cuts are interned
+    in a packed arena, and with [jobs > 1] each level expands in
+    parallel across a domain pool ([jobs = 0] means all cores; default
+    [1] = sequential).  Violations, their order, and [stats] are
+    identical for every jobs count — a property the differential test
+    suite asserts.  [par_threshold] is the minimum frontier width before
+    a level is sharded (default {!Observer.Frontier.default_par_threshold};
+    [0] forces sharding — a testing knob). *)
 
 val violated : report -> bool
 

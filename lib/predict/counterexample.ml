@@ -9,11 +9,14 @@ type counterexample = {
 type report = {
   spec : Pastltl.Formula.t;
   total_runs : int;
+  run_count : int;
+  run_count_saturated : bool;
   violating : counterexample list;
 }
 
 let check ?max_runs ~spec comp =
   let lattice = Observer.Lattice.build comp in
+  let run_count, run_count_saturated = Observer.Lattice.run_count_info lattice in
   let runs = Observer.Lattice.runs ?max_runs lattice in
   let violating =
     List.filter_map
@@ -24,7 +27,7 @@ let check ?max_runs ~spec comp =
         | Some violation_index -> Some { run; states; violation_index })
       runs
   in
-  { spec; total_runs = List.length runs; violating }
+  { spec; total_runs = List.length runs; run_count; run_count_saturated; violating }
 
 let violated r = r.violating <> []
 
@@ -42,6 +45,7 @@ let pp_counterexample ~vars ppf ce =
   Format.fprintf ppf "@]"
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>spec: %a@,runs: %d, violating: %d@]" Pastltl.Formula.pp r.spec
+  Format.fprintf ppf "@[<v>spec: %a@,runs: %d%s, violating: %d@]" Pastltl.Formula.pp r.spec
     r.total_runs
+    (if r.run_count_saturated then " (run count saturated at max_int)" else "")
     (List.length r.violating)

@@ -17,7 +17,12 @@ type counterexample = {
 
 type report = {
   spec : Pastltl.Formula.t;
-  total_runs : int;
+  total_runs : int;  (** runs actually enumerated (within [max_runs]) *)
+  run_count : int;
+  (** path count by the lattice DP ({!Observer.Lattice.run_count_info});
+      saturates at [max_int] instead of silently overflowing *)
+  run_count_saturated : bool;
+  (** [true] when [run_count] hit the ceiling and is a lower bound *)
   violating : counterexample list;
 }
 

@@ -8,6 +8,15 @@ end)
 
 type entry = { state : Pastltl.State.t; msets : Mset.t }
 
+(* The cut determines the global state, so two entries meeting at one
+   cut carry equal states by construction; only the monitor-state sets
+   need unioning (associative, hence deterministic under sharding). *)
+module F = Observer.Frontier.Make (struct
+  type t = entry
+
+  let merge a b = { a with msets = Mset.union a.msets b.msets }
+end)
+
 type gc_stats = {
   retired_cuts : int;
   peak_frontier_cuts : int;
@@ -19,14 +28,16 @@ type t = {
   nthreads : int;
   monitor : Pastltl.Monitor.compiled;
   spec : Pastltl.Formula.t;
+  pool : Observer.Frontier.Pool.t;
+  par_threshold : int option;
   (* Message store: (tid, index) -> message, plus contiguous prefix
      lengths and out-of-order buffer counts. *)
   store : (Types.tid * int, Message.t) Hashtbl.t;
   prefix : int array;  (* per thread: largest k with 1..k all received *)
   beyond : int array;  (* per thread: received messages with index > prefix *)
   ended : bool array;
-  (* Frontier: cuts of the current level. *)
-  mutable frontier : (int list, entry) Hashtbl.t;
+  (* Frontier: cuts of the current level, on the shared engine. *)
+  mutable frontier : F.frontier;
   mutable level : int;
   mutable done_ : bool;  (* the frontier can never advance again *)
   mutable rev_violations : Analyzer.violation list;
@@ -37,19 +48,19 @@ type t = {
 }
 
 let record_level_stats t =
-  let cuts = Hashtbl.length t.frontier in
+  let cuts = F.size t.frontier in
   t.peak_frontier_cuts <- max t.peak_frontier_cuts cuts;
-  let entries = Hashtbl.fold (fun _ e acc -> acc + Mset.cardinal e.msets) t.frontier 0 in
+  let entries = F.fold (fun acc _ e -> acc + Mset.cardinal e.msets) 0 t.frontier in
   t.peak_frontier_entries <- max t.peak_frontier_entries entries
 
 let record_violations t =
-  Hashtbl.iter
-    (fun key entry ->
+  F.iter
+    (fun cut entry ->
       Mset.iter
         (fun m ->
           if not (Pastltl.Monitor.verdict t.monitor m) then
             t.rev_violations <-
-              { Analyzer.cut = Array.of_list key;
+              { Analyzer.cut = Array.copy cut;
                 level = t.level;
                 state = entry.state;
                 monitor_state = m }
@@ -57,19 +68,21 @@ let record_violations t =
         entry.msets)
     t.frontier
 
-let create ~nthreads ~init ~spec =
+let create ?(jobs = 1) ?par_threshold ~nthreads ~init ~spec () =
   if nthreads <= 0 then invalid_arg "Online.create: nthreads must be positive";
   let monitor = Pastltl.Monitor.compile spec in
   let init_state = Pastltl.State.of_list init in
   let m0 = Pastltl.Monitor.init monitor init_state in
-  let frontier = Hashtbl.create 16 in
-  Hashtbl.replace frontier
-    (Array.to_list (Array.make nthreads 0))
-    { state = init_state; msets = Mset.singleton m0 };
+  let frontier =
+    F.singleton ~width:nthreads (Array.make nthreads 0)
+      { state = init_state; msets = Mset.singleton m0 }
+  in
   let t =
     { nthreads;
       monitor;
       spec;
+      pool = Observer.Frontier.Pool.create ~jobs;
+      par_threshold;
       store = Hashtbl.create 64;
       prefix = Array.make nthreads 0;
       beyond = Array.make nthreads 0;
@@ -101,45 +114,43 @@ let can_advance t =
       !ok)
 
 let rec advance_one_level t =
-  let next = Hashtbl.create (Hashtbl.length t.frontier * 2) in
-  Hashtbl.iter
-    (fun key entry ->
-      let cut = Array.of_list key in
-      for i = 0 to t.nthreads - 1 do
-        let k = cut.(i) + 1 in
-        if k <= t.prefix.(i) then begin
-          let m = Hashtbl.find t.store (i, k) in
-          (* Enabled iff every other component of the event's clock is
-             inside the cut. *)
-          let enabled = ref true in
-          for j = 0 to t.nthreads - 1 do
-            if j <> i && Vclock.get m.Message.mvc j > cut.(j) then enabled := false
-          done;
-          if !enabled then begin
-            let cut' = Array.copy cut in
-            cut'.(i) <- k;
-            let state' = Observer.Computation.apply entry.state m in
-            let stepped =
-              Mset.fold
-                (fun ms acc ->
-                  t.monitor_steps <- t.monitor_steps + 1;
-                  Mset.add (Pastltl.Monitor.step t.monitor ms state') acc)
-                entry.msets Mset.empty
-            in
-            let key' = Array.to_list cut' in
-            match Hashtbl.find_opt next key' with
-            | None -> Hashtbl.replace next key' { state = state'; msets = stepped }
-            | Some existing ->
-                assert (Pastltl.State.equal existing.state state');
-                Hashtbl.replace next key'
-                  { existing with msets = Mset.union existing.msets stepped }
+  (* The store is only read during the expansion (feeds never overlap a
+     pump), so concurrent shard lookups are safe. *)
+  let steps = Array.make (Observer.Frontier.Pool.jobs t.pool) 0 in
+  let next =
+    F.expand t.pool ?par_threshold:t.par_threshold
+      ~moves:(fun ~shard:_ cut ->
+        let out = ref [] in
+        for i = t.nthreads - 1 downto 0 do
+          let k = cut.(i) + 1 in
+          if k <= t.prefix.(i) then begin
+            let m = Hashtbl.find t.store (i, k) in
+            (* Enabled iff every other component of the event's clock is
+               inside the cut. *)
+            let enabled = ref true in
+            for j = 0 to t.nthreads - 1 do
+              if j <> i && Vclock.get m.Message.mvc j > cut.(j) then enabled := false
+            done;
+            if !enabled then out := (i, m) :: !out
           end
-        end
-      done)
-    t.frontier;
-  if Hashtbl.length next = 0 then t.done_ <- true
+        done;
+        !out)
+      ~transition:(fun ~shard entry ~tid:_ m ->
+        let state' = Observer.Computation.apply entry.state m in
+        let stepped =
+          Mset.fold
+            (fun ms acc ->
+              steps.(shard) <- steps.(shard) + 1;
+              Mset.add (Pastltl.Monitor.step t.monitor ms state') acc)
+            entry.msets Mset.empty
+        in
+        { state = state'; msets = stepped })
+      t.frontier
+  in
+  t.monitor_steps <- Array.fold_left ( + ) t.monitor_steps steps;
+  if F.size next = 0 then t.done_ <- true
   else begin
-    t.retired_cuts <- t.retired_cuts + Hashtbl.length t.frontier;
+    t.retired_cuts <- t.retired_cuts + F.size t.frontier;
     t.frontier <- next;
     t.level <- t.level + 1;
     record_level_stats t;
@@ -152,16 +163,11 @@ let rec advance_one_level t =
    such messages is the paper's "garbage-collected while the analysis
    process continues". *)
 and gc_store t =
-  let floor = Array.make t.nthreads max_int in
-  Hashtbl.iter
-    (fun key _ ->
-      List.iteri (fun i k -> if k < floor.(i) then floor.(i) <- k) key)
-    t.frontier;
+  let floor = F.min_components t.frontier in
   for i = 0 to t.nthreads - 1 do
-    if floor.(i) < max_int then
-      for k = 1 to floor.(i) do
-        Hashtbl.remove t.store (i, k)
-      done
+    for k = 1 to floor.(i) do
+      Hashtbl.remove t.store (i, k)
+    done
   done
 
 let pump t =
@@ -207,7 +213,7 @@ let finish t =
 let violated t = t.rev_violations <> []
 let violations t = List.rev t.rev_violations
 let level t = t.level
-let frontier_cuts t = Hashtbl.length t.frontier
+let frontier_cuts t = F.size t.frontier
 
 let buffered t = Hashtbl.length t.store
 

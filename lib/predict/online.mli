@@ -25,12 +25,21 @@ open Trace
 type t
 
 val create :
+  ?jobs:int ->
+  ?par_threshold:int ->
   nthreads:int ->
   init:(Types.var * Types.value) list ->
   spec:Pastltl.Formula.t ->
+  unit ->
   t
 (** The frontier starts as the bottom cut (level 0), already checked
-    against the specification. *)
+    against the specification.
+
+    The frontier runs on the {!Observer.Frontier} engine; [jobs > 1]
+    expands each level across a domain pool ([jobs = 0] means all
+    cores; default [1] = sequential) with verdicts, violations and
+    {!gc_stats} identical for every jobs count.  [par_threshold] as in
+    [Predict.Analyzer.analyze]. *)
 
 val feed : t -> Message.t -> unit
 (** Accept one message (any order) and advance as far as possible.

@@ -1,0 +1,200 @@
+(* Tests for the frontier engine: the packed interned-cut table
+   (differentially against a plain (int list, int) Hashtbl), the domain
+   pool, and the deterministic parallel level expansion. *)
+
+module Cutset = Observer.Frontier.Cutset
+module Pool = Observer.Frontier.Pool
+
+(* {1 Cutset} *)
+
+let test_cutset_basics () =
+  let t = Cutset.create ~width:3 () in
+  Alcotest.(check int) "empty" 0 (Cutset.count t);
+  let a = Cutset.intern t [| 0; 0; 0 |] in
+  let b = Cutset.intern t [| 1; 0; 2 |] in
+  Alcotest.(check int) "first id" 0 a;
+  Alcotest.(check int) "second id" 1 b;
+  Alcotest.(check int) "re-intern dedups" a (Cutset.intern t [| 0; 0; 0 |]);
+  Alcotest.(check int) "count" 2 (Cutset.count t);
+  Alcotest.(check (option int)) "find present" (Some b) (Cutset.find t [| 1; 0; 2 |]);
+  Alcotest.(check (option int)) "find absent" None (Cutset.find t [| 9; 9; 9 |]);
+  Alcotest.(check (array int)) "to_array roundtrip" [| 1; 0; 2 |] (Cutset.to_array t b);
+  Alcotest.(check int) "get" 2 (Cutset.get t b 2);
+  let buf = Array.make 3 (-1) in
+  Cutset.blit t a buf;
+  Alcotest.(check (array int)) "blit" [| 0; 0; 0 |] buf;
+  (match Cutset.intern t [| 1; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong width accepted");
+  Alcotest.(check bool) "compare_ids orders lexicographically" true
+    (Cutset.compare_ids t a b < 0)
+
+let test_cutset_succ_and_from () =
+  let src = Cutset.create ~width:2 () in
+  let s = Cutset.intern src [| 3; 1 |] in
+  let dst = Cutset.create ~width:2 () in
+  let d = Cutset.intern_succ dst ~src ~src_id:s ~tid:1 in
+  Alcotest.(check (array int)) "successor bumps tid" [| 3; 2 |] (Cutset.to_array dst d);
+  Alcotest.(check int) "succ dedups" d (Cutset.intern_succ dst ~src ~src_id:s ~tid:1);
+  let d' = Cutset.intern_from dst ~src ~src_id:s in
+  Alcotest.(check (array int)) "intern_from copies" [| 3; 1 |] (Cutset.to_array dst d')
+
+let test_cutset_growth () =
+  (* Push the table through several arena and slot growths. *)
+  let t = Cutset.create ~capacity:2 ~width:4 () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    let id = Cutset.intern t [| i land 7; i lsr 3; i * 17; -i |] in
+    Alcotest.(check int) "dense ids in intern order" i id
+  done;
+  Alcotest.(check int) "all distinct" n (Cutset.count t);
+  for i = 0 to n - 1 do
+    Alcotest.(check (option int)) "still findable" (Some i)
+      (Cutset.find t [| i land 7; i lsr 3; i * 17; -i |])
+  done;
+  Alcotest.(check bool) "mem_words sane" true (Cutset.mem_words t > 4 * n)
+
+let gen_cuts =
+  QCheck.Gen.(list_size (int_range 1 200) (array_size (return 3) (int_bound 5)))
+
+let arb_cuts =
+  QCheck.make
+    ~print:(fun cuts ->
+      String.concat ";"
+        (List.map
+           (fun c ->
+             Printf.sprintf "(%s)"
+               (String.concat "," (List.map string_of_int (Array.to_list c))))
+           cuts))
+    gen_cuts
+
+(* The packed table must agree, id for id, with the seed's list-keyed
+   Hashtbl under the same first-seen numbering. *)
+let qcheck_cutset_vs_hashtbl =
+  QCheck.Test.make ~name:"cutset == (int list, int) Hashtbl reference" ~count:200
+    arb_cuts (fun cuts ->
+      let t = Cutset.create ~width:3 () in
+      let reference : (int list, int) Hashtbl.t = Hashtbl.create 16 in
+      List.for_all
+        (fun cut ->
+          let key = Array.to_list cut in
+          let expected =
+            match Hashtbl.find_opt reference key with
+            | Some id -> id
+            | None ->
+                let id = Hashtbl.length reference in
+                Hashtbl.replace reference key id;
+                id
+          in
+          Cutset.intern t cut = expected
+          && Cutset.find t cut = Some expected
+          && Array.to_list (Cutset.to_array t expected) = key)
+        cuts
+      && Cutset.count t = Hashtbl.length reference)
+
+(* {1 Pool} *)
+
+let test_pool_jobs_resolution () =
+  Alcotest.(check int) "jobs=1" 1 (Pool.jobs (Pool.create ~jobs:1));
+  Alcotest.(check int) "jobs=5" 5 (Pool.jobs (Pool.create ~jobs:5));
+  Alcotest.(check bool) "jobs=0 resolves to the machine" true
+    (Pool.jobs (Pool.create ~jobs:0) >= 1);
+  match Pool.create ~jobs:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative jobs accepted"
+
+let test_pool_runs_every_shard () =
+  let pool = Pool.create ~jobs:4 in
+  let hits = Array.make 4 0 in
+  Pool.run pool ~nshards:4 (fun s -> hits.(s) <- hits.(s) + 1);
+  Alcotest.(check (array int)) "each shard exactly once" [| 1; 1; 1; 1 |] hits;
+  (* nshards above jobs is clamped. *)
+  let hits = Array.make 8 0 in
+  Pool.run pool ~nshards:8 (fun s -> hits.(s) <- hits.(s) + 1);
+  Alcotest.(check (array int)) "clamped to jobs" [| 1; 1; 1; 1; 0; 0; 0; 0 |] hits
+
+exception Boom
+
+let test_pool_propagates_exceptions () =
+  let pool = Pool.create ~jobs:3 in
+  (* A worker-shard failure must reach the caller after all joins. *)
+  match Pool.run pool ~nshards:3 (fun s -> if s = 2 then raise Boom) with
+  | exception Boom -> ()
+  | () -> Alcotest.fail "worker exception swallowed"
+
+(* {1 Engine determinism on a synthetic lattice} *)
+
+(* Payload: sorted list of source tags; merge is list merge —
+   associative, so parallel == sequential must hold exactly. *)
+module E = Observer.Frontier.Make (struct
+  type t = int list
+
+  let merge = List.merge compare
+end)
+
+(* A synthetic grid walk: from cut c, each component below [limit] can
+   step; the move is tagged with the flattened source cut. *)
+let grid_moves ~width ~limit cut =
+  let tag = Array.fold_left (fun acc v -> (acc * (limit + 1)) + v) 0 cut in
+  List.init width (fun tid -> (tid, tag))
+  |> List.filter (fun (tid, _) -> cut.(tid) < limit)
+
+let run_grid ~jobs ~width ~limit =
+  let pool = Pool.create ~jobs in
+  let frontier = ref (E.singleton ~width (Array.make width 0) [ 0 ]) in
+  let trace = ref [] in
+  let running = ref true in
+  while !running do
+    let level =
+      E.fold (fun acc cut payload -> (Array.to_list cut, payload) :: acc) [] !frontier
+    in
+    trace := List.rev level :: !trace;
+    let next =
+      E.expand pool ~par_threshold:0
+        ~moves:(fun ~shard:_ cut -> grid_moves ~width ~limit cut)
+        ~transition:(fun ~shard:_ _payload ~tid:_ tag -> [ tag ])
+        !frontier
+    in
+    if E.size next = 0 then running := false else frontier := next
+  done;
+  List.rev !trace
+
+let test_engine_jobs_identical () =
+  let seq = run_grid ~jobs:1 ~width:3 ~limit:2 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "grid trace identical at jobs=%d" jobs)
+        true
+        (run_grid ~jobs ~width:3 ~limit:2 = seq))
+    [ 2; 3; 4; 7 ]
+
+let test_engine_canonical_order_and_min () =
+  let pool = Pool.create ~jobs:1 in
+  let f = E.singleton ~width:2 [| 0; 0 |] [ 0 ] in
+  let f = E.expand pool ~moves:(fun ~shard:_ c -> grid_moves ~width:2 ~limit:3 c)
+      ~transition:(fun ~shard:_ _ ~tid:_ tag -> [ tag ]) f in
+  (* level 1 of the 2-d grid: (0,1) then (1,0) in lexicographic order *)
+  let cuts = E.fold (fun acc cut _ -> Array.to_list cut :: acc) [] f |> List.rev in
+  Alcotest.(check bool) "lexicographic iteration" true
+    (cuts = [ [ 0; 1 ]; [ 1; 0 ] ]);
+  Alcotest.(check (array int)) "min_components" [| 0; 0 |] (E.min_components f);
+  Alcotest.(check int) "size" 2 (E.size f);
+  Alcotest.(check bool) "find hits" true (E.find f [| 1; 0 |] <> None);
+  Alcotest.(check bool) "find misses" true (E.find f [| 1; 1 |] = None)
+
+let () =
+  Alcotest.run "frontier"
+    [ ( "cutset",
+        [ Alcotest.test_case "basics" `Quick test_cutset_basics;
+          Alcotest.test_case "succ and from" `Quick test_cutset_succ_and_from;
+          Alcotest.test_case "growth" `Quick test_cutset_growth;
+          QCheck_alcotest.to_alcotest qcheck_cutset_vs_hashtbl ] );
+      ( "pool",
+        [ Alcotest.test_case "jobs resolution" `Quick test_pool_jobs_resolution;
+          Alcotest.test_case "runs every shard" `Quick test_pool_runs_every_shard;
+          Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exceptions ] );
+      ( "engine",
+        [ Alcotest.test_case "jobs=N trace identical" `Quick test_engine_jobs_identical;
+          Alcotest.test_case "canonical order + min" `Quick
+            test_engine_canonical_order_and_min ] ) ]

@@ -504,10 +504,10 @@ let test_replay_rejects_short_target () =
 
 (* {1 Online analyzer} *)
 
-let online_of_comp spec comp messages ~feed_order =
+let online_of_comp ?(jobs = 1) ?par_threshold spec comp messages ~feed_order =
   let nthreads = Observer.Computation.nthreads comp in
   let init = Pastltl.State.to_list (Observer.Computation.init_state comp) in
-  let online = Predict.Online.create ~nthreads ~init ~spec in
+  let online = Predict.Online.create ~jobs ?par_threshold ~nthreads ~init ~spec () in
   Predict.Online.feed_all online (feed_order messages);
   Predict.Online.finish online;
   online
@@ -539,7 +539,7 @@ let test_online_blocks_until_available () =
   let comp = xyz_comp () in
   let spec = Pastltl.Formula.xyz_spec in
   let init = Pastltl.State.to_list (Observer.Computation.init_state comp) in
-  let online = Predict.Online.create ~nthreads:2 ~init ~spec in
+  let online = Predict.Online.create ~nthreads:2 ~init ~spec () in
   Alcotest.(check int) "starts at level 0" 0 (Predict.Online.level online);
   (* Feed only thread 1's messages: the frontier cannot pass level 0
      because thread 0's first event might still arrive. *)
@@ -561,7 +561,7 @@ let test_online_incremental_progress () =
   let comp = xyz_comp () in
   let spec = Pastltl.Formula.xyz_spec in
   let init = Pastltl.State.to_list (Observer.Computation.init_state comp) in
-  let online = Predict.Online.create ~nthreads:2 ~init ~spec in
+  let online = Predict.Online.create ~nthreads:2 ~init ~spec () in
   let messages = Observer.Computation.messages comp in
   let levels = ref [ Predict.Online.level online ] in
   List.iter
@@ -582,7 +582,7 @@ let test_online_gc () =
   let comp = xyz_comp () in
   let spec = Pastltl.Formula.True in
   let init = Pastltl.State.to_list (Observer.Computation.init_state comp) in
-  let online = Predict.Online.create ~nthreads:2 ~init ~spec in
+  let online = Predict.Online.create ~nthreads:2 ~init ~spec () in
   Predict.Online.feed_all online (Observer.Computation.messages comp);
   Predict.Online.finish online;
   let stats = Predict.Online.gc_stats online in
@@ -595,7 +595,7 @@ let test_online_gc () =
 let test_online_duplicate_rejected () =
   let comp = xyz_comp () in
   let init = Pastltl.State.to_list (Observer.Computation.init_state comp) in
-  let online = Predict.Online.create ~nthreads:2 ~init ~spec:Pastltl.Formula.True in
+  let online = Predict.Online.create ~nthreads:2 ~init ~spec:Pastltl.Formula.True () in
   let m = List.hd (Observer.Computation.messages comp) in
   Predict.Online.feed online m;
   match Predict.Online.feed online m with
@@ -605,7 +605,7 @@ let test_online_duplicate_rejected () =
 let test_online_missing_message_detected () =
   let comp = xyz_comp () in
   let init = Pastltl.State.to_list (Observer.Computation.init_state comp) in
-  let online = Predict.Online.create ~nthreads:2 ~init ~spec:Pastltl.Formula.True in
+  let online = Predict.Online.create ~nthreads:2 ~init ~spec:Pastltl.Formula.True () in
   (* Drop thread 0's first message but deliver its second. *)
   List.iter
     (fun (m : Message.t) ->
@@ -634,6 +634,161 @@ let test_online_equals_offline_random () =
             [ 1; 2; 3 ])
         specs_pool)
     (computations_pool ())
+
+(* {1 jobs=N differential: the parallel frontier engine must be
+      indistinguishable from the sequential one} *)
+
+let violation_equal (a : Predict.Analyzer.violation) (b : Predict.Analyzer.violation) =
+  a.Predict.Analyzer.level = b.Predict.Analyzer.level
+  && a.Predict.Analyzer.cut = b.Predict.Analyzer.cut
+  && Pastltl.State.equal a.Predict.Analyzer.state b.Predict.Analyzer.state
+  && Pastltl.Monitor.compare_state a.Predict.Analyzer.monitor_state
+       b.Predict.Analyzer.monitor_state
+     = 0
+
+let violations_equal a b =
+  List.length a = List.length b && List.for_all2 violation_equal a b
+
+let check_analyzer_differential ~name spec comp =
+  let seq = Predict.Analyzer.analyze ~jobs:1 ~spec comp in
+  List.iter
+    (fun jobs ->
+      let par = Predict.Analyzer.analyze ~jobs ~par_threshold:0 ~spec comp in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: jobs=%d identical violations" name jobs)
+        true
+        (violations_equal seq.Predict.Analyzer.violations
+           par.Predict.Analyzer.violations);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: jobs=%d identical stats" name jobs)
+        true
+        (seq.Predict.Analyzer.stats = par.Predict.Analyzer.stats))
+    [ 2; 4 ]
+
+let test_analyzer_jobs_differential () =
+  List.iteri
+    (fun i comp ->
+      List.iter
+        (fun spec ->
+          check_analyzer_differential
+            ~name:(Format.asprintf "comp %d, %a" i Pastltl.Formula.pp spec)
+            spec comp)
+        specs_pool)
+    (computations_pool ())
+
+let check_online_differential ~name spec comp ~feed_order =
+  let messages = Observer.Computation.messages comp in
+  let seq = online_of_comp ~jobs:1 spec comp messages ~feed_order in
+  List.iter
+    (fun jobs ->
+      let par = online_of_comp ~jobs ~par_threshold:0 spec comp messages ~feed_order in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: jobs=%d identical violations" name jobs)
+        true
+        (violations_equal (Predict.Online.violations seq) (Predict.Online.violations par));
+      Alcotest.(check int)
+        (Printf.sprintf "%s: jobs=%d same level" name jobs)
+        (Predict.Online.level seq) (Predict.Online.level par);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: jobs=%d same gc stats" name jobs)
+        true
+        (Predict.Online.gc_stats seq = Predict.Online.gc_stats par);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: jobs=%d same residual buffer" name jobs)
+        (Predict.Online.buffered seq) (Predict.Online.buffered par))
+    [ 2; 4 ]
+
+let test_online_jobs_differential () =
+  List.iteri
+    (fun i comp ->
+      List.iter
+        (fun spec ->
+          List.iter
+            (fun (fname, feed_order) ->
+              check_online_differential
+                ~name:(Format.asprintf "comp %d (%s), %a" i fname Pastltl.Formula.pp spec)
+                spec comp ~feed_order)
+            [ ("in-order", fun ms -> ms);
+              ("shuffled", Observer.Channel.shuffle ~seed:11) ])
+        specs_pool)
+    (computations_pool ())
+
+(* Random programs: 2-3 threads of random writes to a small shared pool,
+   run under a random schedule, then analyzed at every jobs count. *)
+let gen_random_program =
+  QCheck.Gen.(
+    let var = oneofl [ "a"; "b"; "c" ] in
+    let stmt = pair var (int_bound 3) in
+    let thread = list_size (int_range 1 3) stmt in
+    triple (list_size (int_range 2 3) thread) (int_bound 1000) (int_bound 1000))
+
+let print_random_program (threads, sched_seed, spec_seed) =
+  Printf.sprintf "sched=%d spec=%d %s" sched_seed spec_seed
+    (String.concat "|"
+       (List.map
+          (fun stmts ->
+            String.concat ";" (List.map (fun (x, v) -> Printf.sprintf "%s=%d" x v) stmts))
+          threads))
+
+let arb_random_program = QCheck.make ~print:print_random_program gen_random_program
+
+let random_specs_pool =
+  [ Pastltl.Fparser.parse "always a <= 2";
+    Pastltl.Fparser.parse "[a == 1, b == 1)";
+    Pastltl.Fparser.parse "start b == 1 ==> once a == 1";
+    Pastltl.Fparser.parse "(prev c == 0) or c == 0" ]
+
+let comp_of_random (threads, sched_seed, _) =
+  let source =
+    Printf.sprintf "shared a = 0, b = 0, c = 0;\n%s"
+      (String.concat "\n"
+         (List.mapi
+            (fun i stmts ->
+              Printf.sprintf "thread t%d { %s }" i
+                (String.concat " "
+                   (List.map (fun (x, v) -> Printf.sprintf "%s = %d;" x v) stmts)))
+            threads))
+  in
+  let program = Tml.Parser.parse_program source in
+  let vars = [ "a"; "b"; "c" ] in
+  let relevance = Mvc.Relevance.writes_of_vars vars in
+  let r =
+    Tml.Vm.run_program ~relevance ~sched:(Tml.Sched.random ~seed:sched_seed) program
+  in
+  Observer.Computation.of_messages_exn
+    ~nthreads:(List.length program.Tml.Ast.threads)
+    ~init:program.Tml.Ast.shared r.Tml.Vm.messages
+
+let qcheck_jobs_differential =
+  QCheck.Test.make ~name:"random programs: jobs=N == jobs=1 (analyzer + online)"
+    ~count:60 arb_random_program (fun ((_, _, spec_seed) as rp) ->
+      let comp = comp_of_random rp in
+      let spec = List.nth random_specs_pool (spec_seed mod List.length random_specs_pool) in
+      let seq = Predict.Analyzer.analyze ~jobs:1 ~spec comp in
+      let par = Predict.Analyzer.analyze ~jobs:3 ~par_threshold:0 ~spec comp in
+      let analyzer_ok =
+        violations_equal seq.Predict.Analyzer.violations par.Predict.Analyzer.violations
+        && seq.Predict.Analyzer.stats = par.Predict.Analyzer.stats
+      in
+      let messages = Observer.Computation.messages comp in
+      let feed_order = Observer.Channel.shuffle ~seed:spec_seed in
+      let oseq = online_of_comp ~jobs:1 spec comp messages ~feed_order in
+      let opar = online_of_comp ~jobs:3 ~par_threshold:0 spec comp messages ~feed_order in
+      let online_ok =
+        violations_equal (Predict.Online.violations oseq) (Predict.Online.violations opar)
+        && Predict.Online.level oseq = Predict.Online.level opar
+        && Predict.Online.gc_stats oseq = Predict.Online.gc_stats opar
+      in
+      analyzer_ok && online_ok)
+
+let test_counterexample_run_count_fields () =
+  let report =
+    Predict.Counterexample.check ~spec:Pastltl.Formula.landing_spec (landing_comp ())
+  in
+  Alcotest.(check int) "run_count matches enumeration" 3
+    report.Predict.Counterexample.run_count;
+  Alcotest.(check bool) "not saturated" false
+    report.Predict.Counterexample.run_count_saturated
 
 let () =
   Alcotest.run "predict"
@@ -691,6 +846,14 @@ let () =
           Alcotest.test_case "missing message" `Quick test_online_missing_message_detected;
           Alcotest.test_case "equals offline randomized" `Quick
             test_online_equals_offline_random ] );
+      ( "jobs differential",
+        [ Alcotest.test_case "analyzer jobs=N == jobs=1" `Quick
+            test_analyzer_jobs_differential;
+          Alcotest.test_case "online jobs=N == jobs=1" `Quick
+            test_online_jobs_differential;
+          QCheck_alcotest.to_alcotest qcheck_jobs_differential;
+          Alcotest.test_case "counterexample run-count fields" `Quick
+            test_counterexample_run_count_fields ] );
       ( "liveness",
         [ Alcotest.test_case "eventually" `Quick test_eval_lasso_eventually;
           Alcotest.test_case "always/until" `Quick test_eval_lasso_always_until;
