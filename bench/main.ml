@@ -804,17 +804,109 @@ let e15 ?(smoke = false) () =
      the wide lattices, and jobs=N results are bit-identical to jobs=1 (asserted\n\
      above at bench scale and by the differential test suites).\n"
 
+(* {1 E16: telemetry overhead} *)
+
+(* The telemetry contract is one atomic load and branch per site when
+   metrics are off, and a handful of atomic read-modify-writes per event
+   when on.  Measured here end-to-end: the paper's two worked examples
+   through the whole pipeline, and an E15 grid through the analyzer.
+   Returns false when the metrics-on overhead breaks the 10% gate. *)
+let e16 ?(smoke = false) () =
+  section "E16" "Telemetry overhead: metrics registry on vs off";
+  let was_on = Telemetry.Metrics.enabled () in
+  let quota = if smoke then 0.1 else 0.4 in
+  let check_workload name spec program =
+    let config = Jmpax.Config.default () in
+    (name, fun () -> ignore (Jmpax.Pipeline.check ~config ~spec program))
+  in
+  let grid threads writes =
+    let program = Tml.Programs.independent ~threads ~writes in
+    let r = Tml.Vm.run_program ~sched:(Tml.Sched.round_robin ()) program in
+    let comp =
+      Observer.Computation.of_messages_exn ~nthreads:threads
+        ~init:program.Tml.Ast.shared r.Tml.Vm.messages
+    in
+    let spec = Pastltl.Fparser.parse "always v0 <= 9" in
+    ( Printf.sprintf "grid-%dx%d" threads writes,
+      fun () -> ignore (Predict.Analyzer.analyze ~jobs:1 ~spec comp) )
+  in
+  let workloads =
+    if smoke then
+      [ check_workload "landing" Pastltl.Formula.landing_spec Tml.Programs.landing_bounded;
+        grid 4 2 ]
+    else
+      [ check_workload "landing" Pastltl.Formula.landing_spec Tml.Programs.landing_bounded;
+        check_workload "xyz" Pastltl.Formula.xyz_spec Tml.Programs.xyz;
+        grid 6 2;
+        grid 8 2 ]
+  in
+  let measure_arm ~on ~quota run =
+    if on then Telemetry.Metrics.enable () else Telemetry.Metrics.disable ();
+    let ns =
+      match
+        measure ~quota
+          [ Test.make ~name:(if on then "on" else "off") (Staged.stage run) ]
+      with
+      | [ (_, ns) ] -> ns
+      | _ -> nan
+    in
+    Telemetry.Metrics.disable ();
+    ns
+  in
+  let worst = ref 0. in
+  Printf.printf "%-12s %12s %12s %9s\n" "workload" "metrics off" "metrics on" "ratio";
+  List.iter
+    (fun (name, run) ->
+      (* Scheduler noise on the microsecond workloads easily exceeds
+         the 10% gate, so each arm keeps its minimum across retries
+         (the min is the usual noise-floor estimator) with a growing
+         quota before a ratio is allowed to fail the gate. *)
+      let rec attempt quota tries best_off best_on =
+        let off = Float.min best_off (measure_arm ~on:false ~quota run) in
+        let on = Float.min best_on (measure_arm ~on:true ~quota run) in
+        let ratio = on /. off in
+        if ratio > 1.10 && tries > 0 then attempt (quota *. 2.) (tries - 1) off on
+        else (off, on, ratio)
+      in
+      let off, on, ratio = attempt quota 2 infinity infinity in
+      record ~experiment:"E16" ~metric:(name ^ " ns_off") off;
+      record ~experiment:"E16" ~metric:(name ^ " ns_on") on;
+      record ~experiment:"E16" ~metric:(name ^ " overhead_ratio") ratio;
+      if ratio > !worst then worst := ratio;
+      Printf.printf "%-12s %s %s %8.3fx\n" name (pp_ns off) (pp_ns on) ratio)
+    workloads;
+  record ~experiment:"E16" ~metric:"worst_overhead_ratio" !worst;
+  if was_on then Telemetry.Metrics.enable ();
+  Printf.printf "verdict: worst metrics-on overhead %+.1f%% (gate: +10%%)\n"
+    ((!worst -. 1.) *. 100.);
+  !worst <= 1.10
+
 (* {1 Driver} *)
+
+let gate_failed = ref false
+
+let run_e16 ?smoke () = if not (e16 ?smoke ()) then gate_failed := true
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", fun () -> e15 ()) ]
+    ("E14", e14); ("E15", fun () -> e15 ()); ("E16", fun () -> run_e16 ()) ]
+
+let dump_metrics dest =
+  let text = Telemetry.Metrics.to_text () in
+  if dest = "-" then print_string text
+  else begin
+    let oc = open_out dest in
+    output_string oc text;
+    close_out oc
+  end
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Extract [--json FILE] and [--smoke] wherever they appear. *)
+  (* Extract [--json FILE], [--metrics FILE] and [--smoke] wherever they
+     appear. *)
   let json_path = ref None in
+  let metrics_path = ref None in
   let smoke = ref false in
   let rec strip = function
     | [] -> []
@@ -824,17 +916,26 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         strip rest
+    | [ "--metrics" ] ->
+        prerr_endline "bench: --metrics requires a file argument ('-' for stdout)";
+        exit 2
+    | "--metrics" :: path :: rest ->
+        metrics_path := Some path;
+        strip rest
     | "--smoke" :: rest ->
         smoke := true;
         strip rest
     | a :: rest -> a :: strip rest
   in
   let args = strip args in
+  if !metrics_path <> None then Telemetry.Metrics.enable ();
   (match (args, !smoke) with
   | [], true ->
-      (* CI smoke: a fast subset proving the bench binary still runs. *)
+      (* CI smoke: a fast subset proving the bench binary still runs,
+         plus the telemetry-overhead gate. *)
       e1 ();
-      e15 ~smoke:true ()
+      e15 ~smoke:true ();
+      run_e16 ~smoke:true ()
   | ([] | [ "all" ]), false -> List.iter (fun (_, f) -> f ()) experiments
   | [ "perf" ], _ ->
       e3 ();
@@ -847,7 +948,12 @@ let () =
           match List.assoc_opt (String.uppercase_ascii id) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (known: E1..E15, all, perf, --smoke)\n" id;
+              Printf.eprintf "unknown experiment %s (known: E1..E16, all, perf, --smoke)\n" id;
               exit 2)
         ids);
-  Option.iter write_json !json_path
+  Option.iter write_json !json_path;
+  Option.iter dump_metrics !metrics_path;
+  if !gate_failed then begin
+    prerr_endline "bench: E16 telemetry overhead gate FAILED (metrics-on > 1.10x)";
+    exit 1
+  end

@@ -80,6 +80,22 @@ let clock_arg =
     & opt string Clock.Registry.default_name
     & info [ "clock-backend" ] ~docv:"BACKEND" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Record telemetry metrics during the run and dump the registry to \
+     $(docv) afterwards ($(b,-) for stdout; a $(b,.json) suffix selects \
+     the JSON exporter)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome-trace span stream of the pipeline stages to $(docv) \
+     (load it in chrome://tracing or Perfetto, or summarize it with \
+     $(b,jmpax stats))."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let parse_clock s =
   match Clock.Registry.find s with
   | Some b -> Ok b
@@ -123,7 +139,8 @@ let parse_spec = function
 (* {1 check} *)
 
 let check_cmd =
-  let run example file spec seed fuel channel clock jobs counterexamples replay =
+  let run example file spec seed fuel channel clock jobs counterexamples replay
+      metrics trace =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
     let channel = or_die (parse_channel channel) in
@@ -134,32 +151,40 @@ let check_cmd =
         fuel;
         channel;
         clock;
-        jobs }
+        jobs;
+        metrics;
+        trace }
     in
-    let output = Jmpax.Pipeline.check ~config ~spec program in
-    Format.printf "%a@." Jmpax.Pipeline.pp_output output;
-    if (counterexamples || replay) && Jmpax.Pipeline.predicted_violation output
-    then begin
-      let report =
-        Predict.Counterexample.check ~spec output.Jmpax.Pipeline.computation
-      in
-      Format.printf "@.%a@." Predict.Counterexample.pp_report report;
-      List.iter
-        (fun ce ->
-          Format.printf "%a@."
-            (Predict.Counterexample.pp_counterexample
-               ~vars:output.Jmpax.Pipeline.relevant_vars)
-            ce;
-          if replay then
-            match Predict.Replay.replay_counterexample ~spec ~program ce with
-            | Ok o ->
-                Format.printf "reproducing schedule: %a@." Tml.Sched.pp_script
-                  o.Predict.Replay.script
-            | Error f ->
-                Format.printf "replay failed: %a@." Predict.Replay.pp_failure f)
-        report.Predict.Counterexample.violating
-    end;
-    if Jmpax.Pipeline.predicted_violation output then exit 1
+    (* The exit code leaves the telemetry scope first, so the metric dump
+       and trace flush happen even on a violation. *)
+    let code =
+      Jmpax.Pipeline.with_telemetry config (fun () ->
+          let output = Jmpax.Pipeline.check ~config ~spec program in
+          Format.printf "%a@." Jmpax.Pipeline.pp_output output;
+          if (counterexamples || replay) && Jmpax.Pipeline.predicted_violation output
+          then begin
+            let report =
+              Predict.Counterexample.check ~spec output.Jmpax.Pipeline.computation
+            in
+            Format.printf "@.%a@." Predict.Counterexample.pp_report report;
+            List.iter
+              (fun ce ->
+                Format.printf "%a@."
+                  (Predict.Counterexample.pp_counterexample
+                     ~vars:output.Jmpax.Pipeline.relevant_vars)
+                  ce;
+                if replay then
+                  match Predict.Replay.replay_counterexample ~spec ~program ce with
+                  | Ok o ->
+                      Format.printf "reproducing schedule: %a@." Tml.Sched.pp_script
+                        o.Predict.Replay.script
+                  | Error f ->
+                      Format.printf "replay failed: %a@." Predict.Replay.pp_failure f)
+              report.Predict.Counterexample.violating
+          end;
+          if Jmpax.Pipeline.predicted_violation output then 1 else 0)
+    in
+    if code <> 0 then exit code
   in
   let counterexamples =
     Arg.(value & flag & info [ "counterexamples" ] ~doc:"Print every violating run.")
@@ -172,12 +197,13 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a program once and predict violations over all causally consistent runs.")
     Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
-          $ channel_arg $ clock_arg $ jobs_arg $ counterexamples $ replay)
+          $ channel_arg $ clock_arg $ jobs_arg $ counterexamples $ replay
+          $ metrics_arg $ trace_arg)
 
 (* {1 run} *)
 
 let run_cmd =
-  let run example file seed fuel output spec clock =
+  let run example file seed fuel output spec clock metrics trace =
     let program = or_die (load_program ~example ~file) in
     let clock = or_die (parse_clock clock) in
     let relevance, relevant_vars =
@@ -188,6 +214,11 @@ let run_cmd =
           let vars = Pastltl.Formula.vars f in
           (Mvc.Relevance.writes_of_vars vars, vars)
     in
+    let tconfig =
+      Jmpax.Config.default () |> Jmpax.Config.with_metrics metrics
+      |> Jmpax.Config.with_trace trace
+    in
+    Jmpax.Pipeline.with_telemetry tconfig @@ fun () ->
     let r = Tml.Vm.run_program ~clock ~fuel ~relevance ~sched:(sched_of_seed seed) program in
     Format.printf "outcome: %a (%d observable steps)@." Tml.Vm.pp_outcome
       r.Tml.Vm.outcome r.Tml.Vm.steps;
@@ -217,12 +248,12 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute an instrumented program once and dump its messages.")
     Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg $ output $ spec_arg
-          $ clock_arg)
+          $ clock_arg $ metrics_arg $ trace_arg)
 
 (* {1 observe} *)
 
 let observe_cmd =
-  let run trace spec jobs =
+  let run trace spec jobs metrics span_trace =
     let spec = parse_spec spec in
     match Jmpax.Wire.read_file trace with
     | Error e -> or_die (Error e)
@@ -233,11 +264,19 @@ let observe_cmd =
         with
         | Error e -> or_die (Error ("trace is not a computation: " ^ e))
         | Ok comp ->
-            let report = Predict.Analyzer.analyze ~jobs ~spec comp in
-            Format.printf "%d messages, %d threads@." (List.length messages)
-              header.Jmpax.Wire.nthreads;
-            Format.printf "%a@." Predict.Analyzer.pp_report report;
-            if Predict.Analyzer.violated report then exit 1)
+            let tconfig =
+              Jmpax.Config.default () |> Jmpax.Config.with_metrics metrics
+              |> Jmpax.Config.with_trace span_trace
+            in
+            let code =
+              Jmpax.Pipeline.with_telemetry tconfig (fun () ->
+                  let report = Predict.Analyzer.analyze ~jobs ~spec comp in
+                  Format.printf "%d messages, %d threads@." (List.length messages)
+                    header.Jmpax.Wire.nthreads;
+                  Format.printf "%a@." Predict.Analyzer.pp_report report;
+                  if Predict.Analyzer.violated report then 1 else 0)
+            in
+            if code <> 0 then exit code)
   in
   let trace =
     Arg.(required & pos 0 (some file) None
@@ -246,7 +285,7 @@ let observe_cmd =
   Cmd.v
     (Cmd.info "observe"
        ~doc:"Run the external observer on a previously recorded wire trace.")
-    Term.(const run $ trace $ spec_arg $ jobs_arg)
+    Term.(const run $ trace $ spec_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 (* {1 lattice} *)
 
@@ -382,7 +421,7 @@ let fsm_cmd =
 (* {1 monitor (online)} *)
 
 let monitor_cmd =
-  let run example file spec seed fuel clock jobs =
+  let run example file spec seed fuel clock jobs metrics trace =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
     let clock = or_die (parse_clock clock) in
@@ -391,26 +430,53 @@ let monitor_cmd =
         Jmpax.Config.sched = sched_of_seed seed;
         fuel;
         clock;
-        jobs }
+        jobs;
+        metrics;
+        trace }
     in
-    let o = Jmpax.Pipeline.check_online ~config ~spec program in
-    Format.printf
-      "spec: %a@.run: %a, %d steps@.online verdict: %s (lattice level %d)@.\
-       peak frontier: %d entries, %d cuts retired, %d monitor steps@."
-      Pastltl.Formula.pp o.Jmpax.Pipeline.o_spec Tml.Vm.pp_outcome
-      o.Jmpax.Pipeline.o_run.Tml.Vm.outcome o.Jmpax.Pipeline.o_run.Tml.Vm.steps
-      (if o.Jmpax.Pipeline.o_violated then "VIOLATION PREDICTED" else "no violation")
-      o.Jmpax.Pipeline.o_level
-      o.Jmpax.Pipeline.o_gc.Predict.Online.peak_frontier_entries
-      o.Jmpax.Pipeline.o_gc.Predict.Online.retired_cuts
-      o.Jmpax.Pipeline.o_gc.Predict.Online.monitor_steps;
-    if o.Jmpax.Pipeline.o_violated then exit 1
+    let code =
+      Jmpax.Pipeline.with_telemetry config (fun () ->
+          let o = Jmpax.Pipeline.check_online ~config ~spec program in
+          Format.printf
+            "spec: %a@.run: %a, %d steps@.online verdict: %s (lattice level %d)@.\
+             peak frontier: %d entries, %d cuts retired, %d monitor steps@."
+            Pastltl.Formula.pp o.Jmpax.Pipeline.o_spec Tml.Vm.pp_outcome
+            o.Jmpax.Pipeline.o_run.Tml.Vm.outcome o.Jmpax.Pipeline.o_run.Tml.Vm.steps
+            (if o.Jmpax.Pipeline.o_violated then "VIOLATION PREDICTED" else "no violation")
+            o.Jmpax.Pipeline.o_level
+            o.Jmpax.Pipeline.o_gc.Predict.Online.peak_frontier_entries
+            o.Jmpax.Pipeline.o_gc.Predict.Online.retired_cuts
+            o.Jmpax.Pipeline.o_gc.Predict.Online.monitor_steps;
+          if o.Jmpax.Pipeline.o_violated then 1 else 0)
+    in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Monitor a program online: the lattice is analyzed while the program runs.")
     Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
-          $ clock_arg $ jobs_arg)
+          $ clock_arg $ jobs_arg $ metrics_arg $ trace_arg)
+
+(* {1 stats} *)
+
+let stats_cmd =
+  let run trace =
+    match Telemetry.Summary.of_file trace with
+    | Error msg -> or_die (Error msg)
+    | Ok s ->
+        Format.printf "%a@." Telemetry.Summary.pp s;
+        if not (Telemetry.Summary.well_formed s) then exit 1
+  in
+  let trace =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Span trace produced by $(b,--trace) on another subcommand.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Replay a span trace into a per-stage summary table (count, total, \
+             min/mean/max time); exits nonzero if the trace is not well nested.")
+    Term.(const run $ trace)
 
 (* {1 examples} *)
 
@@ -432,4 +498,4 @@ let () =
   let info = Cmd.info "jmpax" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; lattice_cmd; race_cmd;
                                    deadlock_cmd; atomicity_cmd; compare_cmd; examples_cmd; fsm_cmd;
-                                   monitor_cmd; observe_cmd ]))
+                                   monitor_cmd; observe_cmd; stats_cmd ]))

@@ -5,13 +5,14 @@
 type t = Vclock.t
 
 let name = "dense"
+let stats = Stats.for_backend name
 let zero n = Vclock.zero n
 let get = Vclock.get
 let inc = Vclock.inc
 
 let max a b =
   let r = Vclock.max a b in
-  Stats.note_join ~entries:(Vclock.dim r);
+  Stats.note_join stats ~entries:(Vclock.dim r);
   r
 
 let absorb = max

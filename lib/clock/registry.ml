@@ -38,3 +38,29 @@ let get name =
 
 let default : Spec.backend = (module Dense)
 let default_name = Dense.name
+
+(* {1 Per-backend join statistics}
+
+   Every backend module accounts its joins into a named [Stats] handle;
+   these accessors make that readable (and resettable) from outside the
+   library, keyed by the same names [find]/[get] use. *)
+
+let zero_stats : Stats.snapshot = { joins = 0; entry_updates = 0; fast_joins = 0 }
+
+let stats name =
+  ignore (get name);
+  (* Backends create their handle at module init, so a registered name
+     always resolves; a backend that never joined reads all zeros. *)
+  match Stats.find name with Some s -> s | None -> zero_stats
+
+let all_stats () =
+  List.map
+    (fun name -> (name, match Stats.find name with Some s -> s | None -> zero_stats))
+    (names ())
+
+let reset_stats ?name () =
+  match name with
+  | None -> Stats.reset ()
+  | Some name ->
+      ignore (get name);
+      Stats.reset_backend name

@@ -6,6 +6,7 @@
 type t = Dvclock.t
 
 let name = "sparse"
+let stats = Stats.for_backend name
 
 let zero n =
   if n <= 0 then invalid_arg "Sparse.zero: dimension must be positive";
@@ -18,16 +19,16 @@ let is_empty v = Dvclock.to_list v = []
 
 let max a b =
   if is_empty b then begin
-    Stats.note_join ~entries:0;
+    Stats.note_join stats ~entries:0;
     a
   end
   else if is_empty a then begin
-    Stats.note_join ~entries:0;
+    Stats.note_join stats ~entries:0;
     b
   end
   else begin
     let r = Dvclock.max a b in
-    Stats.note_join ~entries:(List.length (Dvclock.to_list r));
+    Stats.note_join stats ~entries:(List.length (Dvclock.to_list r));
     r
   end
 

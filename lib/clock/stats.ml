@@ -1,4 +1,4 @@
-(* Join-cost accounting, shared by every backend.
+(* Join-cost accounting, kept per backend.
 
    A join "touches" an entry when it physically writes that component
    into the result: the dense backend writes all n slots of the output
@@ -6,26 +6,69 @@
    tree backend writes only the entries its monotone copy actually
    transfers (pruned subtrees and structurally shared results count 0).
    Bench E14 compares these counters across backends on identical event
-   streams. *)
+   streams.
+
+   Each backend holds a [t] handle obtained once at module
+   initialization ([for_backend]), so the per-join cost is three field
+   writes — no lookup.  Snapshots are read from outside through
+   {!Registry} (per backend) or the aggregate accessors below (summed
+   over every backend, the pre-snapshot API kept for E14 and the test
+   suite). *)
 
 type t = {
+  backend : string;
   mutable joins : int;  (* max/absorb calls *)
   mutable entry_updates : int;  (* component writes performed by joins *)
   mutable fast_joins : int;  (* joins answered without touching any entry *)
 }
 
-let counters = { joins = 0; entry_updates = 0; fast_joins = 0 }
+type snapshot = { joins : int; entry_updates : int; fast_joins : int }
 
-let reset () =
-  counters.joins <- 0;
-  counters.entry_updates <- 0;
-  counters.fast_joins <- 0
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
 
-let note_join ~entries =
-  counters.joins <- counters.joins + 1;
-  counters.entry_updates <- counters.entry_updates + entries;
-  if entries = 0 then counters.fast_joins <- counters.fast_joins + 1
+let for_backend backend =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt registry backend with
+    | Some c -> c
+    | None ->
+        let c = { backend; joins = 0; entry_updates = 0; fast_joins = 0 } in
+        Hashtbl.replace registry backend c;
+        c
+  in
+  Mutex.unlock registry_mutex;
+  c
 
-let joins () = counters.joins
-let entry_updates () = counters.entry_updates
-let fast_joins () = counters.fast_joins
+let note_join (c : t) ~entries =
+  c.joins <- c.joins + 1;
+  c.entry_updates <- c.entry_updates + entries;
+  if entries = 0 then c.fast_joins <- c.fast_joins + 1
+
+let snapshot (c : t) : snapshot =
+  { joins = c.joins; entry_updates = c.entry_updates; fast_joins = c.fast_joins }
+
+let find backend = Option.map snapshot (Hashtbl.find_opt registry backend)
+
+let reset_backend backend =
+  match Hashtbl.find_opt registry backend with
+  | None -> ()
+  | Some (c : t) ->
+      c.joins <- 0;
+      c.entry_updates <- 0;
+      c.fast_joins <- 0
+
+let all () =
+  Hashtbl.fold (fun name c acc -> (name, snapshot c) :: acc) registry []
+  |> List.sort compare
+
+let reset () = Hashtbl.iter (fun name _ -> reset_backend name) registry
+
+(* Aggregate accessors over every backend — the original single-global
+   API, still what E14 and the clock tests use between [reset] calls
+   around a single-backend replay. *)
+
+let sum f = Hashtbl.fold (fun _ c acc -> acc + f c) registry 0
+let joins () = sum (fun c -> c.joins)
+let entry_updates () = sum (fun c -> c.entry_updates)
+let fast_joins () = sum (fun c -> c.fast_joins)

@@ -70,6 +70,7 @@ type t = {
 }
 
 let name = "tree"
+let stats = Stats.for_backend name
 
 let next_ver = ref 0
 
@@ -134,11 +135,11 @@ let compact_if_needed t =
 
 let max a b =
   if a == b || b.nodes = 0 then begin
-    Stats.note_join ~entries:0;
+    Stats.note_join stats ~entries:0;
     a
   end
   else if a.nodes = 0 then begin
-    Stats.note_join ~entries:0;
+    Stats.note_join stats ~entries:0;
     b
   end
   else begin
@@ -172,7 +173,7 @@ let max a b =
         else kids (* hoist: u itself is stale, keep only its newer part *)
     in
     let forest = match b.root with None -> [] | Some r -> residue r in
-    Stats.note_join ~entries:!written;
+    Stats.note_join stats ~entries:!written;
     if forest = [] then a
     else
       match a.root with

@@ -13,6 +13,8 @@ type t = {
   detect_races : bool;
   detect_deadlocks : bool;
   detect_atomicity : bool;
+  metrics : string option;
+  trace : string option;
 }
 
 let default () =
@@ -24,7 +26,9 @@ let default () =
     stop_at_first = false;
     detect_races = true;
     detect_deadlocks = true;
-    detect_atomicity = true }
+    detect_atomicity = true;
+    metrics = None;
+    trace = None }
 
 let with_sched sched t = { t with sched }
 let with_seed seed t = { t with sched = Tml.Sched.random ~seed }
@@ -34,6 +38,9 @@ let with_clock clock t = { t with clock }
 let with_jobs jobs t =
   if jobs < 0 then invalid_arg "Config.with_jobs: jobs must be >= 0";
   { t with jobs }
+
+let with_metrics metrics t = { t with metrics }
+let with_trace trace t = { t with trace }
 
 let with_clock_name name t =
   match Clock.Registry.find name with

@@ -17,6 +17,13 @@ type t = {
   detect_races : bool;
   detect_deadlocks : bool;
   detect_atomicity : bool;
+  metrics : string option;
+  (** where {!Pipeline.with_telemetry} dumps the metrics registry after
+      the run: a path ([.json] selects the JSON exporter) or ["-"] for
+      stdout; [None] (default) leaves telemetry off *)
+  trace : string option;
+  (** Chrome-trace span stream destination (path or ["-"]); [None]
+      (default) disables tracing *)
 }
 
 val default : unit -> t
@@ -33,6 +40,9 @@ val with_clock : Clock.Spec.backend -> t -> t
 
 val with_jobs : int -> t -> t
 (** @raise Invalid_argument when negative. *)
+
+val with_metrics : string option -> t -> t
+val with_trace : string option -> t -> t
 
 val with_clock_name : string -> t -> t
 (** Looks the backend up in {!Clock.Registry}.

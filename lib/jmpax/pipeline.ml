@@ -13,6 +13,68 @@ type output = {
   atomicity : Predict.Atomicity.report option;
 }
 
+(* {1 Telemetry} *)
+
+let telemetry_sink dest =
+  if dest = "-" then (stdout, false) else (open_out dest, true)
+
+(* The clock backends account joins into [Clock.Stats] unconditionally
+   (three field writes per join); surfacing them as gauges at dump time
+   folds them into the one metrics report. *)
+let inject_clock_stats () =
+  List.iter
+    (fun (name, (s : Clock.Stats.snapshot)) ->
+      let set suffix v =
+        Telemetry.Metrics.set
+          (Telemetry.Metrics.gauge (Printf.sprintf "clock.%s.%s" name suffix))
+          v
+      in
+      set "joins" s.joins;
+      set "entry_updates" s.entry_updates;
+      set "fast_joins" s.fast_joins)
+    (Clock.Registry.all_stats ())
+
+let dump_metrics dest =
+  inject_clock_stats ();
+  let text =
+    if Filename.check_suffix dest ".json" then Telemetry.Metrics.to_json ()
+    else Telemetry.Metrics.to_text ()
+  in
+  let oc, close = telemetry_sink dest in
+  output_string oc text;
+  if close then close_out oc else flush oc
+
+let with_telemetry (config : Config.t) f =
+  match (config.Config.metrics, config.Config.trace) with
+  | None, None -> f ()
+  | metrics, trace ->
+      let trace_ch =
+        Option.map
+          (fun dest ->
+            let oc, close = telemetry_sink dest in
+            Telemetry.Span.enable oc;
+            (oc, close))
+          trace
+      in
+      if metrics <> None then begin
+        Telemetry.Metrics.reset ();
+        Clock.Registry.reset_stats ();
+        Telemetry.Metrics.enable ()
+      end;
+      Fun.protect
+        ~finally:(fun () ->
+          (match trace_ch with
+          | Some (oc, close) ->
+              Telemetry.Span.disable ();
+              if close then close_out oc
+          | None -> ());
+          match metrics with
+          | Some dest ->
+              Telemetry.Metrics.disable ();
+              dump_metrics dest
+          | None -> ())
+        f
+
 let apply_channel config messages =
   match config.Config.channel with
   | Config.In_order -> Observer.Channel.identity messages

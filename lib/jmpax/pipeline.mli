@@ -26,6 +26,16 @@ type output = {
   atomicity : Predict.Atomicity.report option;
 }
 
+val with_telemetry : Config.t -> (unit -> 'a) -> 'a
+(** Runs the thunk with telemetry configured per [config.metrics] /
+    [config.trace].  When both are [None] this is exactly [f ()].
+    Otherwise: metric recording (and clock-stats counters) is reset and
+    enabled for the duration when [metrics] is set, and the registry —
+    including per-backend {!Clock.Stats} as [clock.<backend>.*] gauges —
+    is dumped to the destination afterwards ([.json] selects the JSON
+    exporter, ["-"] stdout); span tracing is written to [trace]
+    likewise.  Dump and teardown also happen when the thunk raises. *)
+
 val check : ?config:Config.t -> spec:Pastltl.Formula.t -> Tml.Ast.program -> output
 (** Runs the whole pipeline once.
     @raise Invalid_argument if the program is ill-formed, or if the

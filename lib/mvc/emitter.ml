@@ -1,4 +1,8 @@
 open Trace
+module M = Telemetry.Metrics
+
+let m_events = M.counter "mvc.events"
+let m_messages = M.counter "mvc.messages"
 
 (* The algorithm state is erased behind closures so one emitter type
    serves every clock backend; messages always carry dense clocks, so
@@ -9,6 +13,7 @@ type t = {
   check : unit -> bool;
   backend : string;
   sink : Message.t -> unit;
+  per_tid : M.counter array;  (* messages emitted per thread *)
   mutable rev_messages : Message.t list;
   mutable count : int;
 }
@@ -21,14 +26,25 @@ let create ?(clock = Clock.Registry.default) ~nthreads ~init ~relevance
   { builder = Exec.builder ~nthreads ~init;
     run =
       (fun tid kind ->
-        Option.map (C.to_vclock ~dim:nthreads) (A.process algo tid kind));
+        (* Algorithm A step: the per-event span is gated here so the
+           closure under [with_] only exists when tracing is on. *)
+        let r =
+          if Telemetry.Span.enabled () then
+            Telemetry.Span.with_ ~name:"mvc.algorithm_a" (fun () ->
+                A.process algo tid kind)
+          else A.process algo tid kind
+        in
+        Option.map (C.to_vclock ~dim:nthreads) r);
     check = (fun () -> A.invariant algo);
     backend = C.name;
     sink;
+    per_tid =
+      Array.init nthreads (fun i -> M.counter (Printf.sprintf "mvc.messages.t%d" i));
     rev_messages = [];
     count = 0 }
 
 let dispatch t (e : Event.t) =
+  if M.enabled () then M.incr m_events;
   match t.run e.tid e.kind with
   | None -> ()
   | Some mvc ->
@@ -45,6 +61,11 @@ let dispatch t (e : Event.t) =
       let m = Message.make ~eid:e.eid ~tid:e.tid ~var ~value ~mvc in
       t.rev_messages <- m :: t.rev_messages;
       t.count <- t.count + 1;
+      if M.enabled () then begin
+        M.incr m_messages;
+        if e.tid >= 0 && e.tid < Array.length t.per_tid then
+          M.incr t.per_tid.(e.tid)
+      end;
       t.sink m
 
 let on_internal t tid = dispatch t (Exec.add_internal t.builder tid)

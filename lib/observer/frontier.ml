@@ -2,6 +2,20 @@
    domain-parallel level expansion.  Used by Lattice.build,
    Predict.Analyzer and Predict.Online. *)
 
+module M = Telemetry.Metrics
+
+(* Handles are created once at module initialization; hot-path sites
+   branch on [M.enabled ()] before touching them (§4e of DESIGN.md: one
+   branch, no closure, when telemetry is off). *)
+let m_intern_hit = M.counter "frontier.intern.hit"
+let m_intern_miss = M.counter "frontier.intern.miss"
+let m_probes = M.counter "frontier.intern.probes"
+let m_max_probe = M.gauge "frontier.intern.max_probe"
+let m_levels = M.counter "frontier.levels_expanded"
+let m_level_cuts = M.histogram "frontier.level.cuts"
+let m_shard_cuts = M.histogram "frontier.pool.shard_cuts"
+let m_arena_words = M.gauge "frontier.cutset.peak_mem_words"
+
 module Pool = struct
   type t = { jobs : int }
 
@@ -14,19 +28,47 @@ module Pool = struct
 
   let jobs t = t.jobs
 
+  (* Per-shard busy-time accounting.  Counter handles are created
+     lazily, once per shard index, so the per-level cost is one array
+     read + one atomic add — no name formatting or registry lookup on
+     the metrics-on hot path. *)
+  let busy_counters = Array.make max_jobs None
+
+  let note_busy s us =
+    let c =
+      match busy_counters.(s) with
+      | Some c -> c
+      | None ->
+          let c = M.counter (Printf.sprintf "frontier.pool.shard%d.busy_us" s) in
+          busy_counters.(s) <- Some c;
+          c
+    in
+    M.add c us
+
+  let run_shard f s =
+    if M.enabled () then begin
+      let t0 = Telemetry.Span.now_us () in
+      Fun.protect
+        ~finally:(fun () -> note_busy s (int_of_float (Telemetry.Span.now_us () -. t0)))
+        (fun () -> Telemetry.Span.with_ ~name:"frontier.shard" (fun () -> f s))
+    end
+    else if Telemetry.Span.enabled () then
+      Telemetry.Span.with_ ~name:"frontier.shard" (fun () -> f s)
+    else f s
+
   (* Run [f s] for every shard [s] in [0 .. nshards-1], shard 0 on the
      calling domain, the rest on freshly spawned domains.  Joins every
      domain before returning; the first exception (shard order) is
      re-raised. *)
   let run t ~nshards f =
     let nshards = max 1 (min nshards t.jobs) in
-    if nshards = 1 then f 0
+    if nshards = 1 then run_shard f 0
     else begin
       let doms =
-        Array.init (nshards - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+        Array.init (nshards - 1) (fun i -> Domain.spawn (fun () -> run_shard f (i + 1)))
       in
       let first_exn = ref None in
-      (try f 0 with e -> first_exn := Some e);
+      (try run_shard f 0 with e -> first_exn := Some e);
       Array.iter
         (fun d ->
           try Domain.join d
@@ -44,6 +86,16 @@ module Cutset = struct
     mutable slots : int array;  (* open addressing: cut id or -1 *)
     mutable mask : int;
     scratch : int array;  (* reused candidate buffer for intern_succ *)
+    (* Interning statistics, batched in plain fields: a cutset is only
+       ever written by one domain (shard-local or the sequential merge),
+       so the per-lookup cost with metrics on is a few field writes, and
+       [flush_stats] moves the batch into the atomic registry once per
+       level rather than once per probe. *)
+    mutable last_probes : int;  (* probe length of the last counted lookup *)
+    mutable stat_hits : int;
+    mutable stat_misses : int;
+    mutable stat_probes : int;
+    mutable stat_max_probe : int;
   }
 
   let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
@@ -57,7 +109,12 @@ module Cutset = struct
       count = 0;
       slots = Array.make cap (-1);
       mask = cap - 1;
-      scratch = Array.make width 0 }
+      scratch = Array.make width 0;
+      last_probes = 0;
+      stat_hits = 0;
+      stat_misses = 0;
+      stat_probes = 0;
+      stat_max_probe = 0 }
 
   let width t = t.width
   let count t = t.count
@@ -91,6 +148,21 @@ module Cutset = struct
     done;
     !i
 
+  (* [find_slot] with probe counting into [last_probes]; only reached
+     when metrics are on, so the plain lookup stays write-free. *)
+  let find_slot_probed t (a : int array) off =
+    let probes = ref 1 in
+    let i = ref (hash_slice a off t.width land t.mask) in
+    while
+      let id = t.slots.(!i) in
+      id >= 0 && not (slice_equal t id a off)
+    do
+      Stdlib.incr probes;
+      i := (!i + 1) land t.mask
+    done;
+    t.last_probes <- !probes;
+    !i
+
   let grow_slots t =
     let cap = 2 * Array.length t.slots in
     t.slots <- Array.make cap (-1);
@@ -111,18 +183,53 @@ module Cutset = struct
       t.arena <- arena
     end
 
+  let mem_words t = Array.length t.arena + Array.length t.slots + t.width + 8
+
+  let insert_at t (a : int array) off s =
+    let id = t.count in
+    ensure_arena t;
+    Array.blit a off t.arena (id * t.width) t.width;
+    t.count <- id + 1;
+    t.slots.(s) <- id;
+    id
+
   let intern_off t (a : int array) off =
     if 2 * (t.count + 1) > Array.length t.slots then grow_slots t;
-    let s = find_slot t a off in
-    let id = t.slots.(s) in
-    if id >= 0 then id
+    if M.enabled () then begin
+      let s = find_slot_probed t a off in
+      let p = t.last_probes in
+      t.stat_probes <- t.stat_probes + p;
+      if p > t.stat_max_probe then t.stat_max_probe <- p;
+      let id = t.slots.(s) in
+      if id >= 0 then begin
+        t.stat_hits <- t.stat_hits + 1;
+        id
+      end
+      else begin
+        t.stat_misses <- t.stat_misses + 1;
+        insert_at t a off s
+      end
+    end
     else begin
-      let id = t.count in
-      ensure_arena t;
-      Array.blit a off t.arena (id * t.width) t.width;
-      t.count <- id + 1;
-      t.slots.(s) <- id;
-      id
+      let s = find_slot t a off in
+      let id = t.slots.(s) in
+      if id >= 0 then id else insert_at t a off s
+    end
+
+  (* Publish batched interning stats to the registry and zero them.
+     Called once per level per cutset (and when a cutset retires), so
+     the atomic traffic is O(levels), not O(probes). *)
+  let flush_stats t =
+    if t.stat_hits > 0 || t.stat_misses > 0 then begin
+      M.add m_intern_hit t.stat_hits;
+      M.add m_intern_miss t.stat_misses;
+      M.add m_probes t.stat_probes;
+      M.set_max m_max_probe t.stat_max_probe;
+      M.set_max m_arena_words (mem_words t);
+      t.stat_hits <- 0;
+      t.stat_misses <- 0;
+      t.stat_probes <- 0;
+      t.stat_max_probe <- 0
     end
 
   let intern t a =
@@ -160,8 +267,6 @@ module Cutset = struct
         if c <> 0 then c else go (i + 1)
     in
     go 0
-
-  let mem_words t = Array.length t.arena + Array.length t.slots + t.width + 8
 end
 
 module type PAYLOAD = sig
@@ -253,7 +358,7 @@ module Make (P : PAYLOAD) = struct
      jobs count.  [moves] and [transition] run concurrently across
      shards and must be thread-safe (pure, or writing only to
      shard-indexed slots). *)
-  let expand pool ?(par_threshold = default_par_threshold) ~moves ~transition f =
+  let expand_body pool par_threshold ~moves ~transition f =
     let n = size f in
     let w = width f in
     let jobs = Pool.jobs pool in
@@ -280,6 +385,12 @@ module Make (P : PAYLOAD) = struct
               else lp.data.(lid) <- P.merge lp.data.(lid) p')
             (moves ~shard:s cutbuf)
         done);
+    if M.enabled () then
+      Array.iter
+        (fun (lc, _) ->
+          M.observe m_shard_cuts (Cutset.count lc);
+          Cutset.flush_stats lc)
+        locals;
     let cuts, payloads =
       if nshards = 1 then begin
         (* The single shard's local table already is the merged result;
@@ -302,10 +413,21 @@ module Make (P : PAYLOAD) = struct
               else payloads.data.(gid) <- P.merge payloads.data.(gid) lp.data.(lid)
             done)
           locals;
+        Cutset.flush_stats cuts;
         (cuts, Array.sub payloads.data 0 payloads.len)
       end
     in
     let order = Array.init (Cutset.count cuts) Fun.id in
     Array.sort (Cutset.compare_ids cuts) order;
     { cuts; order; payloads }
+
+  let expand pool ?(par_threshold = default_par_threshold) ~moves ~transition f =
+    if M.enabled () then begin
+      M.incr m_levels;
+      M.observe m_level_cuts (size f)
+    end;
+    if Telemetry.Span.enabled () then
+      Telemetry.Span.with_ ~name:"frontier.expand" (fun () ->
+          expand_body pool par_threshold ~moves ~transition f)
+    else expand_body pool par_threshold ~moves ~transition f
 end

@@ -74,6 +74,13 @@ module Cutset : sig
 
   val mem_words : t -> int
   (** Approximate resident size in words (arena + index). *)
+
+  val flush_stats : t -> unit
+  (** Publish this table's batched interning telemetry (hit/miss/probe
+      counts, arena peak) to {!Telemetry.Metrics} and zero the batch.
+      Cheap no-op when nothing was recorded; {!Make.expand} calls it
+      once per level, long-lived tables (e.g. a lattice's node index)
+      should call it when done. *)
 end
 
 module type PAYLOAD = sig

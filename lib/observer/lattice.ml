@@ -1,4 +1,9 @@
 open Trace
+module M = Telemetry.Metrics
+
+let m_level_nodes = M.series "lattice.level_nodes"
+let m_nodes = M.counter "lattice.nodes"
+let m_sat = M.counter "lattice.run_count_saturated"
 
 type node = {
   id : int;
@@ -36,7 +41,7 @@ module F = Frontier.Make (struct
   let merge a b = { nid = -1; bstate = a.bstate; preds = a.preds @ b.preds }
 end)
 
-let build ?(max_nodes = 200_000) ?(jobs = 1) ?par_threshold comp =
+let build_body ?(max_nodes = 200_000) ?(jobs = 1) ?par_threshold comp =
   let pool = Frontier.Pool.create ~jobs in
   let width = Computation.nthreads comp in
   let by_cut = Frontier.Cutset.create ~capacity:64 ~width () in
@@ -73,9 +78,14 @@ let build ?(max_nodes = 200_000) ?(jobs = 1) ?par_threshold comp =
     else begin
       incr level;
       F.iter (fun cut p -> p.nid <- add_node cut p.bstate !level p.preds) next;
+      if M.enabled () then M.push m_level_nodes (F.size next);
       frontier := next
     end
   done;
+  if M.enabled () then begin
+    M.add m_nodes !count;
+    Frontier.Cutset.flush_stats by_cut
+  end;
   let nodes = Array.of_list (List.rev !rev_nodes) in
   let succ = Array.make (Array.length nodes) [] in
   let pred = Array.make (Array.length nodes) [] in
@@ -89,6 +99,12 @@ let build ?(max_nodes = 200_000) ?(jobs = 1) ?par_threshold comp =
   Array.iter (fun n -> levels.(n.level) <- n.id :: levels.(n.level)) nodes;
   Array.iteri (fun i ids -> levels.(i) <- List.rev ids) levels;
   { comp; nodes; by_cut; succ; pred; levels }
+
+let build ?max_nodes ?jobs ?par_threshold comp =
+  if Telemetry.Span.enabled () then
+    Telemetry.Span.with_ ~name:"lattice.build" (fun () ->
+        build_body ?max_nodes ?jobs ?par_threshold comp)
+  else build_body ?max_nodes ?jobs ?par_threshold comp
 
 let computation t = t.comp
 let node_count t = Array.length t.nodes
@@ -153,7 +169,13 @@ let run_count_info t =
             outs)
         t.succ;
       let n = paths.(top_node.id) in
-      (n, !clamped && n = max_int)
+      let saturated = !clamped && n = max_int in
+      if saturated then begin
+        if M.enabled () then M.incr m_sat;
+        if Telemetry.Span.enabled () then
+          Telemetry.Span.instant ~name:"lattice.run_count_saturated" ()
+      end;
+      (n, saturated)
 
 let run_count t = fst (run_count_info t)
 let run_count_saturated t = snd (run_count_info t)

@@ -1,3 +1,12 @@
+module M = Telemetry.Metrics
+
+let m_levels = M.counter "predict.levels"
+let m_violations = M.counter "predict.violations"
+let m_monitor_steps = M.counter "predict.monitor_steps"
+let m_max_cuts = M.gauge "predict.max_frontier_cuts"
+let m_max_entries = M.gauge "predict.max_frontier_entries"
+let m_level_series = M.series "predict.level_cuts"
+
 type violation = {
   cut : int array;
   level : int;
@@ -37,8 +46,7 @@ module F = Observer.Frontier.Make (struct
   let merge a b = { a with msets = Mset.union a.msets b.msets }
 end)
 
-let analyze ?(stop_at_first = false) ?(max_violations = 1000) ?(jobs = 1)
-    ?par_threshold ~spec comp =
+let analyze_body ~stop_at_first ~max_violations ~jobs ?par_threshold ~spec comp =
   let pool = Observer.Frontier.Pool.create ~jobs in
   let monitor = Pastltl.Monitor.compile spec in
   let violations = ref [] in
@@ -76,6 +84,7 @@ let analyze ?(stop_at_first = false) ?(max_violations = 1000) ?(jobs = 1)
     let cuts = F.size !frontier in
     max_frontier_cuts := max !max_frontier_cuts cuts;
     cuts_visited := !cuts_visited + cuts;
+    if M.enabled () then M.push m_level_series cuts;
     let entries = F.fold (fun acc _ e -> acc + Mset.cardinal e.msets) 0 !frontier in
     max_frontier_entries := max !max_frontier_entries entries;
     let this_level_violated = ref false in
@@ -117,6 +126,23 @@ let analyze ?(stop_at_first = false) ?(max_violations = 1000) ?(jobs = 1)
         max_frontier_entries = !max_frontier_entries;
         monitor_steps = !monitor_steps;
         cuts_visited = !cuts_visited } }
+
+let analyze ?(stop_at_first = false) ?(max_violations = 1000) ?(jobs = 1)
+    ?par_threshold ~spec comp =
+  let r =
+    if Telemetry.Span.enabled () then
+      Telemetry.Span.with_ ~name:"predict.analyze" (fun () ->
+          analyze_body ~stop_at_first ~max_violations ~jobs ?par_threshold ~spec comp)
+    else analyze_body ~stop_at_first ~max_violations ~jobs ?par_threshold ~spec comp
+  in
+  if M.enabled () then begin
+    M.add m_levels r.stats.levels;
+    M.add m_violations (List.length r.violations);
+    M.add m_monitor_steps r.stats.monitor_steps;
+    M.set_max m_max_cuts r.stats.max_frontier_cuts;
+    M.set_max m_max_entries r.stats.max_frontier_entries
+  end;
+  r
 
 let violated report = report.violations <> []
 

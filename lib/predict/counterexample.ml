@@ -4,6 +4,7 @@ type counterexample = {
   run : Message.t list;
   states : Pastltl.State.t list;
   violation_index : int;
+  level : int;
 }
 
 type report = {
@@ -11,6 +12,7 @@ type report = {
   total_runs : int;
   run_count : int;
   run_count_saturated : bool;
+  first_violation_level : int option;
   violating : counterexample list;
 }
 
@@ -24,15 +26,26 @@ let check ?max_runs ~spec comp =
         let states = Observer.Lattice.states_of_run lattice run in
         match Pastltl.Semantics.first_violation spec states with
         | None -> None
-        | Some violation_index -> Some { run; states; violation_index })
+        | Some violation_index ->
+            (* Runs walk one lattice edge per message, so the state at
+               index [i] sits at lattice level [i]. *)
+            Some { run; states; violation_index; level = violation_index })
       runs
   in
-  { spec; total_runs = List.length runs; run_count; run_count_saturated; violating }
+  let first_violation_level =
+    List.fold_left
+      (fun acc ce ->
+        match acc with Some l when l <= ce.level -> acc | _ -> Some ce.level)
+      None violating
+  in
+  { spec; total_runs = List.length runs; run_count; run_count_saturated;
+    first_violation_level; violating }
 
 let violated r = r.violating <> []
 
 let pp_counterexample ~vars ppf ce =
-  Format.fprintf ppf "@[<v>violating run (bad state at index %d):@," ce.violation_index;
+  Format.fprintf ppf "@[<v>violating run (bad state at index %d, lattice level %d):@,"
+    ce.violation_index ce.level;
   List.iteri
     (fun i state ->
       let marker = if i = ce.violation_index then "  <-- violation" else "" in
@@ -45,7 +58,10 @@ let pp_counterexample ~vars ppf ce =
   Format.fprintf ppf "@]"
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>spec: %a@,runs: %d%s, violating: %d@]" Pastltl.Formula.pp r.spec
-    r.total_runs
+  Format.fprintf ppf "@[<v>spec: %a@,runs: %d%s, violating: %d%s@]" Pastltl.Formula.pp
+    r.spec r.total_runs
     (if r.run_count_saturated then " (run count saturated at max_int)" else "")
     (List.length r.violating)
+    (match r.first_violation_level with
+    | None -> ""
+    | Some l -> Printf.sprintf " (first violation at lattice level %d)" l)

@@ -13,6 +13,9 @@ type counterexample = {
   run : Message.t list;  (** the violating multithreaded run *)
   states : Pastltl.State.t list;  (** induced states, initial first *)
   violation_index : int;  (** first state index falsifying the spec *)
+  level : int;
+  (** lattice level of the violating state — equal to [violation_index],
+      since a run advances exactly one level per message *)
 }
 
 type report = {
@@ -23,6 +26,9 @@ type report = {
       saturates at [max_int] instead of silently overflowing *)
   run_count_saturated : bool;
   (** [true] when [run_count] hit the ceiling and is a lower bound *)
+  first_violation_level : int option;
+  (** smallest lattice level at which any enumerated run violates the
+      spec; [None] when no run does *)
   violating : counterexample list;
 }
 

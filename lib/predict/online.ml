@@ -1,4 +1,10 @@
 open Trace
+module M = Telemetry.Metrics
+
+let m_level_cuts = M.series "online.level_cuts"
+let m_retired = M.counter "online.retired_cuts"
+let m_monitor_steps = M.counter "online.monitor_steps"
+let m_violations = M.counter "online.violations"
 
 module Mset = Set.Make (struct
   type t = Pastltl.Monitor.state
@@ -58,13 +64,15 @@ let record_violations t =
     (fun cut entry ->
       Mset.iter
         (fun m ->
-          if not (Pastltl.Monitor.verdict t.monitor m) then
+          if not (Pastltl.Monitor.verdict t.monitor m) then begin
+            if M.enabled () then M.incr m_violations;
             t.rev_violations <-
               { Analyzer.cut = Array.copy cut;
                 level = t.level;
                 state = entry.state;
                 monitor_state = m }
-              :: t.rev_violations)
+              :: t.rev_violations
+          end)
         entry.msets)
     t.frontier
 
@@ -113,7 +121,7 @@ let can_advance t =
       done;
       !ok)
 
-let rec advance_one_level t =
+let rec advance_one_level_body t =
   (* The store is only read during the expansion (feeds never overlap a
      pump), so concurrent shard lookups are safe. *)
   let steps = Array.make (Observer.Frontier.Pool.jobs t.pool) 0 in
@@ -148,9 +156,14 @@ let rec advance_one_level t =
       t.frontier
   in
   t.monitor_steps <- Array.fold_left ( + ) t.monitor_steps steps;
+  if M.enabled () then M.add m_monitor_steps (Array.fold_left ( + ) 0 steps);
   if F.size next = 0 then t.done_ <- true
   else begin
     t.retired_cuts <- t.retired_cuts + F.size t.frontier;
+    if M.enabled () then begin
+      M.add m_retired (F.size t.frontier);
+      M.push m_level_cuts (F.size next)
+    end;
     t.frontier <- next;
     t.level <- t.level + 1;
     record_level_stats t;
@@ -169,6 +182,11 @@ and gc_store t =
       Hashtbl.remove t.store (i, k)
     done
   done
+
+let advance_one_level t =
+  if Telemetry.Span.enabled () then
+    Telemetry.Span.with_ ~name:"online.level" (fun () -> advance_one_level_body t)
+  else advance_one_level_body t
 
 let pump t =
   while can_advance t do

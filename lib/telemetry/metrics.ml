@@ -1,0 +1,317 @@
+(* Atomic-backed metrics with a global name registry.  The [enabled]
+   gate is the hot-path contract: sites branch on it once and only then
+   touch their (pre-created) handles, so a disabled run pays one atomic
+   load per site and allocates nothing. *)
+
+type counter = { c_name : string; c : int Atomic.t }
+type gauge = { g_name : string; g : int Atomic.t }
+
+(* Bucket 0 holds values <= 0; bucket k (1 <= k <= 62) holds
+   [2^(k-1), 2^k).  63 buckets cover every OCaml int. *)
+let nbuckets = 63
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+}
+
+type series = {
+  s_name : string;
+  s_cap : int;
+  s_mutex : Mutex.t;
+  mutable s_data : int array;
+  mutable s_len : int;
+  mutable s_dropped : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Series of series
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Series _ -> "series"
+
+(* Get-or-create under the registry mutex; [project] rejects a name
+   already bound to a different kind. *)
+let intern name make project =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match project m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Telemetry.Metrics: %S is already a %s" name
+                   (kind_name m)))
+      | None ->
+          let m = make () in
+          Hashtbl.replace registry name m;
+          match project m with Some v -> v | None -> assert false)
+
+let counter name =
+  intern name
+    (fun () -> Counter { c_name = name; c = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  intern name
+    (fun () -> Gauge { g_name = name; g = Atomic.make 0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  intern name
+    (fun () ->
+      Histogram
+        { h_name = name;
+          buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_max = Atomic.make 0 })
+    (function Histogram h -> Some h | _ -> None)
+
+let series ?(cap = 4096) name =
+  intern name
+    (fun () ->
+      Series
+        { s_name = name;
+          s_cap = max 1 cap;
+          s_mutex = Mutex.create ();
+          s_data = [||];
+          s_len = 0;
+          s_dropped = 0 })
+    (function Series s -> Some s | _ -> None)
+
+let incr c = ignore (Atomic.fetch_and_add c.c 1)
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let value c = Atomic.get c.c
+
+let set g v = Atomic.set g.g v
+
+let rec set_max g v =
+  let cur = Atomic.get g.g in
+  if v > cur && not (Atomic.compare_and_set g.g cur v) then set_max g v
+
+let gauge_value g = Atomic.get g.g
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let k = ref 0 in
+    let v = ref v in
+    while !v > 0 do
+      Stdlib.incr k;
+      v := !v lsr 1
+    done;
+    min !k (nbuckets - 1)
+  end
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  atomic_max h.h_max v
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = Atomic.get h.h_sum
+let hist_max h = Atomic.get h.h_max
+
+let hist_bucket h k =
+  if k < 0 || k >= nbuckets then invalid_arg "Metrics.hist_bucket: bad bucket";
+  Atomic.get h.buckets.(k)
+
+let push s v =
+  Mutex.lock s.s_mutex;
+  if s.s_len >= s.s_cap then s.s_dropped <- s.s_dropped + 1
+  else begin
+    if s.s_len = Array.length s.s_data then begin
+      let data = Array.make (max 16 (min s.s_cap (2 * s.s_len))) 0 in
+      Array.blit s.s_data 0 data 0 s.s_len;
+      s.s_data <- data
+    end;
+    s.s_data.(s.s_len) <- v;
+    s.s_len <- s.s_len + 1
+  end;
+  Mutex.unlock s.s_mutex
+
+let series_values s =
+  Mutex.lock s.s_mutex;
+  let l = Array.to_list (Array.sub s.s_data 0 s.s_len) in
+  Mutex.unlock s.s_mutex;
+  l
+
+let all_metrics () =
+  Mutex.lock registry_mutex;
+  let l = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  let name = function
+    | Counter c -> c.c_name
+    | Gauge g -> g.g_name
+    | Histogram h -> h.h_name
+    | Series s -> s.s_name
+  in
+  List.sort (fun a b -> String.compare (name a) (name b)) l
+
+let reset () =
+  List.iter
+    (function
+      | Counter c -> Atomic.set c.c 0
+      | Gauge g -> Atomic.set g.g 0
+      | Histogram h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0;
+          Atomic.set h.h_max 0
+      | Series s ->
+          Mutex.lock s.s_mutex;
+          s.s_len <- 0;
+          s.s_dropped <- 0;
+          Mutex.unlock s.s_mutex)
+    (all_metrics ())
+
+(* Bucket [k]'s value range, for printing. *)
+let bucket_bounds k = if k = 0 then (0, 0) else (1 lsl (k - 1), 1 lsl k)
+
+let hist_nonempty_buckets h =
+  let out = ref [] in
+  for k = nbuckets - 1 downto 0 do
+    let n = Atomic.get h.buckets.(k) in
+    if n > 0 then out := (k, n) :: !out
+  done;
+  !out
+
+let to_text () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# jmpax telemetry metrics (zero-valued metrics omitted)\n";
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+          let v = Atomic.get c.c in
+          if v <> 0 then Buffer.add_string buf (Printf.sprintf "counter %s = %d\n" c.c_name v)
+      | Gauge g ->
+          let v = Atomic.get g.g in
+          if v <> 0 then Buffer.add_string buf (Printf.sprintf "gauge %s = %d\n" g.g_name v)
+      | Histogram h ->
+          if Atomic.get h.h_count > 0 then begin
+            Buffer.add_string buf
+              (Printf.sprintf "hist %s count=%d sum=%d max=%d" h.h_name
+                 (Atomic.get h.h_count) (Atomic.get h.h_sum) (Atomic.get h.h_max));
+            List.iter
+              (fun (k, n) ->
+                let lo, hi = bucket_bounds k in
+                if k = 0 then Buffer.add_string buf (Printf.sprintf " [<=0]=%d" n)
+                else Buffer.add_string buf (Printf.sprintf " [%d,%d)=%d" lo hi n))
+              (hist_nonempty_buckets h);
+            Buffer.add_char buf '\n'
+          end
+      | Series s ->
+          if s.s_len > 0 then begin
+            Buffer.add_string buf
+              (Printf.sprintf "series %s (%d points%s) =" s.s_name s.s_len
+                 (if s.s_dropped > 0 then Printf.sprintf ", %d dropped" s.s_dropped
+                  else ""));
+            (* The text view is for eyeballs; cap the dump so a
+               saturated series doesn't produce a 4096-number line.
+               [to_json] keeps every point. *)
+            let vs = series_values s in
+            let shown = 64 in
+            List.iteri
+              (fun i v ->
+                if i < shown then Buffer.add_string buf (Printf.sprintf " %d" v))
+              vs;
+            if List.length vs > shown then
+              Buffer.add_string buf
+                (Printf.sprintf " ... (%d more)" (List.length vs - shown));
+            Buffer.add_char buf '\n'
+          end)
+    (all_metrics ());
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n  "
+  in
+  Buffer.add_string buf "{\n  ";
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c ->
+          if Atomic.get c.c <> 0 then begin
+            sep ();
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\": {\"kind\": \"counter\", \"value\": %d}"
+                 (json_escape c.c_name) (Atomic.get c.c))
+          end
+      | Gauge g ->
+          if Atomic.get g.g <> 0 then begin
+            sep ();
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\": {\"kind\": \"gauge\", \"value\": %d}"
+                 (json_escape g.g_name) (Atomic.get g.g))
+          end
+      | Histogram h ->
+          if Atomic.get h.h_count > 0 then begin
+            sep ();
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "\"%s\": {\"kind\": \"histogram\", \"count\": %d, \"sum\": %d, \
+                  \"max\": %d, \"buckets\": [%s]}"
+                 (json_escape h.h_name) (Atomic.get h.h_count) (Atomic.get h.h_sum)
+                 (Atomic.get h.h_max)
+                 (String.concat ", "
+                    (List.map
+                       (fun (k, n) ->
+                         let lo, hi = bucket_bounds k in
+                         Printf.sprintf "[%d, %d, %d]" lo hi n)
+                       (hist_nonempty_buckets h))))
+          end
+      | Series s ->
+          if s.s_len > 0 then begin
+            sep ();
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "\"%s\": {\"kind\": \"series\", \"dropped\": %d, \"values\": [%s]}"
+                 (json_escape s.s_name) s.s_dropped
+                 (String.concat ", " (List.map string_of_int (series_values s))))
+          end)
+    (all_metrics ());
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,83 @@
+(** The metrics registry: named counters, gauges, log2-bucket histograms
+    and bounded series, recordable from any domain.
+
+    {2 Zero overhead when off}
+
+    Recording is globally gated by {!enabled}; the intended call shape at
+    an instrumentation site is
+
+    {[ if Metrics.enabled () then Metrics.incr my_counter ]}
+
+    which costs a single atomic load and branch when telemetry is off —
+    no closure is allocated and no registry lookup happens on the hot
+    path.  Metric handles are created once, at module initialization
+    time or when a subsystem is constructed, never per event.
+
+    {2 Concurrency}
+
+    Counter, gauge and histogram updates are [Atomic]-backed and safe
+    from concurrently running domains (the frontier engine's workers
+    record shard metrics while the main domain drives the level loop).
+    Series are mutex-protected.  Handle creation ({!counter} etc.) is
+    also thread-safe, but cheap only because it is expected to be rare;
+    keep it out of per-event code. *)
+
+type counter
+type gauge
+type histogram
+type series
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Handles} — get-or-create by name.
+    @raise Invalid_argument if the name is already registered as a
+    different metric kind. *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val series : ?cap:int -> string -> series
+(** A bounded append-only sequence of integers (default [cap] 4096);
+    pushes past the cap are counted but dropped.  Used for per-level
+    records whose order matters (frontier sizes by lattice level). *)
+
+(** {1 Recording} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+val set_max : gauge -> int -> unit
+(** Monotone update: keep the maximum of the current and given value. *)
+
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Values [<= 0] land in bucket 0; a positive [v] lands in the bucket
+    [\[2^(k-1), 2^k)] with [k = floor(log2 v) + 1]. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+val hist_bucket : histogram -> int -> int
+(** [hist_bucket h k] is the count in bucket [k] (see {!observe}). *)
+
+val push : series -> int -> unit
+val series_values : series -> int list
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zero every registered metric's value (handles stay valid). *)
+
+val to_text : unit -> string
+(** Human-readable dump, one metric per line, sorted by name.  Metrics
+    that were never touched since the last {!reset} are omitted. *)
+
+val to_json : unit -> string
+(** The same dump as a JSON object keyed by metric kind. *)

@@ -1,0 +1,214 @@
+type agg = {
+  name : string;
+  count : int;
+  total_us : float;
+  min_us : float;
+  max_us : float;
+}
+
+type t = {
+  events : int;
+  aggs : agg list;
+  instants : (string * int) list;
+  unmatched_ends : int;
+  unclosed_begins : int;
+  max_depth : int;
+}
+
+(* {1 Field extraction}
+
+   The writer emits flat one-line objects with string and number fields
+   plus one nested "args" object; substring search on the quoted key is
+   unambiguous for that shape. *)
+
+let find_key line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let string_field line key =
+  match find_key line key with
+  | None -> None
+  | Some i ->
+      if i < String.length line && line.[i] = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec go j =
+          if j >= String.length line then None
+          else
+            match line.[j] with
+            | '"' -> Some (Buffer.contents buf)
+            | '\\' when j + 1 < String.length line ->
+                (match line.[j + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | c -> Buffer.add_char buf c);
+                go (j + 2)
+            | c ->
+                Buffer.add_char buf c;
+                go (j + 1)
+        in
+        go (i + 1)
+      end
+      else None
+
+let number_field line key =
+  match find_key line key with
+  | None -> None
+  | Some i ->
+      let n = String.length line in
+      let j = ref i in
+      while
+        !j < n
+        && (match line.[!j] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        Stdlib.incr j
+      done;
+      if !j = i then None else float_of_string_opt (String.sub line i (!j - i))
+
+(* {1 Replay} *)
+
+type open_span = { o_name : string; o_ts : float }
+
+let of_lines lines =
+  let open_spans : (int, open_span) Hashtbl.t = Hashtbl.create 64 in
+  let stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  let instants : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let events = ref 0 in
+  let unmatched_ends = ref 0 in
+  let max_depth = ref 0 in
+  let err = ref None in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks tid s;
+        s
+  in
+  List.iteri
+    (fun lineno line ->
+      if !err = None then
+        let line = String.trim line in
+        if line = "" || line = "[" || line = "]" then ()
+        else
+          match (string_field line "ph", string_field line "name") with
+          | Some "B", Some name -> (
+              match (number_field line "ts", number_field line "id") with
+              | Some ts, Some id ->
+                  let id = int_of_float id in
+                  Stdlib.incr events;
+                  Hashtbl.replace open_spans id { o_name = name; o_ts = ts };
+                  let tid =
+                    match number_field line "tid" with
+                    | Some t -> int_of_float t
+                    | None -> 0
+                  in
+                  let s = stack_of tid in
+                  s := id :: !s;
+                  max_depth := max !max_depth (List.length !s)
+              | _ ->
+                  err := Some (Printf.sprintf "line %d: begin event without ts/id" (lineno + 1)))
+          | Some "E", _ -> (
+              match (number_field line "ts", number_field line "id") with
+              | Some ts, Some id -> (
+                  let id = int_of_float id in
+                  Stdlib.incr events;
+                  let tid =
+                    match number_field line "tid" with
+                    | Some t -> int_of_float t
+                    | None -> 0
+                  in
+                  let s = stack_of tid in
+                  (match !s with
+                  | top :: rest when top = id -> s := rest
+                  | _ -> Stdlib.incr unmatched_ends);
+                  match Hashtbl.find_opt open_spans id with
+                  | None -> Stdlib.incr unmatched_ends
+                  | Some o ->
+                      Hashtbl.remove open_spans id;
+                      let dur = ts -. o.o_ts in
+                      let a =
+                        match Hashtbl.find_opt aggs o.o_name with
+                        | None ->
+                            { name = o.o_name; count = 1; total_us = dur;
+                              min_us = dur; max_us = dur }
+                        | Some a ->
+                            { a with
+                              count = a.count + 1;
+                              total_us = a.total_us +. dur;
+                              min_us = Float.min a.min_us dur;
+                              max_us = Float.max a.max_us dur }
+                      in
+                      Hashtbl.replace aggs o.o_name a)
+              | _ -> err := Some (Printf.sprintf "line %d: end event without ts/id" (lineno + 1)))
+          | Some "i", Some name ->
+              Stdlib.incr events;
+              Hashtbl.replace instants name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt instants name))
+          | Some _, _ -> Stdlib.incr events (* other phases: counted, ignored *)
+          | None, _ ->
+              err := Some (Printf.sprintf "line %d: not a trace event: %s" (lineno + 1) line))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      Ok
+        { events = !events;
+          aggs =
+            List.sort
+              (fun a b -> Float.compare b.total_us a.total_us)
+              (Hashtbl.fold (fun _ a acc -> a :: acc) aggs []);
+          instants =
+            List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) instants []);
+          unmatched_ends = !unmatched_ends;
+          unclosed_begins = Hashtbl.length open_spans;
+          max_depth = !max_depth }
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      of_lines (List.rev !lines)
+
+let well_formed t = t.unmatched_ends = 0 && t.unclosed_begins = 0
+
+let pp_us ppf us =
+  if us >= 1e6 then Format.fprintf ppf "%8.2f s " (us /. 1e6)
+  else if us >= 1e3 then Format.fprintf ppf "%8.2f ms" (us /. 1e3)
+  else Format.fprintf ppf "%8.1f us" us
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d trace events, max span depth %d%s@,@," t.events t.max_depth
+    (if well_formed t then ""
+     else
+       Printf.sprintf " (MALFORMED: %d unmatched ends, %d unclosed begins)"
+         t.unmatched_ends t.unclosed_begins);
+  Format.fprintf ppf "%-28s %8s %11s %11s %11s %11s@," "span" "count" "total" "mean"
+    "min" "max";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-28s %8d %a %a %a %a@," a.name a.count pp_us a.total_us
+        pp_us
+        (a.total_us /. float_of_int a.count)
+        pp_us a.min_us pp_us a.max_us)
+    t.aggs;
+  (match t.instants with
+  | [] -> ()
+  | l ->
+      Format.fprintf ppf "@,%-28s %8s@," "instant marker" "count";
+      List.iter (fun (n, c) -> Format.fprintf ppf "%-28s %8d@," n c) l);
+  Format.fprintf ppf "@]"

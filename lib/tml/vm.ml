@@ -1,5 +1,8 @@
 open Trace
 open Bytecode
+module M = Telemetry.Metrics
+
+let m_steps = M.counter "vm.steps"
 
 type outcome =
   | Completed
@@ -214,11 +217,12 @@ let do_notify t tid c ~emit =
     (fun ts -> match ts.status with Waiting c' when c' = c -> ts.status <- Waking c | _ -> ())
     t.threads
 
-let step t tid =
+let step_body t tid =
   if not (List.mem tid (runnable t)) then
     invalid_arg (Printf.sprintf "Vm.step: thread %d is not runnable" tid);
   let ts = t.threads.(tid) in
   t.steps <- t.steps + 1;
+  if M.enabled () then M.incr m_steps;
   try
     (match ts.status with
     | Waking c ->
@@ -285,6 +289,11 @@ let step t tid =
     settle t tid
   with Vm_error (tid, message) -> t.error <- Some (tid, message)
 
+let step t tid =
+  if Telemetry.Span.enabled () then
+    Telemetry.Span.with_ ~name:"vm.step" (fun () -> step_body t tid)
+  else step_body t tid
+
 let steps_taken t = t.steps
 
 let final_shared t =
@@ -315,7 +324,8 @@ let run ?(fuel = 100_000) t =
           loop ()
         end
   in
-  loop ();
+  if Telemetry.Span.enabled () then Telemetry.Span.with_ ~name:"vm.run" loop
+  else loop ();
   result t
 
 let run_image ?clock ?fuel ?relevance ?sink ~sched image =

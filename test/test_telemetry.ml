@@ -1,0 +1,218 @@
+(* Tests for the telemetry subsystem: registry semantics and histogram
+   bucket boundaries, counter safety under concurrent domains, span
+   nesting well-formedness checked through trace replay, and a
+   differential test that turning instrumentation on does not perturb
+   the analyzer's output. *)
+
+module M = Telemetry.Metrics
+
+let with_metrics_on f =
+  M.enable ();
+  Fun.protect ~finally:M.disable f
+
+(* {1 Registry} *)
+
+let test_counter_identity () =
+  let a = M.counter "t.counter.identity" in
+  let b = M.counter "t.counter.identity" in
+  M.reset ();
+  M.incr a;
+  M.add b 2;
+  Alcotest.(check int) "one cell behind one name" 3 (M.value a);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Telemetry.Metrics: \"t.counter.identity\" is already a counter")
+    (fun () -> ignore (M.gauge "t.counter.identity"))
+
+let test_gauge_set_max () =
+  let g = M.gauge "t.gauge.max" in
+  M.reset ();
+  M.set g 5;
+  M.set_max g 3;
+  Alcotest.(check int) "set_max keeps larger" 5 (M.gauge_value g);
+  M.set_max g 9;
+  Alcotest.(check int) "set_max takes larger" 9 (M.gauge_value g)
+
+(* Bucket k holds [2^(k-1), 2^k); bucket 0 holds v <= 0.  Check every
+   documented boundary around the first few powers of two. *)
+let test_histogram_buckets () =
+  let h = M.histogram "t.hist.buckets" in
+  M.reset ();
+  List.iter (M.observe h) [ -3; 0; 1; 1; 2; 3; 4; 7; 8; 1024 ];
+  Alcotest.(check int) "bucket 0: v <= 0" 2 (M.hist_bucket h 0);
+  Alcotest.(check int) "bucket 1: [1,2)" 2 (M.hist_bucket h 1);
+  Alcotest.(check int) "bucket 2: [2,4)" 2 (M.hist_bucket h 2);
+  Alcotest.(check int) "bucket 3: [4,8)" 2 (M.hist_bucket h 3);
+  Alcotest.(check int) "bucket 4: [8,16)" 1 (M.hist_bucket h 4);
+  Alcotest.(check int) "bucket 11: [1024,2048)" 1 (M.hist_bucket h 11);
+  Alcotest.(check int) "count" 10 (M.hist_count h);
+  Alcotest.(check int) "max" 1024 (M.hist_max h);
+  Alcotest.(check int) "sum" (-3 + 0 + 1 + 1 + 2 + 3 + 4 + 7 + 8 + 1024) (M.hist_sum h)
+
+let test_series_cap_and_drop () =
+  let s = M.series ~cap:4 "t.series.cap" in
+  M.reset ();
+  List.iter (M.push s) [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check (list int)) "first cap points kept" [ 1; 2; 3; 4 ] (M.series_values s);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "drop count surfaces in dump" true
+    (contains (M.to_text ()) "2 dropped")
+
+let test_reset () =
+  let c = M.counter "t.reset.counter" in
+  let h = M.histogram "t.reset.hist" in
+  M.add c 7;
+  M.observe h 5;
+  M.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (M.value c);
+  Alcotest.(check int) "histogram zeroed" 0 (M.hist_count h)
+
+(* {1 Concurrency} *)
+
+let test_concurrent_counters () =
+  let c = M.counter "t.conc.counter" in
+  let h = M.histogram "t.conc.hist" in
+  M.reset ();
+  with_metrics_on (fun () ->
+      let per_domain = 20_000 and domains = 4 in
+      let worker () =
+        for i = 1 to per_domain do
+          M.incr c;
+          M.observe h (i land 7)
+        done
+      in
+      let ds = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join ds;
+      Alcotest.(check int) "no lost increments" (domains * per_domain) (M.value c);
+      Alcotest.(check int) "no lost observations" (domains * per_domain)
+        (M.hist_count h))
+
+(* {1 Span tracing} *)
+
+(* Run [f] with tracing into a temp file, then replay the trace. *)
+let trace_summary f =
+  let path = Filename.temp_file "jmpax_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      Telemetry.Span.enable oc;
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.Span.disable ();
+          close_out oc)
+        f;
+      Telemetry.Summary.of_file path)
+
+let test_span_nesting_well_formed () =
+  let summary =
+    trace_summary (fun () ->
+        Telemetry.Span.with_ ~name:"outer" (fun () ->
+            Telemetry.Span.with_ ~name:"inner" (fun () -> ());
+            Telemetry.Span.with_ ~name:"inner" (fun () ->
+                Telemetry.Span.instant ~name:"mark" ()));
+        (* A span that raises must still close. *)
+        (try Telemetry.Span.with_ ~name:"raiser" (fun () -> failwith "boom")
+         with Failure _ -> ()))
+  in
+  match summary with
+  | Error msg -> Alcotest.failf "trace replay failed: %s" msg
+  | Ok s ->
+      Alcotest.(check bool) "well-formed" true (Telemetry.Summary.well_formed s);
+      Alcotest.(check int) "no unmatched ends" 0 s.Telemetry.Summary.unmatched_ends;
+      Alcotest.(check int) "no unclosed begins" 0 s.Telemetry.Summary.unclosed_begins;
+      Alcotest.(check int) "max depth" 2 s.Telemetry.Summary.max_depth;
+      let count name =
+        match
+          List.find_opt
+            (fun (a : Telemetry.Summary.agg) -> a.Telemetry.Summary.name = name)
+            s.Telemetry.Summary.aggs
+        with
+        | Some a -> a.Telemetry.Summary.count
+        | None -> 0
+      in
+      Alcotest.(check int) "outer once" 1 (count "outer");
+      Alcotest.(check int) "inner twice" 2 (count "inner");
+      Alcotest.(check int) "raiser closed" 1 (count "raiser");
+      Alcotest.(check (list (pair string int)))
+        "instant marker" [ ("mark", 1) ] s.Telemetry.Summary.instants
+
+let test_spans_from_worker_domains () =
+  (* Frontier shards emit spans from spawned domains; the per-domain
+     stacks must keep the stream well-formed. *)
+  let summary =
+    trace_summary (fun () ->
+        let worker () = Telemetry.Span.with_ ~name:"worker" (fun () -> ()) in
+        let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+        Telemetry.Span.with_ ~name:"main" (fun () -> ());
+        List.iter Domain.join ds)
+  in
+  match summary with
+  | Error msg -> Alcotest.failf "trace replay failed: %s" msg
+  | Ok s ->
+      Alcotest.(check bool) "well-formed" true (Telemetry.Summary.well_formed s)
+
+(* {1 Differential: instrumentation must not change results} *)
+
+let observe program script vars =
+  let relevance = Mvc.Relevance.writes_of_vars vars in
+  let r = Tml.Vm.run_program ~relevance ~sched:(Tml.Sched.of_script script) program in
+  let init = List.filter (fun (x, _) -> List.mem x vars) program.Tml.Ast.shared in
+  Observer.Computation.of_messages_exn
+    ~nthreads:(List.length program.Tml.Ast.threads)
+    ~init r.Tml.Vm.messages
+
+let analyzer_output () =
+  let comp =
+    observe Tml.Programs.landing_bounded Tml.Programs.landing_observed
+      [ "landing"; "approved"; "radio" ]
+  in
+  let report = Predict.Counterexample.check ~spec:Pastltl.Formula.landing_spec comp in
+  let a = Predict.Analyzer.analyze ~spec:Pastltl.Formula.landing_spec comp in
+  Format.asprintf "%a@.levels=%d cuts=%d violated=%b@." Predict.Counterexample.pp_report
+    report a.Predict.Analyzer.stats.Predict.Analyzer.levels
+    a.Predict.Analyzer.stats.Predict.Analyzer.cuts_visited
+    (Predict.Analyzer.violated a)
+
+let test_instrumentation_off_is_identical () =
+  M.disable ();
+  let baseline = analyzer_output () in
+  let with_on =
+    with_metrics_on (fun () ->
+        let path = Filename.temp_file "jmpax_trace" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let oc = open_out path in
+            Telemetry.Span.enable oc;
+            Fun.protect
+              ~finally:(fun () ->
+                Telemetry.Span.disable ();
+                close_out oc)
+              analyzer_output))
+  in
+  Alcotest.(check string) "byte-identical analyzer output" baseline with_on;
+  let again = analyzer_output () in
+  Alcotest.(check string) "and identical after disabling again" baseline again
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "registry",
+        [ Alcotest.test_case "counter identity" `Quick test_counter_identity;
+          Alcotest.test_case "gauge set_max" `Quick test_gauge_set_max;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "series cap" `Quick test_series_cap_and_drop;
+          Alcotest.test_case "reset" `Quick test_reset ] );
+      ( "concurrency",
+        [ Alcotest.test_case "counters across domains" `Quick test_concurrent_counters ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting well-formed" `Quick test_span_nesting_well_formed;
+          Alcotest.test_case "worker domains" `Quick test_spans_from_worker_domains ] );
+      ( "differential",
+        [ Alcotest.test_case "off is byte-identical" `Quick
+            test_instrumentation_off_is_identical ] )
+    ]
