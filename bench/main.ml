@@ -10,7 +10,7 @@
 
    Usage:
      dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- E5      # one experiment (E1..E14)
+     dune exec bench/main.exe -- E5      # one experiment (E1..E17)
      dune exec bench/main.exe -- perf    # only the Bechamel timing runs
 
    Add [--json FILE] to also write every recorded (experiment, metric,
@@ -881,6 +881,113 @@ let e16 ?(smoke = false) () =
     ((!worst -. 1.) *. 100.);
   !worst <= 1.10
 
+(* {1 E17: wire codecs — framed streaming decode throughput} *)
+
+(* A structurally valid synthetic trace (tid in range, clock width right,
+   own component >= 1).  The wire layer never checks cross-thread
+   causality, so round-robin per-thread counters are enough. *)
+let synth_trace ~nthreads ~n =
+  let header =
+    { Jmpax.Wire.nthreads;
+      init = List.init nthreads (fun i -> (Printf.sprintf "v%d" i, 0)) }
+  in
+  let counts = Array.make nthreads 0 in
+  let ms =
+    List.init n (fun i ->
+        let tid = i mod nthreads in
+        counts.(tid) <- counts.(tid) + 1;
+        Trace.Message.make ~eid:i ~tid ~var:(Printf.sprintf "v%d" tid) ~value:i
+          ~mvc:(Vclock.of_list (Array.to_list counts)))
+  in
+  (header, ms)
+
+(* Drain a framed stream through the incremental reader in fixed-size
+   chunks — the [jmpax stream] hot path. *)
+let drain_framed ~chunk doc =
+  let r = Jmpax.Wire.Reader.create () in
+  let n = String.length doc in
+  let pos = ref 0 and items = ref 0 and skips = ref 0 in
+  let rec go () =
+    match Jmpax.Wire.Reader.next r with
+    | Jmpax.Wire.Reader.Item _ ->
+        incr items;
+        go ()
+    | Jmpax.Wire.Reader.Skip _ ->
+        incr skips;
+        go ()
+    | Jmpax.Wire.Reader.Eof -> ()
+    | Jmpax.Wire.Reader.Await ->
+        if !pos >= n then Jmpax.Wire.Reader.close r
+        else begin
+          let k = min chunk (n - !pos) in
+          Jmpax.Wire.Reader.feed r (String.sub doc !pos k);
+          pos := !pos + k
+        end;
+        go ()
+  in
+  go ();
+  (!items, !skips)
+
+let e17 () =
+  section "E17" "Wire codecs: v1 text vs framed v2, whole-document and streaming";
+  let nthreads = 4 and n = 20_000 in
+  let header, ms = synth_trace ~nthreads ~n in
+  let v1 = Jmpax.Wire.encode header ms in
+  let v2 = Jmpax.Wire.Framed.encode header ms in
+  (* A corrupted variant: noise spliced between frames every ~128 frames
+     prices the resynchronization path. *)
+  let noisy =
+    let buf = Buffer.create (String.length v2) in
+    Buffer.add_string buf Jmpax.Wire.Framed.preamble;
+    Buffer.add_string buf (Jmpax.Wire.Framed.encode_header header);
+    List.iteri
+      (fun i m ->
+        if i mod 128 = 0 then Buffer.add_string buf "\x01\x02 line noise \x03\x04";
+        Buffer.add_string buf (Jmpax.Wire.Framed.encode_message m))
+      ms;
+    Buffer.contents buf
+  in
+  (* Correctness before timing. *)
+  (match (Jmpax.Wire.decode v1, Jmpax.Wire.decode_framed v2) with
+  | Ok (_, a), Ok (_, b) when List.length a = n && List.length b = n -> ()
+  | _ -> failwith "E17: codecs disagree on the synthetic trace");
+  let items, skips = drain_framed ~chunk:4096 noisy in
+  Printf.printf "trace: %d messages; v1 %d bytes, framed %d bytes (%.2fx)\n" n
+    (String.length v1) (String.length v2)
+    (float_of_int (String.length v2) /. float_of_int (String.length v1));
+  Printf.printf "noisy drain: %d items, %d skips (resync works at speed)\n" items skips;
+  record ~experiment:"E17" ~metric:"framed_overhead_ratio"
+    (float_of_int (String.length v2) /. float_of_int (String.length v1));
+  let sizes =
+    [ ("v1 decode", String.length v1);
+      ("framed decode", String.length v2);
+      ("framed reader 4KiB chunks", String.length v2);
+      ("framed reader noisy", String.length noisy) ]
+  in
+  let tests =
+    [ Test.make ~name:"v1 decode"
+        (Staged.stage (fun () -> ignore (Jmpax.Wire.decode v1)));
+      Test.make ~name:"framed decode"
+        (Staged.stage (fun () -> ignore (Jmpax.Wire.decode_framed v2)));
+      Test.make ~name:"framed reader 4KiB chunks"
+        (Staged.stage (fun () -> ignore (drain_framed ~chunk:4096 v2)));
+      Test.make ~name:"framed reader noisy"
+        (Staged.stage (fun () -> ignore (drain_framed ~chunk:4096 noisy))) ]
+  in
+  Printf.printf "%-28s %12s %10s %12s\n" "codec" "per doc" "MB/s" "ns/message";
+  List.iter
+    (fun (name, ns) ->
+      let bytes = List.assoc name sizes in
+      let mbps = float_of_int bytes /. ns *. 1e3 in
+      Printf.printf "%-28s %s %9.1f %11.1f\n" name (pp_ns ns) mbps
+        (ns /. float_of_int n);
+      record ~experiment:"E17" ~metric:(name ^ " ns") ns;
+      record ~experiment:"E17" ~metric:(name ^ " MB/s") mbps)
+    (measure ~quota:0.5 tests);
+  Printf.printf
+    "series: the streaming reader should stay within ~2x of whole-document \
+     decode, and noise must not collapse throughput.\n"
+
 (* {1 Driver} *)
 
 let gate_failed = ref false
@@ -890,7 +997,8 @@ let run_e16 ?smoke () = if not (e16 ?smoke ()) then gate_failed := true
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14); ("E15", fun () -> e15 ()); ("E16", fun () -> run_e16 ()) ]
+    ("E14", e14); ("E15", fun () -> e15 ()); ("E16", fun () -> run_e16 ());
+    ("E17", e17) ]
 
 let dump_metrics dest =
   let text = Telemetry.Metrics.to_text () in
@@ -948,7 +1056,7 @@ let () =
           match List.assoc_opt (String.uppercase_ascii id) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (known: E1..E16, all, perf, --smoke)\n" id;
+              Printf.eprintf "unknown experiment %s (known: E1..E17, all, perf, --smoke)\n" id;
               exit 2)
         ids);
   Option.iter write_json !json_path;

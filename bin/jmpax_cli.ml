@@ -203,7 +203,7 @@ let check_cmd =
 (* {1 run} *)
 
 let run_cmd =
-  let run example file seed fuel output spec clock metrics trace =
+  let run example file seed fuel output format spec clock metrics trace =
     let program = or_die (load_program ~example ~file) in
     let clock = or_die (parse_clock clock) in
     let relevance, relevant_vars =
@@ -236,7 +236,7 @@ let run_cmd =
                 (fun (x, _) -> List.mem x relevant_vars)
                 program.Tml.Ast.shared }
         in
-        Jmpax.Wire.write_file path header r.Tml.Vm.messages;
+        Jmpax.Wire.write_file ~format path header r.Tml.Vm.messages;
         Format.printf "@.%d messages written to %s@." (List.length r.Tml.Vm.messages)
           path)
   in
@@ -245,10 +245,18 @@ let run_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
              ~doc:"Write the emitted messages as a wire trace instead of printing them.")
   in
+  let format =
+    Arg.(value
+         & opt (enum [ ("v1", Jmpax.Wire.V1); ("v2", Jmpax.Wire.Framed_v2) ])
+             Jmpax.Wire.Framed_v2
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Wire format for $(b,--output): $(b,v2) (framed, default) or \
+                   $(b,v1) (line-oriented text).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute an instrumented program once and dump its messages.")
-    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg $ output $ spec_arg
-          $ clock_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg $ output $ format
+          $ spec_arg $ clock_arg $ metrics_arg $ trace_arg)
 
 (* {1 observe} *)
 
@@ -256,7 +264,7 @@ let observe_cmd =
   let run trace spec jobs metrics span_trace =
     let spec = parse_spec spec in
     match Jmpax.Wire.read_file trace with
-    | Error e -> or_die (Error e)
+    | Error e -> or_die (Error (Jmpax.Wire.Error.to_string e))
     | Ok (header, messages) -> (
         match
           Observer.Computation.of_messages ~nthreads:header.Jmpax.Wire.nthreads
@@ -286,6 +294,111 @@ let observe_cmd =
     (Cmd.info "observe"
        ~doc:"Run the external observer on a previously recorded wire trace.")
     Term.(const run $ trace $ spec_arg $ jobs_arg $ metrics_arg $ trace_arg)
+
+(* {1 stream} *)
+
+(* Hand the transport's read function to [f]: a regular file, a FIFO
+   (open blocks until a writer appears, as FIFOs do), stdin for [-], or
+   a connection to a listening Unix socket for [unix:PATH]. *)
+let with_transport target f =
+  let prefixed prefix s =
+    String.length s > String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  match target with
+  | "-" -> f (fun buf pos len -> input stdin buf pos len)
+  | t when prefixed "unix:" t ->
+      let path = String.sub t 5 (String.length t - 5) in
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sock (Unix.ADDR_UNIX path);
+          f (fun buf pos len -> Unix.read sock buf pos len))
+  | path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> f (fun buf pos len -> input ic buf pos len))
+
+let stream_cmd =
+  let run target spec jobs max_buffered recovery quarantine_file metrics
+      span_trace =
+    let spec = parse_spec spec in
+    let tconfig =
+      Jmpax.Config.default ()
+      |> Jmpax.Config.with_metrics metrics
+      |> Jmpax.Config.with_trace span_trace
+    in
+    let code =
+      Jmpax.Pipeline.with_telemetry tconfig (fun () ->
+          let result =
+            try
+              with_transport target (fun read ->
+                  let with_quarantine k =
+                    match quarantine_file with
+                    | None -> k None
+                    | Some path ->
+                        let oc = open_out_bin path in
+                        Fun.protect
+                          ~finally:(fun () -> close_out_noerr oc)
+                          (fun () -> k (Some (output_string oc)))
+                  in
+                  with_quarantine (fun quarantine ->
+                      Jmpax.Stream.run ?max_buffered ~recovery ?quarantine ~jobs
+                        ~spec ~read ()))
+            with
+            | Unix.Unix_error (e, fn, arg) ->
+                Error
+                  (Jmpax.Wire.Error.Io
+                     (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+            | Sys_error msg -> Error (Jmpax.Wire.Error.Io msg)
+          in
+          match result with
+          | Error e -> or_die (Error (Jmpax.Wire.Error.to_string e))
+          | Ok outcome ->
+              print_string (Jmpax.Report.stream_summary outcome);
+              if outcome.Jmpax.Stream.s_violated then 1 else 0)
+    in
+    if code <> 0 then exit code
+  in
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Framed wire stream to consume: a file or FIFO path, $(b,-) \
+                   for stdin, or $(b,unix:PATH) to connect to a listening Unix \
+                   socket.")
+  in
+  let max_buffered =
+    Arg.(value & opt (some int) None
+         & info [ "max-buffered" ] ~docv:"N"
+             ~doc:"Backpressure bound: abort once more than $(docv) messages \
+                   are buffered out of order (also surfaced as the \
+                   $(b,stream.max_buffered) telemetry gauge).")
+  in
+  let recovery =
+    Arg.(value
+         & opt (enum [ ("fail", Jmpax.Config.Fail); ("skip", Jmpax.Config.Skip);
+                       ("quarantine", Jmpax.Config.Quarantine) ])
+             Jmpax.Config.Fail
+         & info [ "on-decode-error" ] ~docv:"POLICY"
+             ~doc:"What to do with a malformed frame: $(b,fail) (default), \
+                   $(b,skip) to the next frame, or $(b,quarantine) the raw \
+                   bytes and continue.")
+  in
+  let quarantine_file =
+    Arg.(value & opt (some string) None
+         & info [ "quarantine-file" ] ~docv:"FILE"
+             ~doc:"Where $(b,--on-decode-error quarantine) preserves the \
+                   skipped bytes.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Run the online observer over a live framed wire stream (file, \
+             FIFO, stdin or Unix socket); verdicts are byte-identical to \
+             $(b,jmpax check).")
+    Term.(const run $ target $ spec_arg $ jobs_arg $ max_buffered $ recovery
+          $ quarantine_file $ metrics_arg $ trace_arg)
 
 (* {1 lattice} *)
 
@@ -498,4 +611,4 @@ let () =
   let info = Cmd.info "jmpax" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; lattice_cmd; race_cmd;
                                    deadlock_cmd; atomicity_cmd; compare_cmd; examples_cmd; fsm_cmd;
-                                   monitor_cmd; observe_cmd; stats_cmd ]))
+                                   monitor_cmd; observe_cmd; stream_cmd; stats_cmd ]))

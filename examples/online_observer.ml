@@ -28,7 +28,7 @@ let () =
        Trace.Message.pp)
     scrambled;
   (* Feed one by one; watch the ready prefix grow. *)
-  let ingest = Observer.Ingest.create ~nthreads:2 ~init:program.Tml.Ast.shared in
+  let ingest = Observer.Ingest.create ~nthreads:2 ~init:program.Tml.Ast.shared () in
   List.iter
     (fun m ->
       Observer.Ingest.add ingest m;

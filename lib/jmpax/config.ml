@@ -3,6 +3,11 @@ type channel_model =
   | Shuffled of int
   | Bounded of int * int
 
+type recovery =
+  | Fail
+  | Skip
+  | Quarantine
+
 type t = {
   sched : Tml.Sched.t;
   fuel : int;
@@ -15,6 +20,8 @@ type t = {
   detect_atomicity : bool;
   metrics : string option;
   trace : string option;
+  max_buffered : int option;
+  on_decode_error : recovery;
 }
 
 let default () =
@@ -28,7 +35,9 @@ let default () =
     detect_deadlocks = true;
     detect_atomicity = true;
     metrics = None;
-    trace = None }
+    trace = None;
+    max_buffered = None;
+    on_decode_error = Fail }
 
 let with_sched sched t = { t with sched }
 let with_seed seed t = { t with sched = Tml.Sched.random ~seed }
@@ -41,6 +50,25 @@ let with_jobs jobs t =
 
 let with_metrics metrics t = { t with metrics }
 let with_trace trace t = { t with trace }
+
+let with_max_buffered max_buffered t =
+  (match max_buffered with
+  | Some k when k < 0 -> invalid_arg "Config.with_max_buffered: must be >= 0"
+  | _ -> ());
+  { t with max_buffered }
+
+let with_on_decode_error on_decode_error t = { t with on_decode_error }
+
+let recovery_of_string = function
+  | "fail" -> Some Fail
+  | "skip" -> Some Skip
+  | "quarantine" -> Some Quarantine
+  | _ -> None
+
+let recovery_to_string = function
+  | Fail -> "fail"
+  | Skip -> "skip"
+  | Quarantine -> "quarantine"
 
 let with_clock_name name t =
   match Clock.Registry.find name with

@@ -5,6 +5,14 @@ type channel_model =
   | Shuffled of int  (** seed *)
   | Bounded of int * int  (** seed, window *)
 
+(** What the streaming ingestion path does with a malformed frame. *)
+type recovery =
+  | Fail  (** abort on the first decode error (default) *)
+  | Skip  (** resynchronize on the next frame, count the loss *)
+  | Quarantine
+      (** like [Skip], but also preserve the raw skipped bytes for
+          offline inspection *)
+
 type t = {
   sched : Tml.Sched.t;
   fuel : int;  (** observable-step budget for the monitored run *)
@@ -24,6 +32,12 @@ type t = {
   trace : string option;
   (** Chrome-trace span stream destination (path or ["-"]); [None]
       (default) disables tracing *)
+  max_buffered : int option;
+  (** bound on out-of-order buffered messages in the ingestion layers
+      ({!Observer.Ingest}, {!Predict.Online}, [jmpax stream]); [None]
+      (default) = unbounded *)
+  on_decode_error : recovery;
+  (** streaming decode-error policy; irrelevant to in-process runs *)
 }
 
 val default : unit -> t
@@ -43,6 +57,16 @@ val with_jobs : int -> t -> t
 
 val with_metrics : string option -> t -> t
 val with_trace : string option -> t -> t
+
+val with_max_buffered : int option -> t -> t
+(** @raise Invalid_argument when negative. *)
+
+val with_on_decode_error : recovery -> t -> t
+
+val recovery_of_string : string -> recovery option
+(** Accepts ["fail"], ["skip"], ["quarantine"]. *)
+
+val recovery_to_string : recovery -> string
 
 val with_clock_name : string -> t -> t
 (** Looks the backend up in {!Clock.Registry}.

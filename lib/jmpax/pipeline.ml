@@ -100,7 +100,9 @@ let check ?(config = Config.default ()) ~spec program =
   (* Ship the messages through the configured channel and let the
      observer reassemble them. *)
   let delivered = apply_channel config run.Tml.Vm.messages in
-  let ingest = Observer.Ingest.create ~nthreads ~init in
+  let ingest =
+    Observer.Ingest.create ?max_buffered:config.Config.max_buffered ~nthreads ~init ()
+  in
   Observer.Ingest.add_all ingest delivered;
   let computation =
     match Observer.Ingest.computation ingest with
@@ -152,7 +154,10 @@ let check_online ?(config = Config.default ()) ~spec program =
     List.filter (fun (x, _) -> List.mem x relevant_vars) program.Tml.Ast.shared
   in
   let nthreads = List.length program.Tml.Ast.threads in
-  let online = Predict.Online.create ~jobs:config.Config.jobs ~nthreads ~init ~spec () in
+  let online =
+    Predict.Online.create ~jobs:config.Config.jobs
+      ?max_buffered:config.Config.max_buffered ~nthreads ~init ~spec ()
+  in
   let run =
     Tml.Vm.run_image ~clock:config.Config.clock ~fuel:config.Config.fuel ~relevance
       ~sink:(Predict.Online.feed online) ~sched:config.Config.sched image
@@ -173,16 +178,22 @@ let check_online ?(config = Config.default ()) ~spec program =
 let predicted_violation output = Predict.Analyzer.violated output.predictive
 let missed_by_baseline output = predicted_violation output && output.observed_ok
 
+(* Every front end (check, check_online, jmpax stream) prints its verdict
+   through this one function, so the outputs stay byte-comparable. *)
+let verdict_line violated =
+  Printf.sprintf "predictive verdict (JMPaX): %s"
+    (if violated then "VIOLATION PREDICTED" else "no violation in any run")
+
 let pp_output ppf o =
   Format.fprintf ppf
     "@[<v>spec: %a@,relevant variables: {%s}@,monitored run: %a, %d steps, %d messages@,\
-     observed-run verdict (JPaX baseline): %s@,predictive verdict (JMPaX): %s@,%a@,%a@,%a@]"
+     observed-run verdict (JPaX baseline): %s@,%s@,%a@,%a@,%a@]"
     Pastltl.Formula.pp o.spec
     (String.concat ", " o.relevant_vars)
     Tml.Vm.pp_outcome o.run.Tml.Vm.outcome o.run.Tml.Vm.steps
     (List.length o.run.Tml.Vm.messages)
     (if o.observed_ok then "no violation" else "VIOLATION")
-    (if predicted_violation o then "VIOLATION PREDICTED" else "no violation in any run")
+    (verdict_line (predicted_violation o))
     Predict.Analyzer.pp_report o.predictive
     (Format.pp_print_option Predict.Race.pp_report)
     o.races

@@ -72,4 +72,9 @@ val missed_by_baseline : output -> bool
 (** True when prediction found a violation the observed run did not
     exhibit — the paper's headline scenario. *)
 
+val verdict_line : bool -> string
+(** The one-line predictive verdict, shared by every front end
+    ([check], [check_online], [jmpax stream]) so their outputs are
+    byte-comparable. *)
+
 val pp_output : Format.formatter -> output -> unit

@@ -26,6 +26,28 @@ let example_report ~spec ~program ~script =
   Format.pp_print_flush ppf ();
   Buffer.contents buf
 
+let stream_summary (o : Stream.outcome) =
+  let s = o.Stream.s_stats in
+  let buf = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "stream: %d frames (%d messages, %d end-of-stream), final level %d\n"
+    s.Stream.frames s.Stream.messages s.Stream.ends o.Stream.s_level;
+  if s.Stream.skipped_frames > 0 || s.Stream.skipped_bytes > 0 then
+    p "recovered: %d frames skipped, %d bytes dropped, %d resyncs%s\n"
+      s.Stream.skipped_frames s.Stream.skipped_bytes s.Stream.resyncs
+      (if s.Stream.quarantined_bytes > 0 then
+         Printf.sprintf " (%d bytes quarantined)" s.Stream.quarantined_bytes
+       else "");
+  (match s.Stream.incomplete with
+  | Some (tid, next) ->
+      p "incomplete: thread %d never delivered message %d; verdict covers the received prefix\n"
+        tid next
+  | None -> ());
+  if s.Stream.peak_buffered > 0 then
+    p "peak out-of-order buffer: %d messages\n" s.Stream.peak_buffered;
+  p "%s\n" (Pipeline.verdict_line o.Stream.s_violated);
+  Buffer.contents buf
+
 let detection_table ~spec ~program ~seeds =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in

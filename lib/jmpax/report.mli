@@ -13,6 +13,12 @@ val example_report :
     verdict, and the counterexamples — the full story the paper tells
     for each worked example. *)
 
+val stream_summary : Stream.outcome -> string
+(** Summary of a [jmpax stream] run: frame/message counts, recovered
+    losses, backpressure peak, and — always last, via
+    {!Pipeline.verdict_line} — the verdict line byte-identical to
+    [jmpax check]'s. *)
+
 val detection_table :
   spec:Pastltl.Formula.t ->
   program:Tml.Ast.program ->

@@ -1,0 +1,168 @@
+open Trace
+module M = Telemetry.Metrics
+
+let ( let* ) = Result.bind
+
+let m_frames = M.counter "stream.frames"
+let m_messages = M.counter "stream.messages"
+let m_skipped_frames = M.counter "stream.skipped_frames"
+let m_resyncs = M.counter "stream.resyncs"
+let m_skipped_bytes = M.counter "stream.skipped_bytes"
+let m_quarantined_bytes = M.counter "stream.quarantined_bytes"
+let m_max_buffered = M.gauge "stream.max_buffered"
+let m_peak_buffered = M.gauge "stream.peak_buffered"
+
+type stats = {
+  frames : int;
+  messages : int;
+  ends : int;
+  skipped_frames : int;
+  resyncs : int;
+  skipped_bytes : int;
+  quarantined_bytes : int;
+  peak_buffered : int;
+  incomplete : (Types.tid * int) option;
+}
+
+type outcome = {
+  s_header : Wire.header;
+  s_violated : bool;
+  s_violations : Predict.Analyzer.violation list;
+  s_level : int;
+  s_gc : Predict.Online.gc_stats;
+  s_stats : stats;
+}
+
+let default_chunk_size = 64 * 1024
+
+(* The driver: pull chunks from [read], push them through an incremental
+   [Wire.Reader], and feed each decoded message to the online analyzer.
+   Malformed input surfaces as [Skip] events the [recovery] policy
+   decides about; only backpressure (a resource bound, not an input
+   defect) is unconditionally fatal. *)
+let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
+    ?(recovery = Config.Fail) ?quarantine ?jobs ?par_threshold ~spec ~read () =
+  if chunk_size <= 0 then invalid_arg "Stream.run: chunk_size must be positive";
+  let reader = Wire.Reader.create ?max_frame () in
+  let buf = Bytes.create chunk_size in
+  let online = ref None in
+  let ends = ref 0 in
+  let quarantined = ref 0 in
+  let peak = ref 0 in
+  (match (max_buffered, M.enabled ()) with
+  | Some limit, true -> M.set m_max_buffered limit
+  | _ -> ());
+  let on_skip error bytes =
+    match recovery with
+    | Config.Fail -> Error error
+    | Config.Skip -> Ok ()
+    | Config.Quarantine ->
+        quarantined := !quarantined + String.length bytes;
+        (match quarantine with Some sink -> sink bytes | None -> ());
+        Ok ()
+  in
+  let feed_message m =
+    match !online with
+    | None ->
+        (* The reader only yields messages after a header frame. *)
+        assert false
+    | Some o -> (
+        match Predict.Online.feed o m with
+        | () ->
+            peak := max !peak (Predict.Online.out_of_order o);
+            Ok ()
+        | exception Predict.Online.Backpressure { buffered; limit } ->
+            Error (Wire.Error.Backpressure { buffered; limit })
+        | exception Invalid_argument _ ->
+            (* A well-formed frame carrying a (thread, index) pair we
+               already consumed: an input defect, so the recovery policy
+               applies. *)
+            on_skip
+              (Wire.Error.Duplicate_message
+                 { tid = m.Message.tid; index = Message.seq m })
+              (Wire.encode_message m))
+  in
+  let rec loop () =
+    match Wire.Reader.next reader with
+    | Wire.Reader.Await ->
+        let n = read buf 0 chunk_size in
+        if n = 0 then Wire.Reader.close reader
+        else Wire.Reader.feed reader (Bytes.sub_string buf 0 n);
+        loop ()
+    | Wire.Reader.Item (Wire.Reader.Header h) ->
+        online :=
+          Some
+            (Predict.Online.create ?jobs ?par_threshold ?max_buffered
+               ~nthreads:h.Wire.nthreads ~init:h.Wire.init ~spec ());
+        loop ()
+    | Wire.Reader.Item (Wire.Reader.Msg m) -> (
+        match feed_message m with Ok () -> loop () | Error _ as e -> e)
+    | Wire.Reader.Item (Wire.Reader.End_of_thread tid) ->
+        incr ends;
+        Option.iter (fun o -> Predict.Online.end_of_thread o tid) !online;
+        loop ()
+    | Wire.Reader.Skip { error; bytes } -> (
+        match on_skip error bytes with Ok () -> loop () | Error _ as e -> e)
+    | Wire.Reader.Eof -> Ok ()
+  in
+  let* () = loop () in
+  match !online with
+  | None -> Error Wire.Error.Missing_header_frame
+  | Some o ->
+      let incomplete = Predict.Online.missing o in
+      let* () =
+        match (incomplete, recovery) with
+        | Some (tid, next), Config.Fail ->
+            Error (Wire.Error.Missing_messages { tid; next })
+        | _ ->
+            (* Under skip/quarantine a gap is one more recoverable loss:
+               analyze the prefix that did arrive. *)
+            (match incomplete with
+            | None -> Predict.Online.finish o
+            | Some _ ->
+                (* [finish] would raise on the gap; every thread has
+                   already been pumped as far as its prefix allows. *)
+                ());
+            Ok ()
+      in
+      let r = Wire.Reader.stats reader in
+      if M.enabled () then begin
+        M.add m_frames r.Wire.Reader.frames;
+        M.add m_messages r.Wire.Reader.messages;
+        M.add m_skipped_frames r.Wire.Reader.skipped_frames;
+        M.add m_resyncs r.Wire.Reader.resyncs;
+        M.add m_skipped_bytes r.Wire.Reader.skipped_bytes;
+        M.add m_quarantined_bytes !quarantined;
+        M.set_max m_peak_buffered !peak
+      end;
+      let header =
+        match Wire.Reader.header reader with Some h -> h | None -> assert false
+      in
+      Ok
+        { s_header = header;
+          s_violated = Predict.Online.violated o;
+          s_violations = Predict.Online.violations o;
+          s_level = Predict.Online.level o;
+          s_gc = Predict.Online.gc_stats o;
+          s_stats =
+            { frames = r.Wire.Reader.frames;
+              messages = r.Wire.Reader.messages;
+              ends = !ends;
+              skipped_frames = r.Wire.Reader.skipped_frames;
+              resyncs = r.Wire.Reader.resyncs;
+              skipped_bytes = r.Wire.Reader.skipped_bytes;
+              quarantined_bytes = !quarantined;
+              peak_buffered = !peak;
+              incomplete } }
+
+let run_string ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
+    ?par_threshold ~spec text =
+  let pos = ref 0 in
+  let read buf off len =
+    let n = min len (String.length text - !pos) in
+    Bytes.blit_string text !pos buf off n;
+    pos := !pos + n;
+    n
+  in
+  run ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
+    ?par_threshold ~spec ~read ()

@@ -1,0 +1,76 @@
+(** Robust streaming ingestion: the online observer fed from a byte
+    transport.
+
+    [run] pulls chunks from a transport (file, FIFO, socket, stdin —
+    anything exposing a [read] function), decodes the framed wire format
+    v2 incrementally ({!Wire.Reader}), and drives {!Predict.Online} so
+    verdicts stream out while the monitored program still runs.  Two
+    knobs make it survive hostile input:
+
+    - a {e recovery policy} ({!Config.recovery}) for malformed frames —
+      abort, skip to the next frame, or skip-and-quarantine the raw
+      bytes; skipped input is counted in {!stats} and in the
+      [stream.*] telemetry counters;
+    - a {e backpressure bound} [max_buffered] on out-of-order messages,
+      so a reordering or lossy channel cannot grow the observer's
+      buffer without bound (surfaced as the [stream.max_buffered] and
+      [stream.peak_buffered] gauges). *)
+
+open Trace
+
+type stats = {
+  frames : int;  (** well-formed frames consumed *)
+  messages : int;
+  ends : int;  (** end-of-stream frames consumed *)
+  skipped_frames : int;
+  resyncs : int;
+  skipped_bytes : int;
+  quarantined_bytes : int;
+  peak_buffered : int;  (** peak out-of-order buffered messages *)
+  incomplete : (Types.tid * int) option;
+      (** the stream ended while this thread was still missing this
+          message index (possible only under [Skip]/[Quarantine]) *)
+}
+
+type outcome = {
+  s_header : Wire.header;
+  s_violated : bool;
+  s_violations : Predict.Analyzer.violation list;
+  s_level : int;
+  s_gc : Predict.Online.gc_stats;
+  s_stats : stats;
+}
+
+val run :
+  ?chunk_size:int ->
+  ?max_frame:int ->
+  ?max_buffered:int ->
+  ?recovery:Config.recovery ->
+  ?quarantine:(string -> unit) ->
+  ?jobs:int ->
+  ?par_threshold:int ->
+  spec:Pastltl.Formula.t ->
+  read:(bytes -> int -> int -> int) ->
+  unit ->
+  (outcome, Wire.Error.t) result
+(** [read buf pos len] must block until input is available and return 0
+    at end of transport.  Never raises on malformed input: every decode
+    failure is either recovered per [recovery] or returned as a typed
+    [Error].  {!Wire.Error.Backpressure} is always fatal — it signals a
+    resource bound, not an input defect.  On a clean, complete stream
+    the verdict, violations and gc statistics are identical to feeding
+    the same messages to {!Predict.Online} directly (and hence to the
+    offline analyzer). *)
+
+val run_string :
+  ?chunk_size:int ->
+  ?max_frame:int ->
+  ?max_buffered:int ->
+  ?recovery:Config.recovery ->
+  ?quarantine:(string -> unit) ->
+  ?jobs:int ->
+  ?par_threshold:int ->
+  spec:Pastltl.Formula.t ->
+  string ->
+  (outcome, Wire.Error.t) result
+(** [run] over an in-memory document, chunked at [chunk_size]. *)

@@ -7,6 +7,91 @@ type header = {
 
 let magic = "jmpax-trace 1"
 
+(* {1 Typed decode errors} *)
+
+module Error = struct
+  type t =
+    | Empty
+    | Bad_magic of string
+    | Missing_threads
+    | Duplicate_threads of string
+    | Misplaced_threads of string
+    | Bad_thread_count of string
+    | Bad_escape of string
+    | Truncated_escape of string
+    | Bad_init of string
+    | Malformed_msg of string
+    | Bad_clock of string
+    | Inconsistent_message of string
+    | Tid_out_of_range of { tid : int; nthreads : int }
+    | Clock_width_mismatch of { width : int; expected : int }
+    | Unrecognized_line of string
+    | Bad_preamble of string
+    | Unknown_frame_kind of int
+    | Frame_too_large of { length : int; limit : int }
+    | Truncated_frame of { expected : int; got : int }
+    | Bad_frame_trailer of int
+    | Missing_header_frame
+    | Duplicate_header_frame
+    | Bad_end_frame of string
+    | Duplicate_end of int
+    | Message_after_end of { tid : int }
+    | Lost_sync of int
+    | Duplicate_message of { tid : int; index : int }
+    | Backpressure of { buffered : int; limit : int }
+    | Missing_messages of { tid : int; next : int }
+    | Io of string
+
+  let to_string = function
+    | Empty -> "empty trace"
+    | Bad_magic s -> Printf.sprintf "bad magic %S" s
+    | Missing_threads -> "missing 'threads' line"
+    | Duplicate_threads s -> Printf.sprintf "duplicate 'threads' line %S" s
+    | Misplaced_threads s ->
+        Printf.sprintf "'threads' line %S after the first message" s
+    | Bad_thread_count s -> Printf.sprintf "bad thread count %S" s
+    | Bad_escape s -> Printf.sprintf "bad escape in variable name %S" s
+    | Truncated_escape s -> Printf.sprintf "truncated escape in variable name %S" s
+    | Bad_init s -> Printf.sprintf "bad init line %S" s
+    | Malformed_msg s -> Printf.sprintf "malformed msg line %S" s
+    | Bad_clock s -> Printf.sprintf "bad vector clock %S" s
+    | Inconsistent_message s -> Printf.sprintf "inconsistent message %S" s
+    | Tid_out_of_range { tid; nthreads } ->
+        Printf.sprintf "thread id %d out of range (trace has %d threads)" tid nthreads
+    | Clock_width_mismatch { width; expected } ->
+        Printf.sprintf "vector clock has %d components where the header promises %d"
+          width expected
+    | Unrecognized_line s -> Printf.sprintf "unrecognized line %S" s
+    | Bad_preamble s -> Printf.sprintf "bad stream preamble %S" s
+    | Unknown_frame_kind k -> Printf.sprintf "unknown frame kind 0x%02X" k
+    | Frame_too_large { length; limit } ->
+        Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" length limit
+    | Truncated_frame { expected; got } ->
+        Printf.sprintf "truncated frame: expected %d bytes, got %d" expected got
+    | Bad_frame_trailer b -> Printf.sprintf "bad frame trailer byte 0x%02X" b
+    | Missing_header_frame -> "stream carries no header frame"
+    | Duplicate_header_frame -> "duplicate header frame"
+    | Bad_end_frame s -> Printf.sprintf "bad end-of-stream frame %S" s
+    | Duplicate_end tid -> Printf.sprintf "duplicate end-of-stream for thread %d" tid
+    | Message_after_end { tid } ->
+        Printf.sprintf "message from thread %d after its end-of-stream frame" tid
+    | Lost_sync n -> Printf.sprintf "lost frame sync: %d byte(s) skipped" n
+    | Duplicate_message { tid; index } ->
+        Printf.sprintf "duplicate message (thread %d, index %d)" tid index
+    | Backpressure { buffered; limit } ->
+        Printf.sprintf "backpressure: %d out-of-order messages buffered (limit %d)"
+          buffered limit
+    | Missing_messages { tid; next } ->
+        Printf.sprintf "stream ended while thread %d is missing message %d" tid next
+    | Io s -> s
+
+  let pp ppf e = Format.pp_print_string ppf (to_string e)
+end
+
+let ( let* ) = Result.bind
+
+(* {1 Variable-name escaping} *)
+
 (* Percent-encoding for variable names: '%', whitespace and control
    characters are escaped, everything else passes through. *)
 let encode_var x =
@@ -19,6 +104,13 @@ let encode_var x =
     x;
   Buffer.contents buf
 
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
 let decode_var s =
   let n = String.length s in
   let buf = Buffer.create n in
@@ -26,12 +118,14 @@ let decode_var s =
     if i >= n then Ok (Buffer.contents buf)
     else if s.[i] = '%' then
       if i + 2 < n then
-        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
-        | Some code ->
-            Buffer.add_char buf (Char.chr code);
+        (* Both characters must be hex digits; [int_of_string "0x.."]
+           would also tolerate underscores and signs. *)
+        match (hex_digit s.[i + 1], hex_digit s.[i + 2]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi * 16) + lo));
             go (i + 3)
-        | None -> Error (Printf.sprintf "bad escape in variable name %S" s)
-      else Error (Printf.sprintf "truncated escape in variable name %S" s)
+        | _ -> Error (Error.Bad_escape s)
+      else Error (Error.Truncated_escape s)
     else begin
       Buffer.add_char buf s.[i];
       go (i + 1)
@@ -39,32 +133,101 @@ let decode_var s =
   in
   go 0
 
+(* {1 Line (record) codecs} *)
+
 let encode_message (m : Message.t) =
   Printf.sprintf "msg %d %s %d %s" m.tid (encode_var m.var) m.value
     (Vclock.to_string m.mvc)
 
-let decode_message line =
+(* [expect_width] is the header's thread count; when given, the thread id
+   and the clock's dimension are validated against it. *)
+let decode_message ?expect_width line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "msg"; tid; var; value; clock ] -> (
       match (int_of_string_opt tid, decode_var var, int_of_string_opt value) with
       | Some tid, Ok var, Some value -> (
-          match Vclock.of_string clock with
-          | mvc -> (
-              match Message.make ~eid:0 ~tid ~var ~value ~mvc with
-              | m -> Ok m
-              | exception _ -> Error (Printf.sprintf "inconsistent message %S" line))
-          | exception Invalid_argument e -> Error e)
-      | _ -> Error (Printf.sprintf "malformed msg line %S" line))
-  | _ -> Error (Printf.sprintf "expected a msg line, got %S" line)
+          let* mvc =
+            match Vclock.of_string clock with
+            | mvc -> Ok mvc
+            | exception Invalid_argument _ -> Error (Error.Bad_clock clock)
+          in
+          let* () =
+            match expect_width with
+            | Some nthreads when tid < 0 || tid >= nthreads ->
+                Error (Error.Tid_out_of_range { tid; nthreads })
+            | Some nthreads when Vclock.dim mvc <> nthreads ->
+                Error
+                  (Error.Clock_width_mismatch
+                     { width = Vclock.dim mvc; expected = nthreads })
+            | _ -> Ok ()
+          in
+          if tid < 0 || tid >= Vclock.dim mvc || Vclock.get mvc tid < 1 then
+            Error (Error.Inconsistent_message line)
+          else
+            match Message.make ~eid:0 ~tid ~var ~value ~mvc with
+            | m -> Ok m
+            | exception _ -> Error (Error.Inconsistent_message line))
+      | _, Error e, _ -> Error e
+      | _ -> Error (Error.Malformed_msg line))
+  | _ -> Error (Error.Malformed_msg line)
+
+let encode_header_body header =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "threads %d" header.nthreads);
+  List.iter
+    (fun (x, v) ->
+      Buffer.add_string buf (Printf.sprintf "\ninit %s %d" (encode_var x) v))
+    header.init;
+  Buffer.contents buf
+
+let decode_init_line line = function
+  | [ x; v ] -> (
+      match (decode_var x, int_of_string_opt v) with
+      | Ok x, Some v -> Ok (x, v)
+      | Error e, _ -> Error e
+      | _, None -> Error (Error.Bad_init line))
+  | _ -> Error (Error.Bad_init line)
+
+let decode_header_body text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let rec go header = function
+    | [] -> (
+        match header with
+        | Some h -> Ok { h with init = List.rev h.init }
+        | None -> Error Error.Missing_threads)
+    | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | "threads" :: args -> (
+            if header <> None then Error (Error.Duplicate_threads line)
+            else
+              match args with
+              | [ n ] -> (
+                  match int_of_string_opt n with
+                  | Some n when n > 0 -> go (Some { nthreads = n; init = [] }) rest
+                  | _ -> Error (Error.Bad_thread_count line))
+              | _ -> Error (Error.Bad_thread_count line))
+        | "init" :: args -> (
+            match header with
+            | None -> Error Error.Missing_threads
+            | Some h ->
+                let* kv = decode_init_line line args in
+                go (Some { h with init = kv :: h.init }) rest)
+        | _ -> Error (Error.Unrecognized_line line))
+  in
+  go None lines
+
+(* {1 Version-1 text documents} *)
 
 let encode header messages =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf magic;
   Buffer.add_char buf '\n';
-  Buffer.add_string buf (Printf.sprintf "threads %d\n" header.nthreads);
-  List.iter
-    (fun (x, v) -> Buffer.add_string buf (Printf.sprintf "init %s %d\n" (encode_var x) v))
-    header.init;
+  Buffer.add_string buf (encode_header_body header);
+  Buffer.add_char buf '\n';
   List.iter
     (fun m ->
       Buffer.add_string buf (encode_message m);
@@ -79,50 +242,440 @@ let decode text =
     |> List.filter (fun l -> l <> "" && l.[0] <> '#')
   in
   match lines with
-  | [] -> Error "empty trace"
+  | [] -> Error Error.Empty
   | first :: rest ->
-      if first <> magic then Error (Printf.sprintf "bad magic %S" first)
+      if first <> magic then Error (Error.Bad_magic first)
       else begin
-        let nthreads = ref None in
-        let rev_init = ref [] in
-        let rev_msgs = ref [] in
-        let problem = ref None in
-        List.iter
-          (fun line ->
-            if !problem = None then
+        let rec go header rev_msgs = function
+          | [] -> (
+              match header with
+              | None -> Error Error.Missing_threads
+              | Some h ->
+                  (* Restore observed-order event ids. *)
+                  let msgs =
+                    List.rev rev_msgs
+                    |> List.mapi (fun i (m : Message.t) -> { m with Message.eid = i })
+                  in
+                  Ok ({ h with init = List.rev h.init }, msgs))
+          | line :: rest -> (
               match String.split_on_char ' ' line with
-              | [ "threads"; n ] -> (
-                  match int_of_string_opt n with
-                  | Some n when n > 0 -> nthreads := Some n
-                  | _ -> problem := Some (Printf.sprintf "bad thread count %S" line))
-              | [ "init"; x; v ] -> (
-                  match (decode_var x, int_of_string_opt v) with
-                  | Ok x, Some v -> rev_init := (x, v) :: !rev_init
-                  | Error e, _ -> problem := Some e
-                  | _, None -> problem := Some (Printf.sprintf "bad init line %S" line))
+              | "threads" :: args -> (
+                  (* A second header line — or one arriving after messages
+                     already decoded against the first — would silently
+                     rebind every subsequent validation; both are hard
+                     errors. *)
+                  if rev_msgs <> [] then Error (Error.Misplaced_threads line)
+                  else if header <> None then Error (Error.Duplicate_threads line)
+                  else
+                    match args with
+                    | [ n ] -> (
+                        match int_of_string_opt n with
+                        | Some n when n > 0 ->
+                            go (Some { nthreads = n; init = [] }) rev_msgs rest
+                        | _ -> Error (Error.Bad_thread_count line))
+                    | _ -> Error (Error.Bad_thread_count line))
+              | "init" :: args -> (
+                  match header with
+                  | None -> Error Error.Missing_threads
+                  | Some h ->
+                      let* kv = decode_init_line line args in
+                      go (Some { h with init = kv :: h.init }) rev_msgs rest)
               | "msg" :: _ -> (
-                  match decode_message line with
-                  | Ok m -> rev_msgs := m :: !rev_msgs
-                  | Error e -> problem := Some e)
-              | _ -> problem := Some (Printf.sprintf "unrecognized line %S" line))
-          rest;
-        match (!problem, !nthreads) with
-        | Some e, _ -> Error e
-        | None, None -> Error "missing 'threads' line"
-        | None, Some nthreads ->
-            (* Restore observed-order event ids. *)
-            let msgs = List.rev !rev_msgs in
-            let msgs =
-              List.mapi (fun i (m : Message.t) -> { m with Message.eid = i }) msgs
-            in
-            Ok ({ nthreads; init = List.rev !rev_init }, msgs)
+                  match header with
+                  | None -> Error Error.Missing_threads
+                  | Some h ->
+                      let* m = decode_message ~expect_width:h.nthreads line in
+                      go header (m :: rev_msgs) rest)
+              | _ -> Error (Error.Unrecognized_line line))
+        in
+        go None [] rest
       end
 
-let write_file path header messages =
+(* {1 Framed wire format, version 2}
+
+   A stream is the 13-byte preamble ["jmpax-wire 2\n"] followed by
+   frames.  Each frame is
+
+   {v
+   0x00 'J' 'F'  kind  len:u32be  payload[len]  '\n'
+   v}
+
+   The 3-byte sentinel can never occur inside a valid payload (payloads
+   are single text lines whose variable names percent-encode every
+   control character), so a reader that hits garbage can resynchronize
+   by scanning for the next sentinel.  The trailing newline doubles as a
+   cheap tamper tripwire for corrupted lengths and keeps streams
+   greppable. *)
+
+module Framed = struct
+  let preamble = "jmpax-wire 2\n"
+  let sentinel = "\x00JF"
+  let kind_header = 'H'
+  let kind_message = 'M'
+  let kind_end = 'E'
+  let overhead = String.length sentinel + 1 + 4 + 1 (* kind + len + trailer *)
+  let default_max_frame = 1 lsl 20
+
+  let frame kind payload =
+    let len = String.length payload in
+    let buf = Buffer.create (overhead + len) in
+    Buffer.add_string buf sentinel;
+    Buffer.add_char buf kind;
+    Buffer.add_char buf (Char.chr ((len lsr 24) land 0xff));
+    Buffer.add_char buf (Char.chr ((len lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((len lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (len land 0xff));
+    Buffer.add_string buf payload;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let encode_header header = frame kind_header (encode_header_body header)
+  let encode_message m = frame kind_message (encode_message m)
+  let encode_end tid = frame kind_end (Printf.sprintf "end %d" tid)
+
+  let encode header messages =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf preamble;
+    Buffer.add_string buf (encode_header header);
+    List.iter (fun m -> Buffer.add_string buf (encode_message m)) messages;
+    for tid = 0 to header.nthreads - 1 do
+      Buffer.add_string buf (encode_end tid)
+    done;
+    Buffer.contents buf
+end
+
+(* {1 Incremental framed reader} *)
+
+module Reader = struct
+  type item =
+    | Header of header
+    | Msg of Message.t
+    | End_of_thread of int
+
+  type event =
+    | Item of item
+    | Skip of { error : Error.t; bytes : string }
+    | Await
+    | Eof
+
+  type stats = {
+    frames : int;
+    messages : int;
+    skipped_frames : int;
+    resyncs : int;
+    skipped_bytes : int;
+  }
+
+  type t = {
+    max_frame : int;
+    mutable pending : string;  (* unconsumed input *)
+    mutable pos : int;  (* parse position in [pending] *)
+    mutable closed : bool;
+    mutable preamble_done : bool;
+    mutable header : header option;
+    mutable ended : bool array;  (* resized when the header arrives *)
+    mutable next_eid : int;
+    mutable frames : int;
+    mutable messages : int;
+    mutable skipped_frames : int;
+    mutable resyncs : int;
+    mutable skipped_bytes : int;
+    garbage : Buffer.t;  (* bytes dropped while hunting for a sentinel *)
+    mutable garbage_error : (string -> Error.t) option;
+        (* why the hunt started; sticky until the span is flushed *)
+  }
+
+  let create ?(max_frame = Framed.default_max_frame) () =
+    { max_frame;
+      pending = "";
+      pos = 0;
+      closed = false;
+      preamble_done = false;
+      header = None;
+      ended = [||];
+      next_eid = 0;
+      frames = 0;
+      messages = 0;
+      skipped_frames = 0;
+      resyncs = 0;
+      skipped_bytes = 0;
+      garbage = Buffer.create 0;
+      garbage_error = None }
+
+  let stats t =
+    { frames = t.frames;
+      messages = t.messages;
+      skipped_frames = t.skipped_frames;
+      resyncs = t.resyncs;
+      skipped_bytes = t.skipped_bytes }
+
+  let feed t chunk =
+    if t.closed then invalid_arg "Wire.Reader.feed: reader is closed";
+    if chunk <> "" then
+      if t.pos >= String.length t.pending then begin
+        t.pending <- chunk;
+        t.pos <- 0
+      end
+      else if t.pos = 0 then t.pending <- t.pending ^ chunk
+      else begin
+        t.pending <-
+          String.sub t.pending t.pos (String.length t.pending - t.pos) ^ chunk;
+        t.pos <- 0
+      end
+
+  let close t = t.closed <- true
+
+  let available t = String.length t.pending - t.pos
+
+  let take t n =
+    let s = String.sub t.pending t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  (* Index of the first sentinel at or after [from], if any is complete
+     in the buffered input. *)
+  let find_sentinel t from =
+    let s = t.pending and n = String.length t.pending in
+    let rec go i =
+      if i + 3 > n then None
+      else if s.[i] = '\x00' && s.[i + 1] = 'J' && s.[i + 2] = 'F' then Some i
+      else go (i + 1)
+    in
+    go from
+
+  let flush_garbage t =
+    let bytes = Buffer.contents t.garbage in
+    Buffer.clear t.garbage;
+    let error =
+      match t.garbage_error with
+      | Some f -> f bytes
+      | None -> Error.Lost_sync (String.length bytes)
+    in
+    t.garbage_error <- None;
+    t.resyncs <- t.resyncs + 1;
+    t.skipped_bytes <- t.skipped_bytes + String.length bytes;
+    Skip { error; bytes }
+
+  (* Drop garbage up to the next sentinel (or, while the stream is still
+     open, up to a possible partial sentinel at the very end).  Returns
+     [Some event] once a complete garbage span has been identified;
+     [None] means the hunt continues on the next {!feed}. *)
+  let hunt_sync t =
+    if t.garbage_error = None then
+      t.garbage_error <- Some (fun bytes -> Error.Lost_sync (String.length bytes));
+    match find_sentinel t t.pos with
+    | Some j ->
+        Buffer.add_string t.garbage (take t (j - t.pos));
+        Some (flush_garbage t)
+    | None ->
+        (* Keep the last two bytes: they may be a sentinel prefix. *)
+        let keep = if t.closed then 0 else min 2 (available t) in
+        Buffer.add_string t.garbage (take t (available t - keep));
+        if t.closed && Buffer.length t.garbage > 0 then Some (flush_garbage t)
+        else begin
+          if t.closed then t.garbage_error <- None;
+          None
+        end
+
+  let decode_end_payload payload =
+    match String.split_on_char ' ' (String.trim payload) with
+    | [ "end"; tid ] -> (
+        match int_of_string_opt tid with
+        | Some tid -> Ok tid
+        | None -> Error (Error.Bad_end_frame payload))
+    | _ -> Error (Error.Bad_end_frame payload)
+
+  (* Decode one well-framed payload against the running stream state. *)
+  let deliver t kind payload =
+    match kind with
+    | k when k = Framed.kind_header -> (
+        if t.header <> None then Error Error.Duplicate_header_frame
+        else
+          let* h = decode_header_body payload in
+          t.header <- Some h;
+          t.ended <- Array.make h.nthreads false;
+          Ok (Header h))
+    | k when k = Framed.kind_message -> (
+        match t.header with
+        | None -> Error Error.Missing_header_frame
+        | Some h ->
+            let* m = decode_message ~expect_width:h.nthreads payload in
+            if t.ended.(m.Message.tid) then
+              Error (Error.Message_after_end { tid = m.Message.tid })
+            else begin
+              let m = { m with Message.eid = t.next_eid } in
+              t.next_eid <- t.next_eid + 1;
+              t.messages <- t.messages + 1;
+              Ok (Msg m)
+            end)
+    | k when k = Framed.kind_end -> (
+        match t.header with
+        | None -> Error Error.Missing_header_frame
+        | Some h ->
+            let* tid = decode_end_payload payload in
+            if tid < 0 || tid >= h.nthreads then
+              Error (Error.Tid_out_of_range { tid; nthreads = h.nthreads })
+            else if t.ended.(tid) then Error (Error.Duplicate_end tid)
+            else begin
+              t.ended.(tid) <- true;
+              Ok (End_of_thread tid)
+            end)
+    | k -> Error (Error.Unknown_frame_kind (Char.code k))
+
+  (* A frame-closed truncated tail (only possible once the transport is
+     closed): everything left is one short frame. *)
+  let truncated_tail t ~expected =
+    let bytes = take t (available t) in
+    t.skipped_bytes <- t.skipped_bytes + String.length bytes;
+    t.skipped_frames <- t.skipped_frames + 1;
+    Skip
+      { error = Error.Truncated_frame { expected; got = String.length bytes }; bytes }
+
+  let at_sentinel t =
+    available t >= 3 && String.sub t.pending t.pos 3 = Framed.sentinel
+
+  let rec next t =
+    if not t.preamble_done then begin
+      let want = String.length Framed.preamble in
+      if available t >= want then begin
+        if String.sub t.pending t.pos want = Framed.preamble then begin
+          t.pos <- t.pos + want;
+          t.preamble_done <- true;
+          next t
+        end
+        else begin
+          (* Hunt for a sentinel so a corrupted prefix does not hide the
+             rest of the stream. *)
+          t.preamble_done <- true;
+          t.garbage_error <-
+            Some
+              (fun bytes ->
+                Error.Bad_preamble (String.sub bytes 0 (min 32 (String.length bytes))));
+          next t
+        end
+      end
+      else if t.closed then begin
+        if available t = 0 then Eof
+        else begin
+          let got = take t (available t) in
+          t.preamble_done <- true;
+          t.skipped_bytes <- t.skipped_bytes + String.length got;
+          t.resyncs <- t.resyncs + 1;
+          Skip { error = Error.Bad_preamble got; bytes = got }
+        end
+      end
+      else Await
+    end
+    else if at_sentinel t then begin
+      (* Back in sync; report any garbage span first. *)
+      if Buffer.length t.garbage > 0 then flush_garbage t
+      else if available t < Framed.overhead then
+        if t.closed then truncated_tail t ~expected:Framed.overhead else Await
+      else begin
+        let base = t.pos in
+        let kind = t.pending.[base + 3] in
+        let b i = Char.code t.pending.[base + 4 + i] in
+        let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        let resync_past_sentinel error =
+          (* The frame header itself is suspect: drop just the sentinel
+             and hunt for the next one. *)
+          t.skipped_frames <- t.skipped_frames + 1;
+          Buffer.add_string t.garbage (take t 3);
+          t.garbage_error <- Some (fun _ -> error);
+          next t
+        in
+        if kind <> Framed.kind_header && kind <> Framed.kind_message
+           && kind <> Framed.kind_end
+        then resync_past_sentinel (Error.Unknown_frame_kind (Char.code kind))
+        else if len > t.max_frame then
+          resync_past_sentinel
+            (Error.Frame_too_large { length = len; limit = t.max_frame })
+        else begin
+          let total = Framed.overhead + len in
+          if available t < total then
+            if t.closed then truncated_tail t ~expected:total else Await
+          else begin
+            let trailer = t.pending.[base + total - 1] in
+            if trailer <> '\n' then
+              resync_past_sentinel (Error.Bad_frame_trailer (Char.code trailer))
+            else begin
+              let raw = take t total in
+              let payload = String.sub raw 8 len in
+              match deliver t kind payload with
+              | Ok item ->
+                  t.frames <- t.frames + 1;
+                  Item item
+              | Error error ->
+                  t.skipped_frames <- t.skipped_frames + 1;
+                  t.skipped_bytes <- t.skipped_bytes + total;
+                  Skip { error; bytes = raw }
+            end
+          end
+        end
+      end
+    end
+    else if available t = 0 && Buffer.length t.garbage = 0 then
+      if t.closed then Eof else Await
+    else begin
+      (* Out of sync (or a partial sentinel at the chunk boundary). *)
+      match hunt_sync t with
+      | Some ev -> ev
+      | None -> if t.closed then Eof else Await
+    end
+
+  let header t = t.header
+end
+
+(* Strict whole-document decode of a framed stream: the first error
+   aborts.  End-of-stream frames are checked but not required, so a
+   truncated-but-frame-aligned recording still decodes. *)
+let decode_framed text =
+  let r = Reader.create () in
+  Reader.feed r text;
+  Reader.close r;
+  let rec go header rev_msgs =
+    match Reader.next r with
+    | Reader.Item (Reader.Header h) -> go (Some h) rev_msgs
+    | Reader.Item (Reader.Msg m) -> go header (m :: rev_msgs)
+    | Reader.Item (Reader.End_of_thread _) -> go header rev_msgs
+    | Reader.Skip { error; _ } -> Error error
+    | Reader.Await -> assert false (* closed reader never awaits *)
+    | Reader.Eof -> (
+        match header with
+        | None -> Error Error.Missing_header_frame
+        | Some h -> Ok (h, List.rev rev_msgs))
+  in
+  go None []
+
+(* {1 Files} *)
+
+type format = V1 | Framed_v2
+
+let sniff text =
+  if String.length text >= String.length Framed.preamble
+     && String.sub text 0 (String.length Framed.preamble) = Framed.preamble
+  then Some Framed_v2
+  else
+    let first =
+      match String.index_opt text '\n' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    if String.trim first = magic then Some V1 else None
+
+let decode_any text =
+  match sniff text with
+  | Some Framed_v2 -> decode_framed text
+  | Some V1 | None -> decode text
+
+let write_file ?(format = Framed_v2) path header messages =
+  let doc =
+    match format with
+    | V1 -> encode header messages
+    | Framed_v2 -> Framed.encode header messages
+  in
   let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (encode header messages))
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc doc)
 
 let read_file path =
   match
@@ -131,5 +684,5 @@ let read_file path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | text -> decode text
-  | exception Sys_error e -> Error e
+  | text -> decode_any text
+  | exception Sys_error e -> Error (Error.Io e)

@@ -1,13 +1,12 @@
-(** Wire format for observer messages.
+(** Wire formats for observer messages.
 
     JMPaX ships [⟨e, i, V⟩] messages over a socket to an external
-    observer process (paper, Fig. 4). This module fixes a line-oriented
-    text encoding so executions can cross process boundaries here too:
-    the instrumented run writes a trace, and `jmpax observe` — or any
-    other consumer — analyzes it later or elsewhere, in any delivery
-    order.
+    observer process (paper, Fig. 4). This module fixes two encodings so
+    executions can cross process boundaries here too, in any delivery
+    order:
 
-    Format (one record per line):
+    {2 Version 1 — line-oriented text}
+
     {v
     jmpax-trace 1          -- header: magic and version
     threads <n>
@@ -16,7 +15,18 @@
     v}
 
     Variable names are percent-encoded so spaces and newlines cannot
-    corrupt framing. *)
+    corrupt framing.  Whole-document only: a reader must see the full
+    text before decoding.
+
+    {2 Version 2 — length-framed stream ({!Framed}, {!Reader})}
+
+    The streaming format an online observer consumes while the program
+    runs: a versioned preamble followed by self-delimiting frames
+    (header, message, per-thread end-of-stream), each guarded by a
+    sentinel that cannot occur in a valid payload.  {!Reader} decodes it
+    incrementally from arbitrary chunk boundaries and {e resynchronizes}
+    on the next frame after malformed input instead of giving up — every
+    failure is a typed {!Error.t}, never an exception. *)
 
 open Trace
 
@@ -25,17 +35,164 @@ type header = {
   init : (Types.var * Types.value) list;
 }
 
+(** Decode-error taxonomy shared by both formats. *)
+module Error : sig
+  type t =
+    | Empty
+    | Bad_magic of string
+    | Missing_threads
+    | Duplicate_threads of string
+    | Misplaced_threads of string  (** a [threads] line after the first message *)
+    | Bad_thread_count of string
+    | Bad_escape of string
+    | Truncated_escape of string
+    | Bad_init of string
+    | Malformed_msg of string
+    | Bad_clock of string
+    | Inconsistent_message of string
+        (** the emitting thread's own clock component is missing or < 1 *)
+    | Tid_out_of_range of { tid : int; nthreads : int }
+    | Clock_width_mismatch of { width : int; expected : int }
+    | Unrecognized_line of string
+    | Bad_preamble of string
+    | Unknown_frame_kind of int
+    | Frame_too_large of { length : int; limit : int }
+    | Truncated_frame of { expected : int; got : int }
+    | Bad_frame_trailer of int
+    | Missing_header_frame
+    | Duplicate_header_frame
+    | Bad_end_frame of string
+    | Duplicate_end of int
+    | Message_after_end of { tid : int }
+    | Lost_sync of int  (** bytes skipped while hunting for a sentinel *)
+    | Duplicate_message of { tid : int; index : int }
+    | Backpressure of { buffered : int; limit : int }
+    | Missing_messages of { tid : int; next : int }
+    | Io of string
+
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Variable-name escaping} *)
+
+val encode_var : Types.var -> string
+(** Percent-encodes ['%'], whitespace and control characters. *)
+
+val decode_var : string -> (Types.var, Error.t) result
+(** Inverse of {!encode_var}; both characters of an escape must be hex
+    digits ([%4_] is {!Error.Bad_escape}, not ['\x04']). *)
+
+(** {1 Version-1 text documents} *)
+
 val encode_message : Message.t -> string
 (** One [msg] line, without the newline. *)
 
-val decode_message : string -> (Message.t, string) result
+val decode_message : ?expect_width:int -> string -> (Message.t, Error.t) result
+(** [expect_width] is the header's thread count; when given, the thread
+    id and the clock's dimension are validated against it. *)
 
 val encode : header -> Message.t list -> string
 (** A complete trace document. *)
 
-val decode : string -> (header * Message.t list, string) result
-(** Accepts blank lines and [#] comments. *)
+val decode : string -> (header * Message.t list, Error.t) result
+(** Accepts blank lines and [#] comments.  Hard errors include a
+    duplicate or post-message [threads] line, a thread id outside the
+    header's range, and a vector clock whose width disagrees with the
+    header. *)
 
-val write_file : string -> header -> Message.t list -> unit
-val read_file : string -> (header * Message.t list, string) result
-(** [Error] on unreadable files as well as malformed content. *)
+(** {1 Version-2 framed streams} *)
+
+module Framed : sig
+  val preamble : string
+  (** ["jmpax-wire 2\n"] — the versioned magic that opens every stream. *)
+
+  val sentinel : string
+  (** The 3-byte frame guard; cannot occur inside a valid payload. *)
+
+  val default_max_frame : int
+
+  val kind_header : char
+  val kind_message : char
+  val kind_end : char
+
+  val frame : char -> string -> string
+  (** A raw frame (sentinel, kind, length, payload, trailer) around an
+      arbitrary payload — the building block of the encoders, exposed so
+      tests and the fuzzer can forge well-framed but invalid input. *)
+
+  val encode_header : header -> string
+  (** The header frame (without the preamble). *)
+
+  val encode_message : Message.t -> string
+  val encode_end : int -> string
+  (** The per-thread end-of-stream frame. *)
+
+  val encode : header -> Message.t list -> string
+  (** Preamble, header frame, message frames, then one end-of-stream
+      frame per thread. *)
+end
+
+val decode_framed : string -> (header * Message.t list, Error.t) result
+(** Strict whole-document decode of a framed stream: the first error
+    aborts.  End-of-stream frames are checked but not required. *)
+
+(** Incremental decoder for framed streams. *)
+module Reader : sig
+  type item =
+    | Header of header
+    | Msg of Message.t  (** event ids are assigned in arrival order *)
+    | End_of_thread of int
+
+  type event =
+    | Item of item
+    | Skip of { error : Error.t; bytes : string }
+        (** malformed input was skipped up to the next frame; [bytes] is
+            the raw span, for quarantining *)
+    | Await  (** a frame is incomplete: feed more input *)
+    | Eof  (** the reader is closed and fully drained *)
+
+  type stats = {
+    frames : int;  (** well-formed frames delivered *)
+    messages : int;
+    skipped_frames : int;
+    resyncs : int;  (** garbage spans skipped to regain frame sync *)
+    skipped_bytes : int;
+  }
+
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  (** [max_frame] (default 1 MiB) bounds a single frame; larger length
+      prefixes are treated as corruption and resynchronized past. *)
+
+  val feed : t -> string -> unit
+  (** Append a chunk of transport bytes; any chunk boundary is fine.
+      @raise Invalid_argument after {!close}. *)
+
+  val close : t -> unit
+  (** Declare end of transport: pending partial input becomes
+      {!Error.Truncated_frame} and draining ends with [Eof]. *)
+
+  val next : t -> event
+  (** Never raises: all malformed input surfaces as [Skip]. *)
+
+  val header : t -> header option
+  (** The stream header, once its frame has been delivered. *)
+
+  val stats : t -> stats
+end
+
+(** {1 Files} *)
+
+type format = V1 | Framed_v2
+
+val decode_any : string -> (header * Message.t list, Error.t) result
+(** Sniffs the magic and dispatches to {!decode} or {!decode_framed}. *)
+
+val write_file : ?format:format -> string -> header -> Message.t list -> unit
+(** Default format: {!Framed_v2}. *)
+
+val read_file : string -> (header * Message.t list, Error.t) result
+(** Reads either format ({!decode_any}); [Error (Io _)] on unreadable
+    files. *)

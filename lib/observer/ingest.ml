@@ -1,32 +1,82 @@
 open Trace
 
+type reject =
+  | Out_of_range of { tid : int; nthreads : int }
+  | Duplicate of { tid : int; index : int }
+  | Overflow of { buffered : int; limit : int }
+
+let reject_to_string = function
+  | Out_of_range { tid; nthreads } ->
+      Printf.sprintf "Ingest: thread id %d out of range (%d threads)" tid nthreads
+  | Duplicate { tid; index } ->
+      Printf.sprintf "Ingest.add: duplicate message (thread %d, index %d)" tid index
+  | Overflow { buffered; limit } ->
+      Printf.sprintf "Ingest: %d out-of-order messages buffered (limit %d)" buffered
+        limit
+
 type t = {
   nthreads : int;
   init : (Types.var * Types.value) list;
+  max_buffered : int option;  (* bound on out-of-order buffered messages *)
   buffers : (int, Message.t) Hashtbl.t array;  (* per thread: index -> message *)
   next_release : int array;  (* per thread: next index to release *)
+  contig : int array;  (* per thread: largest k with 1..k all received *)
+  mutable beyond : int;  (* received messages past their thread's contig prefix *)
   mutable added : int;
   mutable rev_all : Message.t list;
 }
 
-let create ~nthreads ~init =
+let create ?max_buffered ~nthreads ~init () =
   if nthreads <= 0 then invalid_arg "Ingest.create: nthreads must be positive";
+  (match max_buffered with
+  | Some k when k < 0 -> invalid_arg "Ingest.create: max_buffered must be >= 0"
+  | _ -> ());
   { nthreads;
     init;
+    max_buffered;
     buffers = Array.init nthreads (fun _ -> Hashtbl.create 16);
     next_release = Array.make nthreads 1;
+    contig = Array.make nthreads 0;
+    beyond = 0;
     added = 0;
     rev_all = [] }
 
-let add t (m : Message.t) =
-  if m.tid < 0 || m.tid >= t.nthreads then invalid_arg "Ingest.add: thread id out of range";
-  let seq = Message.seq m in
-  if Hashtbl.mem t.buffers.(m.tid) seq || seq < t.next_release.(m.tid) then
-    invalid_arg
-      (Printf.sprintf "Ingest.add: duplicate message (thread %d, index %d)" m.tid seq);
-  Hashtbl.replace t.buffers.(m.tid) seq m;
-  t.added <- t.added + 1;
-  t.rev_all <- m :: t.rev_all
+let out_of_order t = t.beyond
+
+let offer t (m : Message.t) =
+  if m.tid < 0 || m.tid >= t.nthreads then
+    Error (Out_of_range { tid = m.tid; nthreads = t.nthreads })
+  else begin
+    let seq = Message.seq m in
+    if Hashtbl.mem t.buffers.(m.tid) seq || seq < t.next_release.(m.tid) then
+      Error (Duplicate { tid = m.tid; index = seq })
+    else if
+      (match t.max_buffered with
+      | Some limit -> seq > t.contig.(m.tid) + 1 && t.beyond >= limit
+      | None -> false)
+    then Error (Overflow { buffered = t.beyond; limit = Option.get t.max_buffered })
+    else begin
+      Hashtbl.replace t.buffers.(m.tid) seq m;
+      if seq = t.contig.(m.tid) + 1 then begin
+        (* Extend the contiguous prefix over already-buffered successors. *)
+        let k = ref seq in
+        while Hashtbl.mem t.buffers.(m.tid) (!k + 1) do
+          incr k;
+          t.beyond <- t.beyond - 1
+        done;
+        t.contig.(m.tid) <- !k
+      end
+      else t.beyond <- t.beyond + 1;
+      t.added <- t.added + 1;
+      t.rev_all <- m :: t.rev_all;
+      Ok ()
+    end
+  end
+
+let add t m =
+  match offer t m with
+  | Ok () -> ()
+  | Error e -> invalid_arg (reject_to_string e)
 
 let add_all t ms = List.iter (add t) ms
 let added t = t.added

@@ -3,17 +3,35 @@
     The observer receives messages [⟨e, i, V⟩] in arbitrary order
     (Section 4). The ingester buffers them and releases, per thread, the
     contiguous prefix [1..k] of relevant-event indices seen so far — the
-    events whose lattice levels can already be built. *)
+    events whose lattice levels can already be built.
+
+    [max_buffered] bounds the number of {e out-of-order} messages held
+    back waiting for a predecessor (the backpressure knob of the
+    streaming path): a message that would start or extend a gap while
+    the bound is full is rejected, so a reordering channel cannot grow
+    the buffer without bound. *)
 
 open Trace
 
 type t
 
-val create : nthreads:int -> init:(Types.var * Types.value) list -> t
+type reject =
+  | Out_of_range of { tid : int; nthreads : int }
+  | Duplicate of { tid : int; index : int }
+  | Overflow of { buffered : int; limit : int }
+
+val reject_to_string : reject -> string
+
+val create :
+  ?max_buffered:int -> nthreads:int -> init:(Types.var * Types.value) list -> unit -> t
+
+val offer : t -> Message.t -> (unit, reject) result
+(** Total version of {!add}: never raises. *)
 
 val add : t -> Message.t -> unit
-(** @raise Invalid_argument on a thread id out of range or a duplicate
-    (thread, index) pair. *)
+(** @raise Invalid_argument on a thread id out of range, a duplicate
+    (thread, index) pair, or an out-of-order message past the
+    [max_buffered] bound. *)
 
 val add_all : t -> Message.t list -> unit
 
@@ -24,7 +42,11 @@ val released : t -> int
 (** Messages already released by {!take_ready}. *)
 
 val pending : t -> int
-(** Buffered messages still missing a predecessor. *)
+(** Buffered messages not yet drained by {!take_ready}. *)
+
+val out_of_order : t -> int
+(** Buffered messages still missing a predecessor — the quantity bounded
+    by [max_buffered]. *)
 
 val take_ready : t -> Message.t list
 (** Drains every message that has become deliverable (its thread's

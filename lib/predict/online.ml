@@ -5,6 +5,11 @@ let m_level_cuts = M.series "online.level_cuts"
 let m_retired = M.counter "online.retired_cuts"
 let m_monitor_steps = M.counter "online.monitor_steps"
 let m_violations = M.counter "online.violations"
+let m_gc_removed = M.counter "online.gc_removed"
+let m_max_buffered = M.gauge "online.max_buffered"
+let m_peak_buffered = M.gauge "online.peak_buffered"
+
+exception Backpressure of { buffered : int; limit : int }
 
 module Mset = Set.Make (struct
   type t = Pastltl.Monitor.state
@@ -36,11 +41,13 @@ type t = {
   spec : Pastltl.Formula.t;
   pool : Observer.Frontier.Pool.t;
   par_threshold : int option;
+  max_buffered : int option;  (* bound on out-of-order buffered messages *)
   (* Message store: (tid, index) -> message, plus contiguous prefix
      lengths and out-of-order buffer counts. *)
   store : (Types.tid * int, Message.t) Hashtbl.t;
   prefix : int array;  (* per thread: largest k with 1..k all received *)
   beyond : int array;  (* per thread: received messages with index > prefix *)
+  gc_floor : int array;  (* per thread: messages 1..gc_floor already collected *)
   ended : bool array;
   (* Frontier: cuts of the current level, on the shared engine. *)
   mutable frontier : F.frontier;
@@ -76,8 +83,12 @@ let record_violations t =
         entry.msets)
     t.frontier
 
-let create ?(jobs = 1) ?par_threshold ~nthreads ~init ~spec () =
+let create ?(jobs = 1) ?par_threshold ?max_buffered ~nthreads ~init ~spec () =
   if nthreads <= 0 then invalid_arg "Online.create: nthreads must be positive";
+  (match max_buffered with
+  | Some k when k < 0 -> invalid_arg "Online.create: max_buffered must be >= 0"
+  | Some k -> if M.enabled () then M.set m_max_buffered k
+  | None -> ());
   let monitor = Pastltl.Monitor.compile spec in
   let init_state = Pastltl.State.of_list init in
   let m0 = Pastltl.Monitor.init monitor init_state in
@@ -91,9 +102,11 @@ let create ?(jobs = 1) ?par_threshold ~nthreads ~init ~spec () =
       spec;
       pool = Observer.Frontier.Pool.create ~jobs;
       par_threshold;
+      max_buffered;
       store = Hashtbl.create 64;
       prefix = Array.make nthreads 0;
       beyond = Array.make nthreads 0;
+      gc_floor = Array.make nthreads 0;
       ended = Array.make nthreads false;
       frontier;
       level = 0;
@@ -176,11 +189,18 @@ let rec advance_one_level_body t =
    such messages is the paper's "garbage-collected while the analysis
    process continues". *)
 and gc_store t =
+  (* The frontier's minimum components only grow level over level, so
+     [gc_floor] records what previous sweeps already collected and each
+     key is removed exactly once over the whole run. *)
   let floor = F.min_components t.frontier in
   for i = 0 to t.nthreads - 1 do
-    for k = 1 to floor.(i) do
-      Hashtbl.remove t.store (i, k)
-    done
+    if floor.(i) > t.gc_floor.(i) then begin
+      for k = t.gc_floor.(i) + 1 to floor.(i) do
+        Hashtbl.remove t.store (i, k)
+      done;
+      if M.enabled () then M.add m_gc_removed (floor.(i) - t.gc_floor.(i));
+      t.gc_floor.(i) <- floor.(i)
+    end
   done
 
 let advance_one_level t =
@@ -193,12 +213,19 @@ let pump t =
     advance_one_level t
   done
 
+let total_beyond t = Array.fold_left ( + ) 0 t.beyond
+
 let feed t (m : Message.t) =
   if m.tid < 0 || m.tid >= t.nthreads then invalid_arg "Online.feed: thread id out of range";
   let seq = Message.seq m in
   if seq <= t.prefix.(m.tid) || Hashtbl.mem t.store (m.tid, seq) then
     invalid_arg "Online.feed: duplicate message";
   if t.ended.(m.tid) then invalid_arg "Online.feed: thread already ended";
+  (match t.max_buffered with
+  | Some limit when seq > t.prefix.(m.tid) + 1 ->
+      let buffered = total_beyond t in
+      if buffered >= limit then raise (Backpressure { buffered; limit })
+  | _ -> ());
   Hashtbl.replace t.store (m.tid, seq) m;
   if seq = t.prefix.(m.tid) + 1 then begin
     (* Extend the contiguous prefix as far as buffered messages allow. *)
@@ -210,6 +237,7 @@ let feed t (m : Message.t) =
     t.prefix.(m.tid) <- !k
   end
   else t.beyond.(m.tid) <- t.beyond.(m.tid) + 1;
+  if M.enabled () then M.set_max m_peak_buffered (total_beyond t);
   pump t
 
 let feed_all t ms = List.iter (feed t) ms
@@ -234,6 +262,15 @@ let level t = t.level
 let frontier_cuts t = F.size t.frontier
 
 let buffered t = Hashtbl.length t.store
+let out_of_order t = total_beyond t
+
+let missing t =
+  let rec go i =
+    if i >= t.nthreads then None
+    else if t.beyond.(i) > 0 then Some (i, t.prefix.(i) + 1)
+    else go (i + 1)
+  in
+  go 0
 
 let gc_stats t =
   { retired_cuts = t.retired_cuts;

@@ -24,9 +24,14 @@ open Trace
 
 type t
 
+exception Backpressure of { buffered : int; limit : int }
+(** Raised by {!feed} when accepting an out-of-order message would
+    exceed the [max_buffered] bound. *)
+
 val create :
   ?jobs:int ->
   ?par_threshold:int ->
+  ?max_buffered:int ->
   nthreads:int ->
   init:(Types.var * Types.value) list ->
   spec:Pastltl.Formula.t ->
@@ -39,11 +44,18 @@ val create :
     expands each level across a domain pool ([jobs = 0] means all
     cores; default [1] = sequential) with verdicts, violations and
     {!gc_stats} identical for every jobs count.  [par_threshold] as in
-    [Predict.Analyzer.analyze]. *)
+    [Predict.Analyzer.analyze].
+
+    [max_buffered] bounds the messages buffered {e out of order} (past
+    their thread's contiguous prefix): one more makes {!feed} raise
+    {!Backpressure}, keeping the observer's memory bounded under a
+    reordering channel.  The bound and the observed peak surface as the
+    [online.max_buffered] / [online.peak_buffered] telemetry gauges. *)
 
 val feed : t -> Message.t -> unit
 (** Accept one message (any order) and advance as far as possible.
-    @raise Invalid_argument on duplicates or thread ids out of range. *)
+    @raise Invalid_argument on duplicates or thread ids out of range.
+    @raise Backpressure when the out-of-order buffer bound is full. *)
 
 val feed_all : t -> Message.t list -> unit
 
@@ -65,6 +77,14 @@ val level : t -> int
 val frontier_cuts : t -> int
 val buffered : t -> int
 (** Messages received but not yet consumed by the frontier. *)
+
+val out_of_order : t -> int
+(** Buffered messages still missing a predecessor — the quantity bounded
+    by [max_buffered]. *)
+
+val missing : t -> (Types.tid * int) option
+(** The first thread with a delivery gap and the index it is waiting
+    for; [None] when every buffered message is contiguous. *)
 
 type gc_stats = {
   retired_cuts : int;  (** cuts discarded after their level was passed *)

@@ -232,7 +232,7 @@ let test_wire_roundtrip () =
   let header = { Jmpax.Wire.nthreads = 2; init = Tml.Programs.xyz.Tml.Ast.shared } in
   let text = Jmpax.Wire.encode header messages in
   match Jmpax.Wire.decode text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Jmpax.Wire.Error.to_string e)
   | Ok (header', messages') ->
       Alcotest.(check int) "nthreads" 2 header'.Jmpax.Wire.nthreads;
       Alcotest.(check (list (pair string int))) "init" header.Jmpax.Wire.init
@@ -255,7 +255,7 @@ let test_wire_escaping () =
   | Ok m' ->
       Alcotest.(check string) "variable restored" weird m'.Trace.Message.var;
       Alcotest.(check int) "value restored" (-3) m'.Trace.Message.value
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Jmpax.Wire.Error.to_string e)
 
 let test_wire_rejects_garbage () =
   let expect_error text =
@@ -277,7 +277,7 @@ let test_wire_file_and_observer () =
     (fun () ->
       Jmpax.Wire.write_file path header messages;
       match Jmpax.Wire.read_file path with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Jmpax.Wire.Error.to_string e)
       | Ok (h, ms) ->
           let comp =
             Observer.Computation.of_messages_exn ~nthreads:h.Jmpax.Wire.nthreads

@@ -75,7 +75,7 @@ let test_bounded_reorder_window_bound () =
 
 let test_ingest_in_order () =
   let nthreads, init, messages = xyz_obs () in
-  let ing = Observer.Ingest.create ~nthreads ~init in
+  let ing = Observer.Ingest.create ~nthreads ~init () in
   Observer.Ingest.add_all ing messages;
   Alcotest.(check int) "all added" 4 (Observer.Ingest.added ing);
   let ready = Observer.Ingest.take_ready ing in
@@ -87,7 +87,7 @@ let test_ingest_out_of_order_releases_prefixes () =
   (* Deliver thread 0's second message before its first. *)
   let m0_1 = List.nth messages 0 (* x=0, T0 #1 *) in
   let m0_2 = List.nth messages 3 (* y=1, T0 #2 *) in
-  let ing = Observer.Ingest.create ~nthreads ~init in
+  let ing = Observer.Ingest.create ~nthreads ~init () in
   Observer.Ingest.add ing m0_2;
   Alcotest.(check int) "buffered, not ready" 0
     (List.length (Observer.Ingest.take_ready ing));
@@ -99,7 +99,7 @@ let test_ingest_out_of_order_releases_prefixes () =
 
 let test_ingest_rejects_duplicates () =
   let nthreads, init, messages = xyz_obs () in
-  let ing = Observer.Ingest.create ~nthreads ~init in
+  let ing = Observer.Ingest.create ~nthreads ~init () in
   let m = List.hd messages in
   Observer.Ingest.add ing m;
   match Observer.Ingest.add ing m with
@@ -108,7 +108,7 @@ let test_ingest_rejects_duplicates () =
 
 let test_ingest_detects_gaps () =
   let nthreads, init, messages = xyz_obs () in
-  let ing = Observer.Ingest.create ~nthreads ~init in
+  let ing = Observer.Ingest.create ~nthreads ~init () in
   (* Drop thread 0's first message. *)
   List.iteri (fun i m -> if i <> 0 then Observer.Ingest.add ing m) messages;
   match Observer.Ingest.computation ing with
