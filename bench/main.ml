@@ -10,7 +10,7 @@
 
    Usage:
      dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- E5      # one experiment (E1..E17)
+     dune exec bench/main.exe -- E5      # one experiment (E1..E18)
      dune exec bench/main.exe -- perf    # only the Bechamel timing runs
 
    Add [--json FILE] to also write every recorded (experiment, metric,
@@ -988,17 +988,163 @@ let e17 () =
     "series: the streaming reader should stay within ~2x of whole-document \
      decode, and noise must not collapse throughput.\n"
 
+(* {1 E18: crash safety — checkpoint write cost, streaming overhead} *)
+
+(* A long-running concurrent trace with a *bounded* concurrency
+   window: [nthreads] threads advance in loose lockstep, each round-[i]
+   message carrying clock (own = i+1, others = i) — every thread has
+   seen the previous round of all the others.  Only same-round messages
+   are mutually concurrent, so the frontier width stays a small
+   constant no matter how long the trace runs.  That is the steady
+   state of a real long-running monitor: checkpoints stay a few KB
+   while every lattice level still does real cut expansion. *)
+let windowed_trace ~nthreads ~rounds =
+  let header =
+    { Jmpax.Wire.nthreads;
+      init = List.init nthreads (fun i -> (Printf.sprintf "v%d" i, 0)) }
+  in
+  let ms =
+    List.concat
+      (List.init rounds (fun i ->
+           List.init nthreads (fun tid ->
+               let clock = Array.init nthreads (fun _ -> i) in
+               clock.(tid) <- i + 1;
+               Trace.Message.make ~eid:((i * nthreads) + tid) ~tid
+                 ~var:(Printf.sprintf "v%d" tid) ~value:(i + 1)
+                 ~mvc:(Vclock.of_list (Array.to_list clock)))))
+  in
+  (header, ms)
+
+(* A wide conjunction of temporal clauses over the shared variables,
+   none of which ever violates on [windowed_trace] (values only grow,
+   so [v >= 0] is invariant and [v < 0] never fires the interval
+   close).  Distinct constants keep the clauses structurally distinct,
+   so the compiled monitor is genuinely wide — per-event monitor work
+   is what a per-level checkpoint has to stay cheap against. *)
+let e18_spec ~nthreads ~nclauses =
+  List.init nclauses (fun c ->
+      Printf.sprintf "((once v%d >= %d) ==> [v%d >= 0, v%d < 0))"
+        (c mod nthreads) (c + 1)
+        ((c + 1) mod nthreads)
+        ((c + 2) mod nthreads))
+  |> String.concat " and "
+  |> Pastltl.Fparser.parse
+
+let e18 ?(smoke = false) () =
+  section "E18"
+    "Crash safety: checkpoint write cost and --checkpoint-every overhead";
+  let nthreads = 4 and rounds = if smoke then 12 else 30 in
+  let header, ms = windowed_trace ~nthreads ~rounds in
+  let doc = Jmpax.Wire.Framed.encode header ms in
+  let spec = e18_spec ~nthreads ~nclauses:32 in
+  let ckpath = Filename.temp_file "jmpax_bench" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists ckpath then Sys.remove ckpath;
+      if Sys.file_exists (ckpath ^ ".tmp") then Sys.remove (ckpath ^ ".tmp"))
+  @@ fun () ->
+  let run_stream ?checkpoint () =
+    match Jmpax.Stream.run_string ?checkpoint ~spec doc with
+    | Ok o -> o
+    | Error e -> failwith ("E18: stream failed: " ^ Jmpax.Wire.Error.to_string e)
+  in
+  (* Correctness before timing: checkpointing must not change the
+     outcome, and a resume from the surviving file must complete. *)
+  let base = run_stream () in
+  let ck1 = run_stream ~checkpoint:(ckpath, 1) () in
+  if Jmpax.Report.stream_summary base
+     <> Jmpax.Report.stream_summary
+          { ck1 with
+            Jmpax.Stream.s_stats =
+              { ck1.Jmpax.Stream.s_stats with Jmpax.Stream.checkpoints = 0 } }
+  then failwith "E18: checkpointing changed the verdict";
+  let ck =
+    match Jmpax.Checkpoint.read ckpath with
+    | Ok ck -> ck
+    | Error e -> failwith ("E18: " ^ Jmpax.Checkpoint.error_to_string e)
+  in
+  (match Jmpax.Stream.run_string ~resume:ck ~spec doc with
+  | Ok o when Jmpax.Report.stream_summary o = Jmpax.Report.stream_summary base
+    -> ()
+  | Ok _ -> failwith "E18: resumed run disagrees with the uninterrupted one"
+  | Error e -> failwith ("E18: resume failed: " ^ Jmpax.Wire.Error.to_string e));
+  let bytes = String.length (Jmpax.Checkpoint.encode ck) in
+  Printf.printf
+    "trace: %d messages over %d threads; %d levels, %d checkpoints of %d bytes\n"
+    (List.length ms) nthreads ck1.Jmpax.Stream.s_level
+    ck1.Jmpax.Stream.s_stats.Jmpax.Stream.checkpoints bytes;
+  record ~experiment:"E18" ~metric:"checkpoint_bytes" (float_of_int bytes);
+  record ~experiment:"E18" ~metric:"checkpoints_written"
+    (float_of_int ck1.Jmpax.Stream.s_stats.Jmpax.Stream.checkpoints);
+  (* Isolated write cost: encode + tmp file + rename of one snapshot. *)
+  (match
+     measure ~quota:(if smoke then 0.1 else 0.3)
+       [ Test.make ~name:"write"
+           (Staged.stage (fun () ->
+                ignore (Jmpax.Checkpoint.write ckpath ck))) ]
+   with
+  | [ (_, ns) ] ->
+      Printf.printf "checkpoint write: %s (%d bytes, atomic tmp+rename)\n"
+        (pp_ns ns) bytes;
+      record ~experiment:"E18" ~metric:"checkpoint_write_ns" ns
+  | _ -> ());
+  (* The gate: streaming with --checkpoint-every 1 (a checkpoint at
+     every lattice level, the most paranoid setting) must stay within
+     1.15x of streaming without.  Min-across-retries as in E16 — the
+     workload is milliseconds, so scheduler noise is the main hazard. *)
+  let arm name f = Test.make ~name (Staged.stage f) in
+  let measure_arm ~quota t =
+    match measure ~quota [ t ] with [ (_, ns) ] -> ns | _ -> nan
+  in
+  let quota = if smoke then 0.1 else 0.4 in
+  let rec attempt quota tries best_off best_on =
+    let off =
+      Float.min best_off
+        (measure_arm ~quota (arm "no checkpoint" (fun () -> ignore (run_stream ()))))
+    in
+    let on =
+      Float.min best_on
+        (measure_arm ~quota
+           (arm "checkpoint every level" (fun () ->
+                ignore (run_stream ~checkpoint:(ckpath, 1) ()))))
+    in
+    let ratio = on /. off in
+    if ratio > 1.15 && tries > 0 then attempt (quota *. 2.) (tries - 1) off on
+    else (off, on, ratio)
+  in
+  let off, on, ratio = attempt quota 2 infinity infinity in
+  Printf.printf "%-24s %s\n%-24s %s\n" "stream, no checkpoint" (pp_ns off)
+    "stream, --checkpoint-every 1" (pp_ns on);
+  record ~experiment:"E18" ~metric:"stream_ns_no_checkpoint" off;
+  record ~experiment:"E18" ~metric:"stream_ns_checkpoint_every1" on;
+  record ~experiment:"E18" ~metric:"overhead_ratio_every1" ratio;
+  Printf.printf
+    "verdict: checkpoint-every-level overhead %+.1f%% (gate: +15%%)\n"
+    ((ratio -. 1.) *. 100.);
+  ratio <= 1.15
+
 (* {1 Driver} *)
 
 let gate_failed = ref false
 
-let run_e16 ?smoke () = if not (e16 ?smoke ()) then gate_failed := true
+let run_e16 ?smoke () =
+  if not (e16 ?smoke ()) then begin
+    prerr_endline "bench: E16 telemetry overhead gate FAILED (metrics-on > 1.10x)";
+    gate_failed := true
+  end
+
+let run_e18 ?smoke () =
+  if not (e18 ?smoke ()) then begin
+    prerr_endline
+      "bench: E18 checkpoint overhead gate FAILED (--checkpoint-every 1 > 1.15x)";
+    gate_failed := true
+  end
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", fun () -> e15 ()); ("E16", fun () -> run_e16 ());
-    ("E17", e17) ]
+    ("E17", e17); ("E18", fun () -> run_e18 ()) ]
 
 let dump_metrics dest =
   let text = Telemetry.Metrics.to_text () in
@@ -1043,7 +1189,8 @@ let () =
          plus the telemetry-overhead gate. *)
       e1 ();
       e15 ~smoke:true ();
-      run_e16 ~smoke:true ()
+      run_e16 ~smoke:true ();
+      run_e18 ~smoke:true ()
   | ([] | [ "all" ]), false -> List.iter (fun (_, f) -> f ()) experiments
   | [ "perf" ], _ ->
       e3 ();
@@ -1056,12 +1203,12 @@ let () =
           match List.assoc_opt (String.uppercase_ascii id) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (known: E1..E17, all, perf, --smoke)\n" id;
+              Printf.eprintf "unknown experiment %s (known: E1..E18, all, perf, --smoke)\n" id;
               exit 2)
         ids);
   Option.iter write_json !json_path;
   Option.iter dump_metrics !metrics_path;
   if !gate_failed then begin
-    prerr_endline "bench: E16 telemetry overhead gate FAILED (metrics-on > 1.10x)";
+    prerr_endline "bench: a performance gate FAILED (see messages above)";
     exit 1
   end

@@ -297,34 +297,137 @@ let observe_cmd =
 
 (* {1 stream} *)
 
-(* Hand the transport's read function to [f]: a regular file, a FIFO
-   (open blocks until a writer appears, as FIFOs do), stdin for [-], or
-   a connection to a listening Unix socket for [unix:PATH]. *)
-let with_transport target f =
+(* Distinct exit codes so supervisors can tell failure classes apart
+   without scraping stderr (also listed in the stream man page). *)
+let exit_violation = 1
+let exit_decode = 3
+let exit_backpressure = 4
+let exit_transport_lost = 5
+let exit_checkpoint = 6
+
+let die code msg =
+  prerr_endline ("jmpax: " ^ msg);
+  exit code
+
+let code_of_stream_error = function
+  | Jmpax.Wire.Error.Backpressure _ -> exit_backpressure
+  | Jmpax.Wire.Error.Checkpoint _ -> exit_checkpoint
+  | _ -> exit_decode
+
+(* Pull [n] bytes off the transport and drop them: positions a
+   non-seekable source (FIFO, stdin, plain socket) at a checkpoint's
+   resume offset. *)
+let discard_prefix t n =
+  let buf = Bytes.create 8192 in
+  let rec go remaining =
+    if remaining = 0 then Ok ()
+    else
+      match Jmpax.Transport.read t buf 0 (min remaining (Bytes.length buf)) with
+      | 0 -> Error "transport ended before the checkpointed resume offset"
+      | k -> go (remaining - k)
+  in
+  go n
+
+(* EINTR-safe [connect]: signal delivery during dial must not kill a
+   long-running monitor. *)
+let rec connect_retry sock addr =
+  try Unix.connect sock addr
+  with Unix.Unix_error (Unix.EINTR, _, _) -> connect_retry sock addr
+
+(* Hand a supervised [Transport.t] to [f]: a regular file, a FIFO (open
+   blocks until a writer appears, as FIFOs do), stdin for [-], or a
+   connection to a listening Unix socket for [unix:PATH] — reconnecting
+   with backoff when a [reconnect] policy is given.  [skip] is the
+   checkpointed resume offset the transport must be advanced past. *)
+let with_transport ?reconnect ?(skip = 0) target f =
   let prefixed prefix s =
     String.length s > String.length prefix
     && String.sub s 0 (String.length prefix) = prefix
   in
+  let skipped t =
+    match discard_prefix t skip with
+    | Ok () -> f t
+    | Error msg -> Error (Jmpax.Wire.Error.Checkpoint msg)
+  in
   match target with
-  | "-" -> f (fun buf pos len -> input stdin buf pos len)
+  | "-" -> skipped (Jmpax.Transport.of_channel stdin)
   | t when prefixed "unix:" t ->
       let path = String.sub t 5 (String.length t - 5) in
-      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let dial () =
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match connect_retry sock (Unix.ADDR_UNIX path) with
+        | () ->
+            Ok
+              ( (fun buf pos len -> Unix.read sock buf pos len),
+                fun () -> try Unix.close sock with Unix.Unix_error _ -> () )
+        | exception Unix.Unix_error (e, fn, _) ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      in
+      let transport =
+        match reconnect with
+        | Some backoff ->
+            (* The reconnecting transport replays and discards the
+               prefix itself on every dial. *)
+            Jmpax.Transport.reconnecting ~backoff ~skip ~dial ()
+        | None -> (
+            match dial () with
+            | Ok (read, close) -> Jmpax.Transport.of_read ~close read
+            | Error msg -> die exit_decode msg)
+      in
       Fun.protect
-        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        ~finally:(fun () -> Jmpax.Transport.close transport)
         (fun () ->
-          Unix.connect sock (Unix.ADDR_UNIX path);
-          f (fun buf pos len -> Unix.read sock buf pos len))
+          if reconnect = None then skipped transport else f transport)
   | path ->
       let ic = open_in_bin path in
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> f (fun buf pos len -> input ic buf pos len))
+        (fun () -> skipped (Jmpax.Transport.of_channel ic))
 
 let stream_cmd =
-  let run target spec jobs max_buffered recovery quarantine_file metrics
-      span_trace =
+  let run target spec jobs max_buffered recovery quarantine_file checkpoint
+      checkpoint_every resume reconnect backoff_min backoff_max max_retries
+      deadline metrics span_trace =
     let spec = parse_spec spec in
+    let resume =
+      match resume with
+      | None -> None
+      | Some path -> (
+          match Jmpax.Checkpoint.read path with
+          | Error e ->
+              die exit_checkpoint
+                (Printf.sprintf "%s: %s" path (Jmpax.Checkpoint.error_to_string e))
+          | Ok ck -> (
+              match Jmpax.Checkpoint.validate ~spec ck with
+              | Error e ->
+                  die exit_checkpoint
+                    (Printf.sprintf "%s: %s" path
+                       (Jmpax.Checkpoint.error_to_string e))
+              | Ok () -> Some ck))
+    in
+    let checkpoint =
+      match checkpoint with
+      | None -> None
+      | Some path ->
+          if checkpoint_every < 1 then
+            die 2 "--checkpoint-every must be at least 1"
+          else Some (path, checkpoint_every)
+    in
+    let reconnect =
+      if not reconnect then None
+      else if backoff_min <= 0.0 || backoff_max < backoff_min then
+        die 2 "--backoff-min/--backoff-max must satisfy 0 < min <= max"
+      else
+        Some
+          { Jmpax.Transport.bo_min = backoff_min;
+            bo_max = backoff_max;
+            bo_retries = max_retries;
+            bo_deadline = deadline }
+    in
+    let skip =
+      match resume with Some ck -> ck.Jmpax.Checkpoint.ck_position | None -> 0
+    in
     let tconfig =
       Jmpax.Config.default ()
       |> Jmpax.Config.with_metrics metrics
@@ -332,9 +435,10 @@ let stream_cmd =
     in
     let code =
       Jmpax.Pipeline.with_telemetry tconfig (fun () ->
+          let lost = ref None in
           let result =
             try
-              with_transport target (fun read ->
+              with_transport ?reconnect ~skip target (fun transport ->
                   let with_quarantine k =
                     match quarantine_file with
                     | None -> k None
@@ -344,9 +448,14 @@ let stream_cmd =
                           ~finally:(fun () -> close_out_noerr oc)
                           (fun () -> k (Some (output_string oc)))
                   in
-                  with_quarantine (fun quarantine ->
-                      Jmpax.Stream.run ?max_buffered ~recovery ?quarantine ~jobs
-                        ~spec ~read ()))
+                  let r =
+                    with_quarantine (fun quarantine ->
+                        Jmpax.Stream.run ?max_buffered ~recovery ?quarantine
+                          ~jobs ?checkpoint ?resume ~spec
+                          ~read:(Jmpax.Transport.read transport) ())
+                  in
+                  lost := Jmpax.Transport.lost transport;
+                  r)
             with
             | Unix.Unix_error (e, fn, arg) ->
                 Error
@@ -354,11 +463,30 @@ let stream_cmd =
                      (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
             | Sys_error msg -> Error (Jmpax.Wire.Error.Io msg)
           in
-          match result with
-          | Error e -> or_die (Error (Jmpax.Wire.Error.to_string e))
-          | Ok outcome ->
+          match (!lost, result) with
+          | Some reason, _ ->
+              (* Transport loss outranks whatever the decoder made of the
+                 cut-off stream: the actionable fact is that the retry
+                 budget ran out. *)
+              prerr_endline ("jmpax: transport lost: " ^ reason);
+              (match checkpoint with
+              | Some (path, _) ->
+                  prerr_endline
+                    (Printf.sprintf
+                       "jmpax: resume later with --resume %s" path)
+              | None -> ());
+              exit_transport_lost
+          | None, Error e ->
+              prerr_endline ("jmpax: " ^ Jmpax.Wire.Error.to_string e);
+              (match e with
+              | Jmpax.Wire.Error.Backpressure _ ->
+                  prerr_endline
+                    "jmpax: hint: raise --max-buffered, or fix the channel's reordering"
+              | _ -> ());
+              code_of_stream_error e
+          | None, Ok outcome ->
               print_string (Jmpax.Report.stream_summary outcome);
-              if outcome.Jmpax.Stream.s_violated then 1 else 0)
+              if outcome.Jmpax.Stream.s_violated then exit_violation else 0)
     in
     if code <> 0 then exit code
   in
@@ -392,13 +520,83 @@ let stream_cmd =
              ~doc:"Where $(b,--on-decode-error quarantine) preserves the \
                    skipped bytes.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Crash safety: atomically write a resumable checkpoint of \
+                   the observer's state to $(docv) as the analysis advances \
+                   (see $(b,--checkpoint-every)).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 1
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Checkpoint each time the lattice frontier has advanced by \
+                   $(docv) levels (default 1).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Resume an interrupted run from the checkpoint in $(docv); \
+                   verdicts, violations and statistics continue exactly as if \
+                   the run had never stopped.  The checkpoint must have been \
+                   taken under the same $(b,--spec).")
+  in
+  let reconnect =
+    Arg.(value & flag
+         & info [ "reconnect" ]
+             ~doc:"For $(b,unix:PATH) targets: treat end-of-file and \
+                   connection resets as transient and redial with exponential \
+                   backoff and jitter, replaying past the bytes already \
+                   consumed.")
+  in
+  let backoff_min =
+    Arg.(value & opt float 0.05
+         & info [ "backoff-min" ] ~docv:"SECONDS"
+             ~doc:"First reconnect delay (default 0.05).")
+  in
+  let backoff_max =
+    Arg.(value & opt float 5.0
+         & info [ "backoff-max" ] ~docv:"SECONDS"
+             ~doc:"Cap on a single reconnect delay (default 5).")
+  in
+  let max_retries =
+    Arg.(value & opt int 10
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"Total redial budget before the transport is declared lost \
+                   (default 10).")
+  in
+  let deadline =
+    Arg.(value & opt float 30.0
+         & info [ "reconnect-deadline" ] ~docv:"SECONDS"
+             ~doc:"Total backoff-sleep budget before the transport is \
+                   declared lost (default 30; 0 = unlimited).")
+  in
+  let exits =
+    [ Cmd.Exit.info 0 ~doc:"the stream completed and no violation was predicted.";
+      Cmd.Exit.info exit_violation ~doc:"a violation was predicted.";
+      Cmd.Exit.info 2 ~doc:"command line or input errors.";
+      Cmd.Exit.info exit_decode
+        ~doc:"the stream could not be decoded (under $(b,--on-decode-error \
+              fail)), or the transport failed.";
+      Cmd.Exit.info exit_backpressure
+        ~doc:"the $(b,--max-buffered) out-of-order bound was exceeded.";
+      Cmd.Exit.info exit_transport_lost
+        ~doc:"the connection was lost and the $(b,--reconnect) retry budget \
+              exhausted.";
+      Cmd.Exit.info exit_checkpoint
+        ~doc:"a checkpoint could not be written, read or validated." ]
+  in
   Cmd.v
-    (Cmd.info "stream"
+    (Cmd.info "stream" ~exits
        ~doc:"Run the online observer over a live framed wire stream (file, \
              FIFO, stdin or Unix socket); verdicts are byte-identical to \
-             $(b,jmpax check).")
+             $(b,jmpax check).  With $(b,--checkpoint) and $(b,--resume) a \
+             killed observer continues where it stopped; with \
+             $(b,--reconnect) it survives connection loss.")
     Term.(const run $ target $ spec_arg $ jobs_arg $ max_buffered $ recovery
-          $ quarantine_file $ metrics_arg $ trace_arg)
+          $ quarantine_file $ checkpoint $ checkpoint_every $ resume
+          $ reconnect $ backoff_min $ backoff_max $ max_retries $ deadline
+          $ metrics_arg $ trace_arg)
 
 (* {1 lattice} *)
 
@@ -607,6 +805,10 @@ let examples_cmd =
     Term.(const run $ const ())
 
 let () =
+  (* A peer closing its end of a socket or pipe must surface as EPIPE /
+     a short write, not kill the monitor outright. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let doc = "predictive runtime analysis of multithreaded programs (JMPaX reproduction)" in
   let info = Cmd.info "jmpax" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; lattice_cmd; race_cmd;

@@ -1,0 +1,464 @@
+open Trace
+module M = Telemetry.Metrics
+
+let m_writes = M.counter "checkpoint.writes"
+let m_bytes = M.counter "checkpoint.bytes"
+let m_level = M.gauge "checkpoint.level"
+
+let ( let* ) = Result.bind
+
+type t = {
+  ck_header : Wire.header;
+  ck_spec_fp : string;
+  ck_position : int;
+  ck_next_eid : int;
+  ck_reader_stats : Wire.Reader.stats;
+  ck_reader_ended : bool array;
+  ck_ends : int;
+  ck_quarantined : int;
+  ck_peak_buffered : int;
+  ck_online : Predict.Online.snapshot;
+}
+
+type error =
+  | Bad_magic of string
+  | Bad_envelope of string
+  | Truncated of { expected : int; got : int }
+  | Crc_mismatch of { expected : string; got : string }
+  | Malformed of string
+  | Spec_mismatch of { expected : string; got : string }
+  | Io of string
+
+let error_to_string = function
+  | Bad_magic s -> Printf.sprintf "bad checkpoint magic %S" s
+  | Bad_envelope s -> Printf.sprintf "bad checkpoint envelope %S" s
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated checkpoint: envelope promises %d body bytes, got %d"
+        expected got
+  | Crc_mismatch { expected; got } ->
+      Printf.sprintf "checkpoint CRC mismatch (stored %s, computed %s): file corrupted"
+        expected got
+  | Malformed s -> Printf.sprintf "malformed checkpoint: %s" s
+  | Spec_mismatch { expected; got } ->
+      Printf.sprintf
+        "checkpoint was taken under a different specification (fingerprint %s, \
+         current spec is %s)"
+        expected got
+  | Io s -> s
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* {1 CRC32 (IEEE 802.3, reflected)} *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let crc_hex s = Printf.sprintf "%08x" (crc32 s)
+
+let fingerprint spec = crc_hex (Format.asprintf "%a" Pastltl.Formula.pp spec)
+
+(* {1 Encoding} *)
+
+let magic = "jmpax-ckpt 1"
+
+let bits_of_bools a =
+  String.init (Array.length a) (fun i -> if a.(i) then '1' else '0')
+
+let ints_of_array a =
+  String.concat "," (List.map string_of_int (Array.to_list a))
+
+let encode_bindings buf bindings =
+  Buffer.add_string buf (string_of_int (List.length bindings));
+  List.iter
+    (fun (x, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Wire.encode_var x);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int v))
+    bindings
+
+let encode_body t =
+  let s = t.ck_online in
+  let r = t.ck_reader_stats in
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  p "spec %s" t.ck_spec_fp;
+  p "threads %d" t.ck_header.Wire.nthreads;
+  List.iter
+    (fun (x, v) -> p "init %s %d" (Wire.encode_var x) v)
+    t.ck_header.Wire.init;
+  p "position %d" t.ck_position;
+  p "next-eid %d" t.ck_next_eid;
+  p "reader-stats %d %d %d %d %d" r.Wire.Reader.frames r.Wire.Reader.messages
+    r.Wire.Reader.skipped_frames r.Wire.Reader.resyncs r.Wire.Reader.skipped_bytes;
+  p "reader-ended %s" (bits_of_bools t.ck_reader_ended);
+  p "stream-stats %d %d %d" t.ck_ends t.ck_quarantined t.ck_peak_buffered;
+  p "online %d %d %d %d %d %d" s.Predict.Online.snap_level
+    (if s.Predict.Online.snap_done then 1 else 0)
+    s.Predict.Online.snap_retired_cuts s.Predict.Online.snap_peak_frontier_cuts
+    s.Predict.Online.snap_peak_frontier_entries s.Predict.Online.snap_monitor_steps;
+  p "prefix %s" (ints_of_array s.Predict.Online.snap_prefix);
+  p "beyond %s" (ints_of_array s.Predict.Online.snap_beyond);
+  p "gc-floor %s" (ints_of_array s.Predict.Online.snap_gc_floor);
+  p "ended %s" (bits_of_bools s.Predict.Online.snap_ended);
+  List.iter
+    (fun m -> p "bmsg %d %s" m.Message.eid (Wire.encode_message m))
+    s.Predict.Online.snap_store;
+  List.iter
+    (fun (cut, bindings, msets) ->
+      Buffer.add_string buf "front ";
+      Buffer.add_string buf (ints_of_array cut);
+      Buffer.add_char buf ' ';
+      encode_bindings buf bindings;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (List.length msets));
+      List.iter
+        (fun bits ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf bits)
+        msets;
+      Buffer.add_char buf '\n')
+    s.Predict.Online.snap_frontier;
+  List.iter
+    (fun (cut, level, bindings, bits) ->
+      Buffer.add_string buf "viol ";
+      Buffer.add_string buf (ints_of_array cut);
+      Buffer.add_string buf (Printf.sprintf " %d " level);
+      encode_bindings buf bindings;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf bits;
+      Buffer.add_char buf '\n')
+    s.Predict.Online.snap_violations;
+  Buffer.contents buf
+
+let encode t =
+  let body = encode_body t in
+  Printf.sprintf "%s\nlen %d crc %s\n%s" magic (String.length body) (crc_hex body)
+    body
+
+(* {1 Decoding} *)
+
+(* Every parser returns [Result]; the first failure aborts the whole
+   decode, so corruption that survives the CRC (it cannot, but belt and
+   braces) still never yields a partial value. *)
+
+let malformed fmt = Printf.ksprintf (fun s -> Error (Malformed s)) fmt
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> malformed "bad integer %S in %s" s what
+
+let nat_field what s =
+  let* v = int_field what s in
+  if v < 0 then malformed "negative %s" what else Ok v
+
+let bools_of_bits what s =
+  if String.for_all (fun c -> c = '0' || c = '1') s then
+    Ok (Array.init (String.length s) (fun i -> s.[i] = '1'))
+  else malformed "bad bit string %S in %s" s what
+
+let ints_field what s =
+  if s = "" then malformed "empty int list in %s" what
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest ->
+          let* v = nat_field what p in
+          go (v :: acc) rest
+    in
+    go [] parts
+
+let decode_bindings what tokens =
+  match tokens with
+  | [] -> malformed "missing binding count in %s" what
+  | n :: rest ->
+      let* n = nat_field what n in
+      let rec go acc k = function
+        | rest when k = 0 -> Ok (List.rev acc, rest)
+        | x :: v :: rest -> (
+            match (Wire.decode_var x, int_of_string_opt v) with
+            | Ok x, Some v -> go ((x, v) :: acc) (k - 1) rest
+            | _ -> malformed "bad binding in %s" what)
+        | _ -> malformed "truncated bindings in %s" what
+      in
+      go [] n rest
+
+let decode_msets what width tokens =
+  match tokens with
+  | [] -> malformed "missing monitor-state count in %s" what
+  | n :: rest ->
+      let* n = nat_field what n in
+      if n = 0 then malformed "cut with no monitor states in %s" what
+      else
+        let rec go acc k = function
+          | [] when k = 0 -> Ok (List.rev acc)
+          | bits :: rest when k > 0 ->
+              if bits <> "" && String.for_all (fun c -> c = '0' || c = '1') bits
+              then go (bits :: acc) (k - 1) rest
+              else malformed "bad monitor state %S in %s" bits what
+          | _ -> malformed "monitor-state count disagrees with line in %s" what
+        in
+        let* msets = go [] n rest in
+        ignore width;
+        Ok msets
+
+let decode_body body =
+  let lines = String.split_on_char '\n' body in
+  (* The body ends with a newline, so the split yields a trailing "". *)
+  let lines =
+    match List.rev lines with
+    | "" :: rev -> List.rev rev
+    | _ -> lines
+  in
+  let expect_line what = function
+    | [] -> malformed "missing %s line" what
+    | line :: rest -> Ok (line, rest)
+  in
+  let field what prefix lines =
+    let* line, rest = expect_line what lines in
+    let plen = String.length prefix in
+    if String.length line > plen
+       && String.sub line 0 plen = prefix
+       && line.[plen] = ' '
+    then Ok (String.sub line (plen + 1) (String.length line - plen - 1), rest)
+    else malformed "expected %s line, got %S" what line
+  in
+  let* spec_fp, lines = field "spec" "spec" lines in
+  let* nthreads_s, lines = field "threads" "threads" lines in
+  let* nthreads = nat_field "threads" nthreads_s in
+  if nthreads = 0 then malformed "thread count must be positive"
+  else
+    let rec take_inits acc lines =
+      match lines with
+      | line :: rest when String.length line >= 5 && String.sub line 0 5 = "init " -> (
+          match String.split_on_char ' ' line with
+          | [ "init"; x; v ] -> (
+              match (Wire.decode_var x, int_of_string_opt v) with
+              | Ok x, Some v -> take_inits ((x, v) :: acc) rest
+              | _ -> malformed "bad init line %S" line)
+          | _ -> malformed "bad init line %S" line)
+      | _ -> Ok (List.rev acc, lines)
+    in
+    let* init, lines = take_inits [] lines in
+    let* pos_s, lines = field "position" "position" lines in
+    let* position = nat_field "position" pos_s in
+    let* eid_s, lines = field "next-eid" "next-eid" lines in
+    let* next_eid = nat_field "next-eid" eid_s in
+    let* rs, lines = field "reader-stats" "reader-stats" lines in
+    let* reader_stats =
+      match String.split_on_char ' ' rs with
+      | [ a; b; c; d; e ] ->
+          let* frames = nat_field "reader-stats" a in
+          let* messages = nat_field "reader-stats" b in
+          let* skipped_frames = nat_field "reader-stats" c in
+          let* resyncs = nat_field "reader-stats" d in
+          let* skipped_bytes = nat_field "reader-stats" e in
+          Ok
+            { Wire.Reader.frames; messages; skipped_frames; resyncs; skipped_bytes }
+      | _ -> malformed "bad reader-stats line %S" rs
+    in
+    let* re, lines = field "reader-ended" "reader-ended" lines in
+    let* reader_ended = bools_of_bits "reader-ended" re in
+    let* ss, lines = field "stream-stats" "stream-stats" lines in
+    let* ends, quarantined, peak_buffered =
+      match String.split_on_char ' ' ss with
+      | [ a; b; c ] ->
+          let* ends = nat_field "stream-stats" a in
+          let* quarantined = nat_field "stream-stats" b in
+          let* peak = nat_field "stream-stats" c in
+          Ok (ends, quarantined, peak)
+      | _ -> malformed "bad stream-stats line %S" ss
+    in
+    let* ol, lines = field "online" "online" lines in
+    let* level, done_, retired, peak_cuts, peak_entries, steps =
+      match String.split_on_char ' ' ol with
+      | [ a; b; c; d; e; f ] ->
+          let* level = nat_field "online" a in
+          let* done_ = nat_field "online" b in
+          if done_ > 1 then malformed "bad done flag in online line"
+          else
+            let* retired = nat_field "online" c in
+            let* peak_cuts = nat_field "online" d in
+            let* peak_entries = nat_field "online" e in
+            let* steps = nat_field "online" f in
+            Ok (level, done_ = 1, retired, peak_cuts, peak_entries, steps)
+      | _ -> malformed "bad online line %S" ol
+    in
+    let int_array what lines =
+      let* s, lines = field what what lines in
+      let* a = ints_field what s in
+      if Array.length a <> nthreads then
+        malformed "%s width %d disagrees with %d threads" what (Array.length a)
+          nthreads
+      else Ok (a, lines)
+    in
+    let* prefix, lines = int_array "prefix" lines in
+    let* beyond, lines = int_array "beyond" lines in
+    let* gc_floor, lines = int_array "gc-floor" lines in
+    let* en, lines = field "ended" "ended" lines in
+    let* ended = bools_of_bits "ended" en in
+    if Array.length ended <> nthreads || Array.length reader_ended <> nthreads then
+      malformed "ended bit width disagrees with %d threads" nthreads
+    else
+      let rec take_msgs acc lines =
+        match lines with
+        | line :: rest when String.length line >= 5 && String.sub line 0 5 = "bmsg " -> (
+            match String.index_from_opt line 5 ' ' with
+            | None -> malformed "bad bmsg line %S" line
+            | Some sp -> (
+                let* eid = nat_field "bmsg" (String.sub line 5 (sp - 5)) in
+                let rest_line = String.sub line (sp + 1) (String.length line - sp - 1) in
+                match Wire.decode_message ~expect_width:nthreads rest_line with
+                | Ok m -> take_msgs ({ m with Message.eid } :: acc) rest
+                | Error e -> malformed "bad bmsg line: %s" (Wire.Error.to_string e)))
+        | _ -> Ok (List.rev acc, lines)
+      in
+      let* store, lines = take_msgs [] lines in
+      let cut_field what s =
+        let* cut = ints_field what s in
+        if Array.length cut <> nthreads then
+          malformed "%s cut width disagrees with %d threads" what nthreads
+        else Ok cut
+      in
+      let rec take_fronts acc lines =
+        match lines with
+        | line :: rest when String.length line >= 6 && String.sub line 0 6 = "front " -> (
+            match String.split_on_char ' ' line with
+            | "front" :: cut :: tokens ->
+                let* cut = cut_field "front" cut in
+                let* bindings, tokens = decode_bindings "front" tokens in
+                let* msets = decode_msets "front" nthreads tokens in
+                take_fronts ((cut, bindings, msets) :: acc) rest
+            | _ -> malformed "bad front line %S" line)
+        | _ -> Ok (List.rev acc, lines)
+      in
+      let* frontier, lines = take_fronts [] lines in
+      if frontier = [] then malformed "checkpoint carries no frontier"
+      else
+        let rec take_viols acc lines =
+          match lines with
+          | line :: rest when String.length line >= 5 && String.sub line 0 5 = "viol " -> (
+              match String.split_on_char ' ' line with
+              | "viol" :: cut :: lvl :: tokens -> (
+                  let* cut = cut_field "viol" cut in
+                  let* lvl = nat_field "viol level" lvl in
+                  let* bindings, tokens = decode_bindings "viol" tokens in
+                  match tokens with
+                  | [ bits ]
+                    when bits <> ""
+                         && String.for_all (fun c -> c = '0' || c = '1') bits ->
+                      take_viols ((cut, lvl, bindings, bits) :: acc) rest
+                  | _ -> malformed "bad viol line %S" line)
+              | _ -> malformed "bad viol line %S" line)
+          | [] -> Ok (List.rev acc)
+          | line :: _ -> malformed "unrecognized line %S" line
+        in
+        let* violations = take_viols [] lines in
+        Ok
+          { ck_header = { Wire.nthreads; init };
+            ck_spec_fp = spec_fp;
+            ck_position = position;
+            ck_next_eid = next_eid;
+            ck_reader_stats = reader_stats;
+            ck_reader_ended = reader_ended;
+            ck_ends = ends;
+            ck_quarantined = quarantined;
+            ck_peak_buffered = peak_buffered;
+            ck_online =
+              { Predict.Online.snap_nthreads = nthreads;
+                snap_level = level;
+                snap_done = done_;
+                snap_prefix = prefix;
+                snap_beyond = beyond;
+                snap_gc_floor = gc_floor;
+                snap_ended = ended;
+                snap_store = store;
+                snap_frontier = frontier;
+                snap_violations = violations;
+                snap_retired_cuts = retired;
+                snap_peak_frontier_cuts = peak_cuts;
+                snap_peak_frontier_entries = peak_entries;
+                snap_monitor_steps = steps } }
+
+let decode text =
+  match String.index_opt text '\n' with
+  | None -> Error (Bad_magic text)
+  | Some i ->
+      let first = String.sub text 0 i in
+      if first <> magic then Error (Bad_magic first)
+      else begin
+        match String.index_from_opt text (i + 1) '\n' with
+        | None -> Error (Bad_envelope (String.sub text (i + 1) (String.length text - i - 1)))
+        | Some j -> (
+            let envelope = String.sub text (i + 1) (j - i - 1) in
+            match String.split_on_char ' ' envelope with
+            | [ "len"; len; "crc"; crc ]
+              when String.length crc = 8
+                   && String.for_all
+                        (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+                        crc -> (
+                match int_of_string_opt len with
+                | Some len when len >= 0 ->
+                    let got = String.length text - j - 1 in
+                    if got <> len then Error (Truncated { expected = len; got })
+                    else
+                      let body = String.sub text (j + 1) len in
+                      let computed = crc_hex body in
+                      if computed <> crc then
+                        Error (Crc_mismatch { expected = crc; got = computed })
+                      else decode_body body
+                | _ -> Error (Bad_envelope envelope))
+            | _ -> Error (Bad_envelope envelope))
+      end
+
+(* {1 Files} *)
+
+let write path t =
+  let doc = encode t in
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc doc);
+    Sys.rename tmp path
+  with
+  | () ->
+      if M.enabled () then begin
+        M.incr m_writes;
+        M.add m_bytes (String.length doc);
+        M.set m_level t.ck_online.Predict.Online.snap_level
+      end;
+      Ok ()
+  | exception Sys_error e -> Error (Io e)
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> decode text
+  | exception Sys_error e -> Error (Io e)
+
+let validate ~spec t =
+  let got = fingerprint spec in
+  if got = t.ck_spec_fp then Ok ()
+  else Error (Spec_mismatch { expected = t.ck_spec_fp; got })

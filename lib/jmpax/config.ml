@@ -22,6 +22,8 @@ type t = {
   trace : string option;
   max_buffered : int option;
   on_decode_error : recovery;
+  checkpoint : (string * int) option;
+  reconnect : Transport.backoff option;
 }
 
 let default () =
@@ -37,7 +39,9 @@ let default () =
     metrics = None;
     trace = None;
     max_buffered = None;
-    on_decode_error = Fail }
+    on_decode_error = Fail;
+    checkpoint = None;
+    reconnect = None }
 
 let with_sched sched t = { t with sched }
 let with_seed seed t = { t with sched = Tml.Sched.random ~seed }
@@ -58,6 +62,15 @@ let with_max_buffered max_buffered t =
   { t with max_buffered }
 
 let with_on_decode_error on_decode_error t = { t with on_decode_error }
+
+let with_checkpoint checkpoint t =
+  (match checkpoint with
+  | Some (_, every) when every < 1 ->
+      invalid_arg "Config.with_checkpoint: interval must be >= 1"
+  | _ -> ());
+  { t with checkpoint }
+
+let with_reconnect reconnect t = { t with reconnect }
 
 let recovery_of_string = function
   | "fail" -> Some Fail

@@ -38,6 +38,12 @@ type t = {
       (default) = unbounded *)
   on_decode_error : recovery;
   (** streaming decode-error policy; irrelevant to in-process runs *)
+  checkpoint : (string * int) option;
+  (** crash-safety for [jmpax stream]: write a {!Checkpoint} to this
+      path every N lattice levels; [None] (default) = no checkpoints *)
+  reconnect : Transport.backoff option;
+  (** reconnection policy for socket transports; [None] (default) =
+      a dropped connection ends the stream *)
 }
 
 val default : unit -> t
@@ -62,6 +68,11 @@ val with_max_buffered : int option -> t -> t
 (** @raise Invalid_argument when negative. *)
 
 val with_on_decode_error : recovery -> t -> t
+
+val with_checkpoint : (string * int) option -> t -> t
+(** @raise Invalid_argument when the level interval is below 1. *)
+
+val with_reconnect : Transport.backoff option -> t -> t
 
 val recovery_of_string : string -> recovery option
 (** Accepts ["fail"], ["skip"], ["quarantine"]. *)

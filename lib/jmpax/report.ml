@@ -45,6 +45,8 @@ let stream_summary (o : Stream.outcome) =
   | None -> ());
   if s.Stream.peak_buffered > 0 then
     p "peak out-of-order buffer: %d messages\n" s.Stream.peak_buffered;
+  if s.Stream.checkpoints > 0 then
+    p "checkpoints written: %d\n" s.Stream.checkpoints;
   p "%s\n" (Pipeline.verdict_line o.Stream.s_violated);
   Buffer.contents buf
 

@@ -21,6 +21,7 @@ type stats = {
   skipped_bytes : int;
   quarantined_bytes : int;
   peak_buffered : int;
+  checkpoints : int;
   incomplete : (Types.tid * int) option;
 }
 
@@ -39,19 +40,90 @@ let default_chunk_size = 64 * 1024
    [Wire.Reader], and feed each decoded message to the online analyzer.
    Malformed input surfaces as [Skip] events the [recovery] policy
    decides about; only backpressure (a resource bound, not an input
-   defect) is unconditionally fatal. *)
+   defect) and a failing checkpoint write are unconditionally fatal. *)
 let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
-    ?(recovery = Config.Fail) ?quarantine ?jobs ?par_threshold ~spec ~read () =
+    ?(recovery = Config.Fail) ?quarantine ?jobs ?par_threshold ?checkpoint
+    ?resume ~spec ~read () =
   if chunk_size <= 0 then invalid_arg "Stream.run: chunk_size must be positive";
-  let reader = Wire.Reader.create ?max_frame () in
+  (match checkpoint with
+  | Some (_, every) when every < 1 ->
+      invalid_arg "Stream.run: checkpoint interval must be >= 1"
+  | _ -> ());
+  let* reader, online0, ends0, quarantined0, peak0 =
+    match resume with
+    | None -> Ok (Wire.Reader.create ?max_frame (), None, 0, 0, 0)
+    | Some ck -> (
+        match
+          let o =
+            Predict.Online.restore ?jobs ?par_threshold ?max_buffered ~spec
+              ck.Checkpoint.ck_online
+          in
+          let reader =
+            Wire.Reader.resume ?max_frame ~header:ck.Checkpoint.ck_header
+              ~ended:ck.Checkpoint.ck_reader_ended
+              ~next_eid:ck.Checkpoint.ck_next_eid
+              ~stats:ck.Checkpoint.ck_reader_stats
+              ~consumed:ck.Checkpoint.ck_position ()
+          in
+          (reader, o)
+        with
+        | reader, o ->
+            Ok
+              ( reader,
+                Some o,
+                ck.Checkpoint.ck_ends,
+                ck.Checkpoint.ck_quarantined,
+                ck.Checkpoint.ck_peak_buffered )
+        | exception Invalid_argument msg -> Error (Wire.Error.Checkpoint msg))
+  in
   let buf = Bytes.create chunk_size in
-  let online = ref None in
-  let ends = ref 0 in
-  let quarantined = ref 0 in
-  let peak = ref 0 in
+  let online = ref online0 in
+  let ends = ref ends0 in
+  let quarantined = ref quarantined0 in
+  let peak = ref peak0 in
+  let checkpoints = ref 0 in
+  let spec_fp = lazy (Checkpoint.fingerprint spec) in
+  let last_ck_level =
+    ref
+      (match !online with
+      | Some o -> Predict.Online.level o
+      | None -> 0)
+  in
   (match (max_buffered, M.enabled ()) with
   | Some limit, true -> M.set m_max_buffered limit
   | _ -> ());
+  (* A checkpoint is taken right after a decoded item was consumed: the
+     reader's garbage buffer is empty there, so [consumed] is a clean
+     frame boundary a resumed transport can seek to. *)
+  let maybe_checkpoint () =
+    match (checkpoint, !online) with
+    | Some (path, every), Some o
+      when Predict.Online.level o - !last_ck_level >= every -> (
+        let header =
+          match Wire.Reader.header reader with
+          | Some h -> h
+          | None -> assert false
+        in
+        let ck =
+          { Checkpoint.ck_header = header;
+            ck_spec_fp = Lazy.force spec_fp;
+            ck_position = Wire.Reader.consumed reader;
+            ck_next_eid = Wire.Reader.next_eid reader;
+            ck_reader_stats = Wire.Reader.stats reader;
+            ck_reader_ended = Wire.Reader.ended_threads reader;
+            ck_ends = !ends;
+            ck_quarantined = !quarantined;
+            ck_peak_buffered = !peak;
+            ck_online = Predict.Online.snapshot o }
+        in
+        match Checkpoint.write path ck with
+        | Ok () ->
+            last_ck_level := Predict.Online.level o;
+            incr checkpoints;
+            Ok ()
+        | Error e -> Error (Wire.Error.Checkpoint (Checkpoint.error_to_string e)))
+    | _ -> Ok ()
+  in
   let on_skip error bytes =
     match recovery with
     | Config.Fail -> Error error
@@ -82,12 +154,29 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
                  { tid = m.Message.tid; index = Message.seq m })
               (Wire.encode_message m))
   in
+  (* Every thread's end-of-stream frame has arrived and nothing is
+     buffered: the stream is logically over, whatever the transport
+     thinks.  Stopping here matters for reconnecting transports, which
+     cannot tell a finished writer from a crashed one and would burn
+     their whole retry budget at a clean end of stream. *)
+  let logically_ended () =
+    Wire.Reader.pending_bytes reader = 0
+    &&
+    match Wire.Reader.header reader with
+    | Some h ->
+        let ended = Wire.Reader.ended_threads reader in
+        Array.length ended = h.Wire.nthreads && Array.for_all Fun.id ended
+    | None -> false
+  in
   let rec loop () =
     match Wire.Reader.next reader with
     | Wire.Reader.Await ->
-        let n = read buf 0 chunk_size in
-        if n = 0 then Wire.Reader.close reader
-        else Wire.Reader.feed reader (Bytes.sub_string buf 0 n);
+        if logically_ended () then Wire.Reader.close reader
+        else begin
+          let n = read buf 0 chunk_size in
+          if n = 0 then Wire.Reader.close reader
+          else Wire.Reader.feed reader (Bytes.sub_string buf 0 n)
+        end;
         loop ()
     | Wire.Reader.Item (Wire.Reader.Header h) ->
         online :=
@@ -96,11 +185,14 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
                ~nthreads:h.Wire.nthreads ~init:h.Wire.init ~spec ());
         loop ()
     | Wire.Reader.Item (Wire.Reader.Msg m) -> (
-        match feed_message m with Ok () -> loop () | Error _ as e -> e)
-    | Wire.Reader.Item (Wire.Reader.End_of_thread tid) ->
+        match feed_message m with
+        | Ok () -> (
+            match maybe_checkpoint () with Ok () -> loop () | Error _ as e -> e)
+        | Error _ as e -> e)
+    | Wire.Reader.Item (Wire.Reader.End_of_thread tid) -> (
         incr ends;
         Option.iter (fun o -> Predict.Online.end_of_thread o tid) !online;
-        loop ()
+        match maybe_checkpoint () with Ok () -> loop () | Error _ as e -> e)
     | Wire.Reader.Skip { error; bytes } -> (
         match on_skip error bytes with Ok () -> loop () | Error _ as e -> e)
     | Wire.Reader.Eof -> Ok ()
@@ -153,11 +245,19 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
               skipped_bytes = r.Wire.Reader.skipped_bytes;
               quarantined_bytes = !quarantined;
               peak_buffered = !peak;
+              checkpoints = !checkpoints;
               incomplete } }
 
 let run_string ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
-    ?par_threshold ~spec text =
-  let pos = ref 0 in
+    ?par_threshold ?checkpoint ?resume ~spec text =
+  (* On resume the transport must stand at the checkpointed offset; for
+     an in-memory document that is a simple seek. *)
+  let pos =
+    ref
+      (match resume with
+      | Some ck -> min ck.Checkpoint.ck_position (String.length text)
+      | None -> 0)
+  in
   let read buf off len =
     let n = min len (String.length text - !pos) in
     Bytes.blit_string text !pos buf off n;
@@ -165,4 +265,4 @@ let run_string ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
     n
   in
   run ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
-    ?par_threshold ~spec ~read ()
+    ?par_threshold ?checkpoint ?resume ~spec ~read ()

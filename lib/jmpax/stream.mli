@@ -14,7 +14,14 @@
     - a {e backpressure bound} [max_buffered] on out-of-order messages,
       so a reordering or lossy channel cannot grow the observer's
       buffer without bound (surfaced as the [stream.max_buffered] and
-      [stream.peak_buffered] gauges). *)
+      [stream.peak_buffered] gauges).
+
+    For long-running monitors two more knobs add crash safety:
+    [checkpoint] periodically persists the full resumable state as a
+    {!Checkpoint} (the online analyzer's garbage-collected frontier
+    keeps it small), and [resume] restarts a run from such a
+    checkpoint with verdicts, violations and gc statistics identical
+    to never having stopped. *)
 
 open Trace
 
@@ -27,6 +34,7 @@ type stats = {
   skipped_bytes : int;
   quarantined_bytes : int;
   peak_buffered : int;  (** peak out-of-order buffered messages *)
+  checkpoints : int;  (** checkpoints written during this run *)
   incomplete : (Types.tid * int) option;
       (** the stream ended while this thread was still missing this
           message index (possible only under [Skip]/[Quarantine]) *)
@@ -49,6 +57,8 @@ val run :
   ?quarantine:(string -> unit) ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?checkpoint:string * int ->
+  ?resume:Checkpoint.t ->
   spec:Pastltl.Formula.t ->
   read:(bytes -> int -> int -> int) ->
   unit ->
@@ -60,7 +70,28 @@ val run :
     resource bound, not an input defect.  On a clean, complete stream
     the verdict, violations and gc statistics are identical to feeding
     the same messages to {!Predict.Online} directly (and hence to the
-    offline analyzer). *)
+    offline analyzer).
+
+    [checkpoint:(path, every)] writes a {!Checkpoint} to [path]
+    (atomically) each time the analyzer's lattice level has advanced by
+    at least [every] since the last write, always at a clean frame
+    boundary.  A failed write is {!Wire.Error.Checkpoint} and fatal —
+    silently continuing without crash safety would defeat the point.
+
+    [resume] continues a checkpointed run: [read] must already be
+    positioned at [ck_position] (a {!Transport.reconnecting} transport
+    with [~skip], or any pre-seeked source).  The checkpoint should
+    have been {!Checkpoint.validate}d against [spec] first; an
+    inconsistent one is refused with {!Wire.Error.Checkpoint}, never
+    partially applied.  Event ids, statistics and verdicts continue
+    exactly where the original run stopped: a kill + resume is
+    indistinguishable from an uninterrupted run, which the differential
+    test suite checks across random kill points.
+
+    Reading stops at the stream's logical end (every thread's
+    end-of-stream frame decoded and no bytes pending), so a
+    reconnecting transport is never asked to redial at a clean end of
+    stream. *)
 
 val run_string :
   ?chunk_size:int ->
@@ -70,7 +101,10 @@ val run_string :
   ?quarantine:(string -> unit) ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?checkpoint:string * int ->
+  ?resume:Checkpoint.t ->
   spec:Pastltl.Formula.t ->
   string ->
   (outcome, Wire.Error.t) result
-(** [run] over an in-memory document, chunked at [chunk_size]. *)
+(** [run] over an in-memory document, chunked at [chunk_size]; under
+    [resume] the document is consumed from the checkpointed offset. *)

@@ -1,0 +1,263 @@
+module M = Telemetry.Metrics
+
+let m_eintr = M.counter "transport.eintr_retries"
+let m_reconnects = M.counter "transport.reconnects"
+let m_dial_failures = M.counter "transport.dial_failures"
+let m_replayed = M.counter "transport.replayed_bytes"
+let m_lost = M.counter "transport.lost"
+
+type t = {
+  t_read : bytes -> int -> int -> int;
+  t_close : unit -> unit;
+  t_offset : unit -> int;
+  t_lost : unit -> string option;
+}
+
+let read t buf pos len = t.t_read buf pos len
+let offset t = t.t_offset ()
+let lost t = t.t_lost ()
+
+let close t = t.t_close ()
+
+let rec retrying raw buf pos len =
+  match raw buf pos len with
+  | n -> n
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+      if M.enabled () then M.incr m_eintr;
+      retrying raw buf pos len
+
+let of_read ?(close = fun () -> ()) raw =
+  let delivered = ref 0 in
+  let closed = ref false in
+  { t_read =
+      (fun buf pos len ->
+        if !closed then 0
+        else begin
+          let n = retrying raw buf pos len in
+          delivered := !delivered + n;
+          n
+        end);
+    t_close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close ()
+        end);
+    t_offset = (fun () -> !delivered);
+    t_lost = (fun () -> None) }
+
+let of_fd ?(close_fd = true) fd =
+  let close () =
+    if close_fd then try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  of_read ~close (fun buf pos len -> Unix.read fd buf pos len)
+
+let of_channel ic = of_read (fun buf pos len -> input ic buf pos len)
+
+let of_string text =
+  let pos = ref 0 in
+  of_read (fun buf off len ->
+      let n = min len (String.length text - !pos) in
+      Bytes.blit_string text !pos buf off n;
+      pos := !pos + n;
+      n)
+
+(* {1 Reconnection} *)
+
+type backoff = {
+  bo_min : float;
+  bo_max : float;
+  bo_retries : int;
+  bo_deadline : float;
+}
+
+let default_backoff =
+  { bo_min = 0.05; bo_max = 5.0; bo_retries = 10; bo_deadline = 30.0 }
+
+type conn = {
+  c_read : bytes -> int -> int -> int;
+  c_close : unit -> unit;
+}
+
+let reconnecting ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ?(seed = 0)
+    ?(skip = 0) ~dial () =
+  if skip < 0 then invalid_arg "Transport.reconnecting: negative skip";
+  let rng = Random.State.make [| 0x9e3779b9; seed |] in
+  (* [delivered] is the absolute stream offset of the next byte the
+     consumer expects; a fresh connection replays from zero and must
+     discard exactly this prefix. *)
+  let delivered = ref skip in
+  let conn = ref None in
+  let lost = ref None in
+  let closed = ref false in
+  let retries_left = ref backoff.bo_retries in
+  let budget_left = ref backoff.bo_deadline in
+  let prev_sleep = ref backoff.bo_min in
+  let drop_conn () =
+    match !conn with
+    | None -> ()
+    | Some c ->
+        conn := None;
+        c.c_close ()
+  in
+  let give_up reason =
+    drop_conn ();
+    if !lost = None then begin
+      lost := Some reason;
+      if M.enabled () then M.incr m_lost
+    end
+  in
+  (* One backoff step; [false] once the retry budget is exhausted. *)
+  let pause reason =
+    if !retries_left <= 0 then begin
+      give_up (Printf.sprintf "%s (retry budget exhausted)" reason);
+      false
+    end
+    else begin
+      decr retries_left;
+      let span = (!prev_sleep *. 3.0) -. backoff.bo_min in
+      let d = backoff.bo_min +. Random.State.float rng (Float.max span 0.0) in
+      let d = Float.min d backoff.bo_max in
+      prev_sleep := d;
+      if backoff.bo_deadline > 0.0 then begin
+        budget_left := !budget_left -. d;
+        if !budget_left < 0.0 then begin
+          give_up (Printf.sprintf "%s (backoff deadline exceeded)" reason);
+          false
+        end
+        else begin
+          sleep d;
+          true
+        end
+      end
+      else begin
+        sleep d;
+        true
+      end
+    end
+  in
+  (* Discard the replayed prefix on a fresh connection.  End-of-file or
+     a reset mid-discard means the connection died again: report failure
+     so the caller redials. *)
+  let scratch = Bytes.create 8192 in
+  let discard c =
+    let rec go remaining =
+      if remaining = 0 then true
+      else
+        match retrying c.c_read scratch 0 (min remaining (Bytes.length scratch)) with
+        | 0 -> false
+        | n ->
+            if M.enabled () then M.add m_replayed n;
+            go (remaining - n)
+        | exception Unix.Unix_error _ -> false
+    in
+    go !delivered
+  in
+  let rec establish () =
+    if !lost <> None || !closed then None
+    else
+      match dial () with
+      | Error reason ->
+          if M.enabled () then M.incr m_dial_failures;
+          if pause reason then establish () else None
+      | Ok (raw, cl) ->
+          let c = { c_read = raw; c_close = cl } in
+          if discard c then begin
+            conn := Some c;
+            Some c
+          end
+          else begin
+            c.c_close ();
+            if pause "connection lost while replaying prefix" then establish ()
+            else None
+          end
+      | exception Unix.Unix_error (e, fn, _) ->
+          if M.enabled () then M.incr m_dial_failures;
+          let reason = Printf.sprintf "%s: %s" fn (Unix.error_message e) in
+          if pause reason then establish () else None
+  in
+  let rec cooked buf pos len =
+    if !closed || !lost <> None then 0
+    else
+      match !conn with
+      | None -> (
+          match establish () with
+          | None -> 0
+          | Some _ ->
+              if M.enabled () then M.incr m_reconnects;
+              cooked buf pos len)
+      | Some c -> (
+          match retrying c.c_read buf pos len with
+          | 0 ->
+              drop_conn ();
+              if pause "end of file" then cooked buf pos len else 0
+          | n ->
+              delivered := !delivered + n;
+              n
+          | exception Unix.Unix_error (e, _, _) ->
+              drop_conn ();
+              if pause (Unix.error_message e) then cooked buf pos len else 0)
+  in
+  { t_read = cooked;
+    t_close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          drop_conn ()
+        end);
+    t_offset = (fun () -> !delivered);
+    t_lost = (fun () -> !lost) }
+
+(* {1 Deterministic fault injection} *)
+
+module Faulty = struct
+  type plan = {
+    seed : int;
+    short_reads : bool;
+    eintr_every : int;
+    stall_every : int;
+    reset_at : int;
+    truncate_at : int;
+  }
+
+  let quiet =
+    { seed = 0;
+      short_reads = false;
+      eintr_every = 0;
+      stall_every = 0;
+      reset_at = -1;
+      truncate_at = -1 }
+
+  let wrap plan raw =
+    let rng = Random.State.make [| 0x6c62272e; plan.seed |] in
+    let reads = ref 0 in
+    let delivered = ref 0 in
+    let reset_done = ref false in
+    fun buf pos len ->
+      if len <= 0 then 0
+      else if plan.truncate_at >= 0 && !delivered >= plan.truncate_at then 0
+      else begin
+        incr reads;
+        if plan.eintr_every > 0 && !reads mod plan.eintr_every = 0 then
+          raise (Unix.Unix_error (Unix.EINTR, "read", "injected"));
+        if plan.stall_every > 0 && !reads mod plan.stall_every = 0 then
+          raise (Unix.Unix_error (Unix.EAGAIN, "read", "injected"));
+        if plan.reset_at >= 0 && (not !reset_done) && !delivered >= plan.reset_at
+        then begin
+          reset_done := true;
+          raise (Unix.Unix_error (Unix.ECONNRESET, "read", "injected"))
+        end;
+        let len =
+          if plan.short_reads && len > 1 then 1 + Random.State.int rng len
+          else len
+        in
+        let len =
+          if plan.truncate_at >= 0 then min len (plan.truncate_at - !delivered)
+          else len
+        in
+        let n = raw buf pos len in
+        delivered := !delivered + n;
+        n
+      end
+end

@@ -40,6 +40,7 @@ module Error = struct
     | Duplicate_message of { tid : int; index : int }
     | Backpressure of { buffered : int; limit : int }
     | Missing_messages of { tid : int; next : int }
+    | Checkpoint of string
     | Io of string
 
   let to_string = function
@@ -83,6 +84,7 @@ module Error = struct
           buffered limit
     | Missing_messages { tid; next } ->
         Printf.sprintf "stream ended while thread %d is missing message %d" tid next
+    | Checkpoint s -> Printf.sprintf "checkpoint: %s" s
     | Io s -> s
 
   let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -370,6 +372,7 @@ module Reader = struct
     max_frame : int;
     mutable pending : string;  (* unconsumed input *)
     mutable pos : int;  (* parse position in [pending] *)
+    mutable consumed : int;  (* stream offset of the next unparsed byte *)
     mutable closed : bool;
     mutable preamble_done : bool;
     mutable header : header option;
@@ -389,6 +392,7 @@ module Reader = struct
     { max_frame;
       pending = "";
       pos = 0;
+      consumed = 0;
       closed = false;
       preamble_done = false;
       header = None;
@@ -399,6 +403,32 @@ module Reader = struct
       skipped_frames = 0;
       resyncs = 0;
       skipped_bytes = 0;
+      garbage = Buffer.create 0;
+      garbage_error = None }
+
+  (* A reader already past the preamble and header — the checkpoint
+     restore path.  [consumed] seeds the stream offset so later
+     checkpoints of the resumed run stay consistent, and [stats] carries
+     the pre-crash counters so the final report covers the whole
+     stream. *)
+  let resume ?(max_frame = Framed.default_max_frame) ~header:h ~ended ~next_eid
+      ~stats:(s : stats) ~consumed () =
+    if Array.length ended <> h.nthreads then
+      invalid_arg "Wire.Reader.resume: ended width disagrees with the header";
+    { max_frame;
+      pending = "";
+      pos = 0;
+      consumed;
+      closed = false;
+      preamble_done = true;
+      header = Some h;
+      ended = Array.copy ended;
+      next_eid;
+      frames = s.frames;
+      messages = s.messages;
+      skipped_frames = s.skipped_frames;
+      resyncs = s.resyncs;
+      skipped_bytes = s.skipped_bytes;
       garbage = Buffer.create 0;
       garbage_error = None }
 
@@ -430,7 +460,15 @@ module Reader = struct
   let take t n =
     let s = String.sub t.pending t.pos n in
     t.pos <- t.pos + n;
+    t.consumed <- t.consumed + n;
     s
+
+  let consumed t = t.consumed
+  let next_eid t = t.next_eid
+
+  (* Buffered-but-unparsed bytes: transport input not yet delivered as an
+     event (a partial frame, or a garbage span still being hunted). *)
+  let pending_bytes t = available t + Buffer.length t.garbage
 
   (* Index of the first sentinel at or after [from], if any is complete
      in the buffered input. *)
@@ -540,6 +578,7 @@ module Reader = struct
       if available t >= want then begin
         if String.sub t.pending t.pos want = Framed.preamble then begin
           t.pos <- t.pos + want;
+          t.consumed <- t.consumed + want;
           t.preamble_done <- true;
           next t
         end
@@ -624,6 +663,7 @@ module Reader = struct
     end
 
   let header t = t.header
+  let ended_threads t = Array.copy t.ended
 end
 
 (* Strict whole-document decode of a framed stream: the first error

@@ -68,6 +68,8 @@ module Error : sig
     | Duplicate_message of { tid : int; index : int }
     | Backpressure of { buffered : int; limit : int }
     | Missing_messages of { tid : int; next : int }
+    | Checkpoint of string
+        (** a checkpoint could not be written or restored mid-stream *)
     | Io of string
 
   val to_string : t -> string
@@ -166,6 +168,23 @@ module Reader : sig
   (** [max_frame] (default 1 MiB) bounds a single frame; larger length
       prefixes are treated as corruption and resynchronized past. *)
 
+  val resume :
+    ?max_frame:int ->
+    header:header ->
+    ended:bool array ->
+    next_eid:int ->
+    stats:stats ->
+    consumed:int ->
+    unit ->
+    t
+  (** A reader already past the preamble and the header frame — the
+      checkpoint-restore path of [Stream].  The transport must be
+      positioned at stream offset [consumed] (the value {!consumed}
+      reported when the checkpoint was taken); [stats] seeds the
+      counters so the final report covers the whole stream.
+      @raise Invalid_argument when [ended]'s width disagrees with the
+      header. *)
+
   val feed : t -> string -> unit
   (** Append a chunk of transport bytes; any chunk boundary is fine.
       @raise Invalid_argument after {!close}. *)
@@ -179,6 +198,25 @@ module Reader : sig
 
   val header : t -> header option
   (** The stream header, once its frame has been delivered. *)
+
+  val consumed : t -> int
+  (** Stream offset of the next unparsed byte.  Right after an [Item]
+      event (garbage buffer empty) this is a clean frame boundary — the
+      position a checkpoint records and a resumed transport seeks to. *)
+
+  val next_eid : t -> int
+  (** The event id the next decoded message will receive — part of what
+      a checkpoint must preserve for event ids to stay stable across a
+      resume. *)
+
+  val pending_bytes : t -> int
+  (** Fed bytes not yet delivered as an event: a partial frame, or a
+      garbage span still being scanned.  [0] right after an [Item] means
+      the reader is at a frame boundary with nothing buffered. *)
+
+  val ended_threads : t -> bool array
+  (** Which threads have delivered their end-of-stream frame (a copy;
+      empty before the header). *)
 
   val stats : t -> stats
 end

@@ -305,6 +305,24 @@ module Make (P : PAYLOAD) = struct
     let id = Cutset.intern cuts cut in
     { cuts; order = [| id |]; payloads = [| payload |] }
 
+  (* Rebuild a level from an explicit cut/payload list (checkpoint
+     restore).  Duplicated cuts fold through [P.merge] in list order;
+     the iteration order is re-sorted, so a frontier rebuilt from any
+     permutation of [fold]'s output is identical to the original. *)
+  let of_list ~width entries =
+    if entries = [] then invalid_arg "Frontier.of_list: empty level";
+    let cuts = Cutset.create ~capacity:(List.length entries) ~width () in
+    let payloads = buf_make () in
+    List.iter
+      (fun (cut, payload) ->
+        let id = Cutset.intern cuts cut in
+        if id = payloads.len then buf_push payloads payload
+        else payloads.data.(id) <- P.merge payloads.data.(id) payload)
+      entries;
+    let order = Array.init (Cutset.count cuts) Fun.id in
+    Array.sort (Cutset.compare_ids cuts) order;
+    { cuts; order; payloads = Array.sub payloads.data 0 payloads.len }
+
   let size f = Array.length f.order
   let width f = Cutset.width f.cuts
 

@@ -103,6 +103,15 @@ module Make (P : PAYLOAD) : sig
       (lexicographic) iteration order, and one payload per cut. *)
 
   val singleton : width:int -> int array -> P.t -> frontier
+
+  val of_list : width:int -> (int array * P.t) list -> frontier
+  (** Rebuild one level from explicit cut/payload pairs — the checkpoint
+      restore path of [Predict.Online].  Pairs hitting the same cut are
+      combined with [P.merge] in list order; iteration order is
+      canonicalized, so rebuilding from any permutation of a level's
+      {!fold} output reproduces that level exactly.
+      @raise Invalid_argument on an empty list or a wrong-width cut. *)
+
   val size : frontier -> int
   val width : frontier -> int
 

@@ -60,3 +60,13 @@ let hash_state = Hashtbl.hash
 let pp_state ppf s =
   Format.pp_print_string ppf
     (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list s)))
+
+let state_to_string (s : state) =
+  String.init (Array.length s) (fun i -> if s.(i) then '1' else '0')
+
+let state_of_string c text =
+  if String.length text <> width c then None
+  else
+    let ok = String.for_all (fun ch -> ch = '0' || ch = '1') text in
+    if not ok then None
+    else Some (Array.init (String.length text) (fun i -> text.[i] = '1'))

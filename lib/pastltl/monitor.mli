@@ -38,6 +38,17 @@ val verdict : compiled -> state -> bool
 (** Truth of the whole formula at the current point; a safety violation
     is a reachable state with verdict [false]. *)
 
+val state_to_string : state -> string
+(** The state as a bit string (["0101"]), one character per subformula —
+    a stable textual form for checkpoints and logs; {!pp_state} prints
+    the same encoding. *)
+
+val state_of_string : compiled -> string -> state option
+(** Inverse of {!state_to_string} against a compiled monitor; [None]
+    when the width disagrees with [compile]'s subformula count or a
+    character is not ['0']/['1'] — a checkpoint written for a different
+    specification can never silently restore. *)
+
 val equal_state : state -> state -> bool
 val compare_state : state -> state -> int
 val hash_state : state -> int

@@ -256,6 +256,142 @@ let finish t =
   done;
   pump t
 
+(* {1 Checkpoint support}
+
+   A snapshot captures, in plain serializable values, everything the
+   analyzer needs to continue a run: the current frontier level (cuts,
+   global states, monitor-state sets), the message store with its
+   prefix/out-of-order/gc bookkeeping, the violations found so far and
+   the gc statistics.  Monitor states travel as bit strings
+   ({!Pastltl.Monitor.state_to_string}) so a snapshot is independent of
+   the compiled monitor's in-memory form, and {!restore} re-derives the
+   monitor from the specification — a snapshot taken under one spec can
+   never silently restore under another. *)
+
+type snapshot = {
+  snap_nthreads : int;
+  snap_level : int;
+  snap_done : bool;
+  snap_prefix : int array;
+  snap_beyond : int array;
+  snap_gc_floor : int array;
+  snap_ended : bool array;
+  snap_store : Message.t list;
+  snap_frontier : (int array * (Types.var * Types.value) list * string list) list;
+  snap_violations : (int array * int * (Types.var * Types.value) list * string) list;
+  snap_retired_cuts : int;
+  snap_peak_frontier_cuts : int;
+  snap_peak_frontier_entries : int;
+  snap_monitor_steps : int;
+}
+
+let snapshot t =
+  let store =
+    Hashtbl.fold (fun _ m acc -> m :: acc) t.store []
+    |> List.sort (fun (a : Message.t) (b : Message.t) ->
+           match compare a.tid b.tid with
+           | 0 -> compare (Message.seq a) (Message.seq b)
+           | c -> c)
+  in
+  let frontier =
+    F.fold
+      (fun acc cut e ->
+        ( Array.copy cut,
+          Pastltl.State.to_list e.state,
+          List.map Pastltl.Monitor.state_to_string (Mset.elements e.msets) )
+        :: acc)
+      [] t.frontier
+    |> List.rev
+  in
+  let violations =
+    List.rev_map
+      (fun (v : Analyzer.violation) ->
+        ( Array.copy v.Analyzer.cut,
+          v.Analyzer.level,
+          Pastltl.State.to_list v.Analyzer.state,
+          Pastltl.Monitor.state_to_string v.Analyzer.monitor_state ))
+      t.rev_violations
+  in
+  { snap_nthreads = t.nthreads;
+    snap_level = t.level;
+    snap_done = t.done_;
+    snap_prefix = Array.copy t.prefix;
+    snap_beyond = Array.copy t.beyond;
+    snap_gc_floor = Array.copy t.gc_floor;
+    snap_ended = Array.copy t.ended;
+    snap_store = store;
+    snap_frontier = frontier;
+    snap_violations = violations;
+    snap_retired_cuts = t.retired_cuts;
+    snap_peak_frontier_cuts = t.peak_frontier_cuts;
+    snap_peak_frontier_entries = t.peak_frontier_entries;
+    snap_monitor_steps = t.monitor_steps }
+
+let restore ?(jobs = 1) ?par_threshold ?max_buffered ~spec s =
+  let n = s.snap_nthreads in
+  if n <= 0 then invalid_arg "Online.restore: nthreads must be positive";
+  let check_width what a =
+    if Array.length a <> n then
+      invalid_arg (Printf.sprintf "Online.restore: %s has width %d, expected %d" what
+                     (Array.length a) n)
+  in
+  check_width "prefix" s.snap_prefix;
+  check_width "beyond" s.snap_beyond;
+  check_width "gc_floor" s.snap_gc_floor;
+  if Array.length s.snap_ended <> n then invalid_arg "Online.restore: bad ended width";
+  if s.snap_frontier = [] then invalid_arg "Online.restore: empty frontier";
+  let monitor = Pastltl.Monitor.compile spec in
+  let mstate bits =
+    match Pastltl.Monitor.state_of_string monitor bits with
+    | Some m -> m
+    | None ->
+        invalid_arg
+          "Online.restore: monitor state does not fit the specification \
+           (snapshot taken under a different spec?)"
+  in
+  let entries =
+    List.map
+      (fun (cut, bindings, msets) ->
+        check_width "frontier cut" cut;
+        if msets = [] then invalid_arg "Online.restore: cut with no monitor states";
+        ( cut,
+          { state = Pastltl.State.of_list bindings;
+            msets = Mset.of_list (List.map mstate msets) } ))
+      s.snap_frontier
+  in
+  let store = Hashtbl.create (max 64 (List.length s.snap_store)) in
+  List.iter
+    (fun (m : Message.t) ->
+      if m.tid < 0 || m.tid >= n then invalid_arg "Online.restore: stored tid out of range";
+      Hashtbl.replace store (m.tid, Message.seq m) m)
+    s.snap_store;
+  { nthreads = n;
+    monitor;
+    spec;
+    pool = Observer.Frontier.Pool.create ~jobs;
+    par_threshold;
+    max_buffered;
+    store;
+    prefix = Array.copy s.snap_prefix;
+    beyond = Array.copy s.snap_beyond;
+    gc_floor = Array.copy s.snap_gc_floor;
+    ended = Array.copy s.snap_ended;
+    frontier = F.of_list ~width:n entries;
+    level = s.snap_level;
+    done_ = s.snap_done;
+    rev_violations =
+      List.rev_map
+        (fun (cut, level, bindings, bits) ->
+          { Analyzer.cut;
+            level;
+            state = Pastltl.State.of_list bindings;
+            monitor_state = mstate bits })
+        s.snap_violations;
+    retired_cuts = s.snap_retired_cuts;
+    peak_frontier_cuts = s.snap_peak_frontier_cuts;
+    peak_frontier_entries = s.snap_peak_frontier_entries;
+    monitor_steps = s.snap_monitor_steps }
+
 let violated t = t.rev_violations <> []
 let violations t = List.rev t.rev_violations
 let level t = t.level

@@ -94,3 +94,51 @@ type gc_stats = {
 }
 
 val gc_stats : t -> gc_stats
+
+(** {1 Checkpointing}
+
+    Thanks to the level-by-level garbage collection, the analyzer's live
+    state at any quiescent point (between {!feed} calls) is small:
+    the current frontier, the undelivered message store, and a few
+    counters.  {!snapshot} captures exactly that as plain serializable
+    values; {!restore} rebuilds an analyzer that continues the run with
+    verdicts, violations and {!gc_stats} identical to never having
+    stopped — the property the crash-kill-resume differential suite
+    checks. *)
+
+type snapshot = {
+  snap_nthreads : int;
+  snap_level : int;
+  snap_done : bool;
+  snap_prefix : int array;  (** per-thread delivered contiguous prefix *)
+  snap_beyond : int array;  (** per-thread out-of-order buffered count *)
+  snap_gc_floor : int array;
+  snap_ended : bool array;
+  snap_store : Message.t list;
+      (** buffered undelivered messages, ascending [(tid, seq)] *)
+  snap_frontier : (int array * (Types.var * Types.value) list * string list) list;
+      (** current level: cut, global-state bindings, monitor states as
+          {!Pastltl.Monitor.state_to_string} bit strings *)
+  snap_violations : (int array * int * (Types.var * Types.value) list * string) list;
+      (** violations found so far, oldest first *)
+  snap_retired_cuts : int;
+  snap_peak_frontier_cuts : int;
+  snap_peak_frontier_entries : int;
+  snap_monitor_steps : int;
+}
+
+val snapshot : t -> snapshot
+(** Must be taken at a quiescent point — not from within a [feed]. *)
+
+val restore :
+  ?jobs:int ->
+  ?par_threshold:int ->
+  ?max_buffered:int ->
+  spec:Pastltl.Formula.t ->
+  snapshot ->
+  t
+(** The monitor is recompiled from [spec]; runtime knobs ([jobs],
+    [max_buffered], ...) are supplied fresh, so a run can resume with a
+    different parallelism than it was checkpointed under.
+    @raise Invalid_argument when the snapshot is internally inconsistent
+    or its monitor states do not fit [spec] (wrong specification). *)

@@ -1,0 +1,516 @@
+(* Crash safety: the checkpoint codec, the supervised transports and the
+   kill/resume differential property — a run interrupted at an arbitrary
+   point and resumed from its last checkpoint reports verdicts,
+   violations and gc statistics identical to never having stopped. *)
+
+module W = Jmpax.Wire
+module E = Jmpax.Wire.Error
+module C = Jmpax.Checkpoint
+module T = Jmpax.Transport
+
+(* {1 Shared fixtures (as in test_wire)} *)
+
+let paper_examples =
+  [ ("landing (Fig. 1/5)", Tml.Programs.landing_bounded,
+     Tml.Programs.landing_observed, Pastltl.Formula.landing_spec);
+    ("xyz (Fig. 6)", Tml.Programs.xyz, Tml.Programs.xyz_observed,
+     Pastltl.Formula.xyz_spec) ]
+
+let recorded_trace program script spec =
+  let config =
+    Jmpax.Config.default ()
+    |> Jmpax.Config.with_sched (Tml.Sched.of_script script)
+  in
+  let out = Jmpax.Pipeline.check ~config ~spec program in
+  let relevant = out.Jmpax.Pipeline.relevant_vars in
+  let header =
+    { W.nthreads = List.length program.Tml.Ast.threads;
+      init =
+        List.filter (fun (x, _) -> List.mem x relevant) program.Tml.Ast.shared }
+  in
+  (out, header, out.Jmpax.Pipeline.run.Tml.Vm.messages)
+
+let framed_doc program script spec =
+  let _, header, messages = recorded_trace program script spec in
+  W.Framed.encode header messages
+
+let in_temp_file f =
+  let path = Filename.temp_file "jmpax" ".ckpt" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () -> f path)
+
+(* {1 Codec round-trip laws} *)
+
+(* Structurally valid checkpoints: consistent widths, nonempty frontier,
+   naturals where the format demands them.  Monitor-state widths are
+   arbitrary — the codec is spec-independent; only [restore] cares. *)
+let gen_checkpoint =
+  QCheck.Gen.(
+    let var =
+      let weird = [ "x"; "a b"; "p%q"; "n\nl"; "%"; "caf\xc3\xa9" ] in
+      oneof [ oneofl weird; string_size ~gen:char (int_range 1 5) ]
+    in
+    let bindings = list_size (int_range 0 3) (pair var (int_range (-9) 9)) in
+    int_range 1 4 >>= fun nthreads ->
+    int_range 1 6 >>= fun mwidth ->
+    let bits =
+      string_size
+        ~gen:(map (fun b -> if b then '1' else '0') bool)
+        (return mwidth)
+    in
+    let nat_array = array_size (return nthreads) (int_range 0 50) in
+    let bool_array = array_size (return nthreads) bool in
+    let message =
+      int_range 0 (nthreads - 1) >>= fun tid ->
+      var >>= fun v ->
+      int_range (-99) 99 >>= fun value ->
+      array_size (return nthreads) (int_range 0 9) >>= fun clock ->
+      int_range 0 999 >>= fun eid ->
+      clock.(tid) <- max 1 clock.(tid);
+      return
+        (Trace.Message.make ~eid ~tid ~var:v ~value
+           ~mvc:(Vclock.of_list (Array.to_list clock)))
+    in
+    let frontier_entry =
+      triple nat_array bindings (list_size (int_range 1 3) bits)
+    in
+    let violation =
+      nat_array >>= fun cut ->
+      int_range 0 40 >>= fun level ->
+      bindings >>= fun bs ->
+      bits >>= fun b -> return (cut, level, bs, b)
+    in
+    bindings >>= fun init ->
+    list_size (int_range 0 6) message >>= fun store ->
+    list_size (int_range 1 5) frontier_entry >>= fun frontier ->
+    list_size (int_range 0 3) violation >>= fun violations ->
+    nat_array >>= fun prefix ->
+    nat_array >>= fun beyond ->
+    nat_array >>= fun gc_floor ->
+    bool_array >>= fun ended ->
+    bool_array >>= fun reader_ended ->
+    int_range 0 100_000 >>= fun position ->
+    int_range 0 999 >>= fun next_eid ->
+    int_range 0 40 >>= fun level ->
+    bool >>= fun done_ ->
+    int_range 0 500 >>= fun frames ->
+    int_range 0 500 >>= fun messages ->
+    int_range 0 9 >>= fun skipped_frames ->
+    int_range 0 9 >>= fun resyncs ->
+    int_range 0 99 >>= fun skipped_bytes ->
+    int_range 0 9 >>= fun ends ->
+    int_range 0 99 >>= fun quarantined ->
+    int_range 0 9 >>= fun peak_buffered ->
+    return
+      { C.ck_header = { W.nthreads; init };
+        ck_spec_fp = Printf.sprintf "%08x" (position * 2654435761);
+        ck_position = position;
+        ck_next_eid = next_eid;
+        ck_reader_stats =
+          { W.Reader.frames; messages; skipped_frames; resyncs; skipped_bytes };
+        ck_reader_ended = reader_ended;
+        ck_ends = ends;
+        ck_quarantined = quarantined;
+        ck_peak_buffered = peak_buffered;
+        ck_online =
+          { Predict.Online.snap_nthreads = nthreads;
+            snap_level = level;
+            snap_done = done_;
+            snap_prefix = prefix;
+            snap_beyond = beyond;
+            snap_gc_floor = gc_floor;
+            snap_ended = ended;
+            snap_store = store;
+            snap_frontier = frontier;
+            snap_violations = violations;
+            snap_retired_cuts = level * 2;
+            snap_peak_frontier_cuts = level + 1;
+            snap_peak_frontier_entries = level + 2;
+            snap_monitor_steps = level * 3 } })
+
+(* [encode] is injective on the value domain, so decode-then-re-encode
+   matching the original encoding is a faithful round-trip law without
+   relying on polymorphic equality over abstract clock values. *)
+let test_roundtrip =
+  QCheck.Test.make ~name:"checkpoint encode/decode round-trip" ~count:300
+    (QCheck.make gen_checkpoint) (fun ck ->
+      let enc = C.encode ck in
+      match C.decode enc with
+      | Error e ->
+          QCheck.Test.fail_reportf "rejected own encoding: %s"
+            (C.error_to_string e)
+      | Ok ck' ->
+          let enc' = C.encode ck' in
+          if enc' <> enc then
+            QCheck.Test.fail_reportf "re-encoding differs:\n%s\nvs\n%s" enc enc'
+          else true)
+
+let test_truncation_rejected =
+  QCheck.Test.make ~name:"every proper prefix is rejected" ~count:60
+    (QCheck.make gen_checkpoint) (fun ck ->
+      let enc = C.encode ck in
+      (* Sampling every 7th prefix keeps the law cheap but still covers
+         cuts inside the magic, the envelope and the body. *)
+      let rec go k =
+        if k >= String.length enc then true
+        else
+          match C.decode (String.sub enc 0 k) with
+          | Error _ -> go (k + 7)
+          | Ok _ -> QCheck.Test.fail_reportf "accepted %d-byte prefix" k
+      in
+      go 0)
+
+(* {1 Corruption rejection: flip any byte, get a clean refusal} *)
+
+let test_flip_any_byte () =
+  let _, program, script, spec = List.hd paper_examples in
+  let doc = framed_doc program script spec in
+  in_temp_file (fun path ->
+      (match Jmpax.Stream.run_string ~checkpoint:(path, 1) ~spec doc with
+      | Ok o ->
+          Alcotest.(check bool) "checkpoints were written" true
+            (o.Jmpax.Stream.s_stats.Jmpax.Stream.checkpoints > 0)
+      | Error e -> Alcotest.failf "stream: %s" (E.to_string e));
+      let ic = open_in_bin path in
+      let enc =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match C.decode enc with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "pristine file rejected: %s" (C.error_to_string e));
+      let b = Bytes.of_string enc in
+      for i = 0 to Bytes.length b - 1 do
+        let orig = Bytes.get b i in
+        Bytes.set b i (Char.chr (Char.code orig lxor 1));
+        (match C.decode (Bytes.to_string b) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "flip of byte %d went undetected" i
+        | exception e ->
+            Alcotest.failf "flip of byte %d raised %s" i (Printexc.to_string e));
+        Bytes.set b i orig
+      done)
+
+(* {1 Spec binding} *)
+
+let test_spec_mismatch () =
+  let _, program, script, spec = List.hd paper_examples in
+  let doc = framed_doc program script spec in
+  in_temp_file (fun path ->
+      (match Jmpax.Stream.run_string ~checkpoint:(path, 1) ~spec doc with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "stream: %s" (E.to_string e));
+      let ck =
+        match C.read path with
+        | Ok ck -> ck
+        | Error e -> Alcotest.failf "read: %s" (C.error_to_string e)
+      in
+      (match C.validate ~spec ck with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "same spec refused: %s" (C.error_to_string e));
+      let other = Pastltl.Formula.xyz_spec in
+      (match C.validate ~spec:other ck with
+      | Error (C.Spec_mismatch _) -> ()
+      | Error e ->
+          Alcotest.failf "wrong error for spec mismatch: %s" (C.error_to_string e)
+      | Ok () -> Alcotest.fail "mismatched spec accepted");
+      (* Forcing a resume under the wrong spec (skipping [validate]) must
+         still be refused — the monitor-state widths disagree — and never
+         partially applied. *)
+      match Jmpax.Stream.run_string ~resume:ck ~spec:other doc with
+      | Error (E.Checkpoint _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+      | Ok _ -> Alcotest.fail "resume under the wrong spec succeeded")
+
+let test_atomic_write () =
+  let _, program, script, spec = List.hd paper_examples in
+  let doc = framed_doc program script spec in
+  in_temp_file (fun path ->
+      (match Jmpax.Stream.run_string ~checkpoint:(path, 1) ~spec doc with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "stream: %s" (E.to_string e));
+      Alcotest.(check bool) "no stale temp file" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (* Overwriting an existing checkpoint goes through the same
+         tmp+rename path. *)
+      match C.read path with
+      | Error e -> Alcotest.failf "read: %s" (C.error_to_string e)
+      | Ok ck -> (
+          match C.write path ck with
+          | Error e -> Alcotest.failf "rewrite: %s" (C.error_to_string e)
+          | Ok () ->
+              Alcotest.(check bool) "still no temp file" false
+                (Sys.file_exists (path ^ ".tmp"));
+              (match C.read path with
+              | Ok ck' ->
+                  Alcotest.(check string) "rewrite round-trips" (C.encode ck)
+                    (C.encode ck')
+              | Error e -> Alcotest.failf "reread: %s" (C.error_to_string e))))
+
+let test_read_missing () =
+  match C.read "/nonexistent/jmpax.ckpt" with
+  | Error (C.Io _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+  | Ok _ -> Alcotest.fail "read of a missing file succeeded"
+
+(* {1 Kill/resume differential} *)
+
+let summary_of outcome = Jmpax.Report.stream_summary outcome
+
+let gc_eq (a : Predict.Online.gc_stats) (b : Predict.Online.gc_stats) = a = b
+
+let violation_keys (vs : Predict.Analyzer.violation list) =
+  List.map
+    (fun (v : Predict.Analyzer.violation) ->
+      ( Array.to_list v.Predict.Analyzer.cut,
+        v.Predict.Analyzer.level,
+        Pastltl.State.to_list v.Predict.Analyzer.state,
+        Pastltl.Monitor.state_to_string v.Predict.Analyzer.monitor_state ))
+    vs
+
+let test_kill_resume_differential () =
+  List.iter
+    (fun (name, program, script, spec) ->
+      let doc = framed_doc program script spec in
+      let expected =
+        match Jmpax.Stream.run_string ~chunk_size:13 ~spec doc with
+        | Ok o -> o
+        | Error e -> Alcotest.failf "%s: uninterrupted: %s" name (E.to_string e)
+      in
+      let rng = Random.State.make [| 0x5eed; String.length doc |] in
+      let kill_points =
+        List.init 14 (fun _ -> Random.State.int rng (String.length doc + 1))
+      in
+      List.iter
+        (fun kill ->
+          in_temp_file (fun path ->
+              (* The "killed" run: the transport dies after [kill] bytes;
+                 whatever the driver made of the cut-off stream is
+                 irrelevant — only the surviving checkpoint file counts. *)
+              let prefix = String.sub doc 0 kill in
+              ignore
+                (Jmpax.Stream.run_string ~chunk_size:7 ~checkpoint:(path, 1)
+                   ~spec prefix);
+              let resumed =
+                if Sys.file_exists path then begin
+                  let ck =
+                    match C.read path with
+                    | Ok ck -> ck
+                    | Error e ->
+                        Alcotest.failf "%s kill=%d: read: %s" name kill
+                          (C.error_to_string e)
+                  in
+                  (match C.validate ~spec ck with
+                  | Ok () -> ()
+                  | Error e ->
+                      Alcotest.failf "%s kill=%d: validate: %s" name kill
+                        (C.error_to_string e));
+                  Jmpax.Stream.run_string ~chunk_size:13 ~resume:ck ~spec doc
+                end
+                else
+                  (* Killed before the first checkpoint: start over. *)
+                  Jmpax.Stream.run_string ~chunk_size:13 ~spec doc
+              in
+              match resumed with
+              | Error e ->
+                  Alcotest.failf "%s kill=%d: resume: %s" name kill
+                    (E.to_string e)
+              | Ok o ->
+                  (* The acceptance bar: the whole summary — verdict,
+                     counters, statistics — is byte-identical to the
+                     uninterrupted run. *)
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s kill=%d: summary" name kill)
+                    (summary_of expected) (summary_of o);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s kill=%d: gc stats" name kill)
+                    true
+                    (gc_eq expected.Jmpax.Stream.s_gc o.Jmpax.Stream.s_gc);
+                  if
+                    violation_keys expected.Jmpax.Stream.s_violations
+                    <> violation_keys o.Jmpax.Stream.s_violations
+                  then
+                    Alcotest.failf "%s kill=%d: violations differ" name kill))
+        kill_points)
+    paper_examples
+
+(* {1 Transports} *)
+
+let string_raw doc =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = min len (String.length doc - !pos) in
+    Bytes.blit_string doc !pos buf off n;
+    pos := !pos + n;
+    n
+
+let drain t =
+  let buf = Bytes.create 97 in
+  let out = Buffer.create 256 in
+  let rec go () =
+    match T.read t buf 0 (Bytes.length buf) with
+    | 0 -> Buffer.contents out
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        go ()
+  in
+  go ()
+
+let test_transport_eintr () =
+  let doc = String.init 997 (fun i -> Char.chr (i mod 251)) in
+  let raw = string_raw doc in
+  let calls = ref 0 in
+  let flaky buf off len =
+    incr calls;
+    if !calls mod 2 = 1 then raise (Unix.Unix_error (Unix.EINTR, "read", ""));
+    raw buf off (min len 13)
+  in
+  let t = T.of_read flaky in
+  Alcotest.(check string) "all bytes delivered" doc (drain t);
+  Alcotest.(check int) "offset tracks delivery" (String.length doc) (T.offset t);
+  Alcotest.(check bool) "not lost" true (T.lost t = None)
+
+let test_faulty_stream_smoke () =
+  let _, program, script, spec = List.hd paper_examples in
+  let doc = framed_doc program script spec in
+  let expected =
+    match Jmpax.Stream.run_string ~spec doc with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "clean run: %s" (E.to_string e)
+  in
+  List.iter
+    (fun seed ->
+      let plan =
+        { T.Faulty.quiet with
+          T.Faulty.seed;
+          short_reads = true;
+          eintr_every = 3;
+          stall_every = 5 }
+      in
+      let t = T.of_read (T.Faulty.wrap plan (string_raw doc)) in
+      match Jmpax.Stream.run ~spec ~read:(T.read t) () with
+      | Error e -> Alcotest.failf "seed %d: %s" seed (E.to_string e)
+      | Ok o ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d: summary unchanged" seed)
+            (summary_of expected) (summary_of o))
+    [ 1; 2; 3; 4; 5 ]
+
+(* Each dial yields a connection that dies a little further into the
+   stream; the reconnecting transport must splice them into one
+   contiguous delivery and stop redialing at the logical end. *)
+let test_reconnect_resumes_mid_stream () =
+  let _, program, script, spec = List.hd paper_examples in
+  let doc = framed_doc program script spec in
+  let expected =
+    match Jmpax.Stream.run_string ~spec doc with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "clean run: %s" (E.to_string e)
+  in
+  let dials = ref 0 in
+  let dial () =
+    incr dials;
+    let visible = min (String.length doc) (!dials * 53) in
+    let raw = string_raw (String.sub doc 0 visible) in
+    Ok (raw, fun () -> ())
+  in
+  let backoff =
+    { T.bo_min = 0.01; bo_max = 0.05; bo_retries = 1000; bo_deadline = 0.0 }
+  in
+  let t = T.reconnecting ~backoff ~sleep:(fun _ -> ()) ~seed:7 ~dial () in
+  (match Jmpax.Stream.run ~chunk_size:11 ~spec ~read:(T.read t) () with
+  | Error e -> Alcotest.failf "reconnecting stream: %s" (E.to_string e)
+  | Ok o ->
+      Alcotest.(check string) "summary unchanged" (summary_of expected)
+        (summary_of o));
+  Alcotest.(check bool) "reconnected at least once" true (!dials > 1);
+  Alcotest.(check bool) "not lost" true (T.lost t = None)
+
+let test_reconnect_budget_exhaustion () =
+  let slept = ref 0.0 in
+  let backoff =
+    { T.bo_min = 0.01; bo_max = 0.02; bo_retries = 3; bo_deadline = 0.0 }
+  in
+  let t =
+    T.reconnecting ~backoff
+      ~sleep:(fun d -> slept := !slept +. d)
+      ~dial:(fun () -> Error "connection refused")
+      ()
+  in
+  let buf = Bytes.create 16 in
+  Alcotest.(check int) "read yields EOF" 0 (T.read t buf 0 16);
+  (match T.lost t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "budget exhaustion not reported");
+  Alcotest.(check bool) "backed off between dials" true (!slept > 0.0);
+  (* The whole pipeline maps this to a typed error, not a hang. *)
+  match Jmpax.Stream.run ~spec:Pastltl.Formula.True ~read:(T.read t) () with
+  | Error E.Missing_header_frame -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "stream succeeded on a dead transport"
+
+let test_reconnect_deadline () =
+  let backoff =
+    { T.bo_min = 1.0; bo_max = 10.0; bo_retries = 1_000_000; bo_deadline = 2.5 }
+  in
+  let t =
+    T.reconnecting ~backoff
+      ~sleep:(fun _ -> ())
+      ~seed:3
+      ~dial:(fun () -> Error "connection refused")
+      ()
+  in
+  let buf = Bytes.create 16 in
+  Alcotest.(check int) "read yields EOF" 0 (T.read t buf 0 16);
+  match T.lost t with
+  | Some reason ->
+      Alcotest.(check bool) "reason mentions the deadline" true
+        (String.length reason > 0)
+  | None -> Alcotest.fail "deadline exhaustion not reported"
+
+(* The fault plan is seeded: the same plan over the same bytes yields
+   the same delivery schedule — the property the differential suite
+   leans on to replay a failure exactly. *)
+let test_faulty_deterministic () =
+  let doc = String.init 509 (fun i -> Char.chr ((i * 7) mod 256)) in
+  let run () =
+    let plan =
+      { T.Faulty.quiet with T.Faulty.seed = 11; short_reads = true }
+    in
+    drain (T.of_read (T.Faulty.wrap plan (string_raw doc)))
+  in
+  Alcotest.(check string) "same bytes" (run ()) (run ());
+  Alcotest.(check string) "and equal to the source" doc (run ())
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ test_roundtrip; test_truncation_rejected ]
+
+let () =
+  Alcotest.run "checkpoint"
+    [ ("codec laws", qcheck_tests);
+      ( "corruption",
+        [ Alcotest.test_case "flip any byte" `Quick test_flip_any_byte;
+          Alcotest.test_case "missing file" `Quick test_read_missing ] );
+      ( "spec binding",
+        [ Alcotest.test_case "fingerprint mismatch" `Quick test_spec_mismatch ] );
+      ( "atomicity",
+        [ Alcotest.test_case "tmp+rename" `Quick test_atomic_write ] );
+      ( "differential",
+        [ Alcotest.test_case "kill and resume" `Quick
+            test_kill_resume_differential ] );
+      ( "transport",
+        [ Alcotest.test_case "EINTR retry" `Quick test_transport_eintr;
+          Alcotest.test_case "fault-injection smoke" `Quick
+            test_faulty_stream_smoke;
+          Alcotest.test_case "reconnect mid-stream" `Quick
+            test_reconnect_resumes_mid_stream;
+          Alcotest.test_case "retry budget" `Quick
+            test_reconnect_budget_exhaustion;
+          Alcotest.test_case "deadline budget" `Quick test_reconnect_deadline;
+          Alcotest.test_case "deterministic faults" `Quick
+            test_faulty_deterministic ] ) ]
