@@ -1,0 +1,356 @@
+(* Load generator and experiment E19 harness for the multi-tenant
+   observer daemon.
+
+     serve_load connect ADDR [--sessions N] [--events M] [--spec S]
+         [--trace FILE] [--prefix P]
+       N concurrent writer sessions against an already-running
+       [jmpax serve] daemon at ADDR (unix:PATH or tcp:PORT).  Each
+       session performs the hello handshake, replays its framed wire-v2
+       stream from byte 0, and prints the verdict line the daemon wrote
+       back, one `<id>: <verdict>` line per session (sorted by id) —
+       the CI load-smoke diffs these against `jmpax check`.
+
+     serve_load e19 [--json FILE] [--events M]
+       Experiment E19: fork a daemon child, sweep 1 / 8 / 64 concurrent
+       sessions of M events each, record aggregate throughput next to
+       the single-session in-process stream baseline, SIGTERM the
+       daemon and require a clean drain.
+
+   Writers are plain blocking sockets on one thread per session — the
+   parallelism under test is the daemon's, which multiplexes them all
+   in a single select loop. *)
+
+let events_default = 2000
+
+(* {1 Synthetic trace}
+
+   One thread, one variable: the lattice is a chain, so analyzer cost is
+   linear and the bench measures the serving path, not the frontier. *)
+
+let spec_text = "x == 1"
+let spec = Pastltl.Fparser.parse spec_text
+
+let synth_header = { Jmpax.Wire.nthreads = 1; init = [ ("x", 1) ] }
+
+let synth_messages events =
+  List.init events (fun i ->
+      Trace.Message.make ~eid:i ~tid:0 ~var:"x" ~value:1
+        ~mvc:(Vclock.of_array [| i + 1 |]))
+
+let synth_trace events = Jmpax.Wire.Framed.encode synth_header (synth_messages events)
+
+(* The verdict every session must come back with, computed through the
+   same single-session stream path the daemon's outputs are measured
+   against. *)
+let expected_verdict payload =
+  match Jmpax.Stream.run_string ~spec payload with
+  | Ok o -> Jmpax.Pipeline.verdict_line o.Jmpax.Stream.s_violated
+  | Error e -> failwith ("baseline stream failed: " ^ Jmpax.Wire.Error.to_string e)
+
+(* {1 One writer session} *)
+
+type addr = Unix_sock of string | Tcp_port of int
+
+let parse_addr s =
+  let prefixed prefix s =
+    String.length s > String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  if prefixed "unix:" s then Unix_sock (String.sub s 5 (String.length s - 5))
+  else if prefixed "tcp:" s then
+    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+    | Some p -> Tcp_port p
+    | None -> failwith ("bad tcp port in " ^ s)
+  else failwith ("address must be unix:PATH or tcp:PORT, got " ^ s)
+
+let connect addr =
+  match addr with
+  | Unix_sock path ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      sock
+  | Tcp_port port ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      sock
+
+let write_all sock s =
+  let data = Bytes.of_string s in
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write sock data !pos (len - !pos)
+  done
+
+let read_line_blocking sock =
+  let buf = Buffer.create 64 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read sock byte 0 1 with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | _ ->
+        if Bytes.get byte 0 = '\n' then Some (Buffer.contents buf)
+        else begin
+          Buffer.add_char buf (Bytes.get byte 0);
+          go ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* The full writer protocol: hello, ack, replay from byte 0, verdict. *)
+let run_session ~addr ~sid ~fp ~payload =
+  let sock = connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all sock (Printf.sprintf "jmpax-serve 1 %s %s\n" sid fp);
+      match read_line_blocking sock with
+      | None -> Error "connection closed before ack"
+      | Some ack when String.length ack >= 6 && String.sub ack 0 6 = "reject"
+        ->
+          Error ack
+      | Some _ack ->
+          (* Replay from byte 0 unconditionally; the daemon discards the
+             prefix it already holds. *)
+          write_all sock payload;
+          (match read_line_blocking sock with
+          | Some verdict -> Ok verdict
+          | None -> Error "connection closed before the verdict line"))
+
+let run_sessions ~addr ~prefix ~sessions ~fp ~payload =
+  let results = Array.make sessions (Error "not run") in
+  let threads =
+    List.init sessions (fun i ->
+        Thread.create
+          (fun i ->
+            let sid = Printf.sprintf "%s%d" prefix i in
+            results.(i) <-
+              (try run_session ~addr ~sid ~fp ~payload
+               with e -> Error (Printexc.to_string e)))
+          i)
+  in
+  List.iter Thread.join threads;
+  results
+
+(* {1 connect mode} *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let connect_mode argv =
+  let addr = ref "" and sessions = ref 8 and events = ref events_default in
+  let prefix = ref "w" and trace = ref None and spec_arg = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--sessions" :: n :: rest ->
+        sessions := int_of_string n;
+        parse rest
+    | "--events" :: n :: rest ->
+        events := int_of_string n;
+        parse rest
+    | "--prefix" :: p :: rest ->
+        prefix := p;
+        parse rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--spec" :: s :: rest ->
+        spec_arg := Some s;
+        parse rest
+    | a :: rest when !addr = "" ->
+        addr := a;
+        parse rest
+    | a :: _ -> failwith ("unexpected argument " ^ a)
+  in
+  parse argv;
+  if !addr = "" then failwith "connect mode needs an ADDRESS (unix:PATH or tcp:PORT)";
+  let addr = parse_addr !addr in
+  let payload =
+    match !trace with
+    | Some path -> read_file path
+    | None -> synth_trace !events
+  in
+  let fp =
+    Jmpax.Checkpoint.fingerprint
+      (match !spec_arg with
+      | Some s -> Pastltl.Fparser.parse s
+      | None -> spec)
+  in
+  let results =
+    run_sessions ~addr ~prefix:!prefix ~sessions:!sessions ~fp ~payload
+  in
+  let failed = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok verdict -> Printf.printf "%s%d: %s\n" !prefix i verdict
+      | Error msg ->
+          incr failed;
+          Printf.printf "%s%d: ERROR %s\n" !prefix i msg)
+    results;
+  if !failed > 0 then exit 1
+
+(* {1 E19 mode} *)
+
+let json_records : (string * float) list ref = ref []
+let record metric value = json_records := (metric, value) :: !json_records
+
+let write_json path =
+  let records = List.rev !json_records in
+  let oc = open_out path in
+  output_string oc "[";
+  List.iteri
+    (fun i (m, v) ->
+      Printf.fprintf oc "%s\n  {\"experiment\": \"E19\", \"metric\": %S, \"value\": %.6g}"
+        (if i = 0 then "" else ",")
+        m v)
+    records;
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "\n%d result records written to %s\n" (List.length records) path
+
+let spawn_daemon ~sock_path =
+  (* The child inherits stdio buffers; flush so it doesn't replay the
+     parent's pending output on exit. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 -> (
+      let session =
+        { Serve.Session.spec;
+          spec_fp = Jmpax.Checkpoint.fingerprint spec;
+          max_buffered = None;
+          jobs = 1;
+          recovery = Jmpax.Config.Fail;
+          checkpoint_dir = None;
+          checkpoint_every = 1;
+          now = Unix.gettimeofday }
+      in
+      let config =
+        { Serve.Loop.address = Serve.Loop.Unix_path sock_path;
+          control = None;
+          session;
+          max_sessions = 128;
+          idle_timeout = 0.0;
+          read_budget = Serve.Loop.default_read_budget;
+          log = ignore }
+      in
+      match Serve.Loop.create config with
+      | Error msg ->
+          prerr_endline ("serve_load: daemon: " ^ msg);
+          Stdlib.exit 2
+      | Ok t ->
+          Sys.set_signal Sys.sigterm
+            (Sys.Signal_handle (fun _ -> Serve.Loop.request_drain t));
+          Stdlib.exit (Serve.Loop.run t))
+  | pid ->
+      (* Wait for the socket to be bound. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (not (Sys.file_exists sock_path)) && Unix.gettimeofday () < deadline
+      do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      if not (Sys.file_exists sock_path) then failwith "daemon never bound its socket";
+      pid
+
+let e19 argv =
+  let json = ref None and events = ref events_default in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | "--events" :: n :: rest ->
+        events := int_of_string n;
+        parse rest
+    | a :: _ -> failwith ("unexpected argument " ^ a)
+  in
+  parse argv;
+  let payload = synth_trace !events in
+  let expected = expected_verdict payload in
+  Printf.printf "E19: multi-tenant daemon throughput (%d events/session)\n" !events;
+  Printf.printf "  %d-byte stream per session; expected verdict: %s\n\n"
+    (String.length payload) expected;
+
+  (* Single-session in-process baseline: the PR 4 stream path with no
+     sockets, the yardstick the daemon must stay within 2x of. *)
+  let baseline_eps =
+    let t0 = Unix.gettimeofday () in
+    let reps = 3 in
+    for _ = 1 to reps do
+      match Jmpax.Stream.run_string ~spec payload with
+      | Ok _ -> ()
+      | Error e -> failwith (Jmpax.Wire.Error.to_string e)
+    done;
+    float_of_int (reps * !events) /. (Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "  baseline (in-process stream): %.0f events/s\n" baseline_eps;
+  record "baseline_stream_eps" baseline_eps;
+  record "events_per_session" (float_of_int !events);
+
+  let dir = Filename.temp_file "jmpax_e19" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock_path = Filename.concat dir "serve.sock" in
+  let pid = spawn_daemon ~sock_path in
+  let addr = Unix_sock sock_path in
+  let fp = Jmpax.Checkpoint.fingerprint spec in
+  let aggregate_64 = ref 0.0 in
+  List.iter
+    (fun sessions ->
+      let t0 = Unix.gettimeofday () in
+      let results =
+        run_sessions ~addr
+          ~prefix:(Printf.sprintf "e19.n%d." sessions)
+          ~sessions ~fp ~payload
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Array.iter
+        (function
+          | Ok v when v = expected -> ()
+          | Ok v -> failwith ("wrong verdict: " ^ v)
+          | Error e -> failwith ("session failed: " ^ e))
+        results;
+      let eps = float_of_int (sessions * !events) /. dt in
+      if sessions = 64 then aggregate_64 := eps;
+      Printf.printf "  %3d sessions: %.0f events/s aggregate (%.3f s, all verdicts ok)\n"
+        sessions eps dt;
+      record (Printf.sprintf "sessions%d_aggregate_eps" sessions) eps)
+    [ 1; 8; 64 ];
+
+  (* Graceful drain: SIGTERM, expect the documented clean exit 0. *)
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  let exit_code = match status with Unix.WEXITED c -> c | _ -> 255 in
+  Printf.printf "  SIGTERM drain: daemon exit %d\n" exit_code;
+  record "drain_exit_code" (float_of_int exit_code);
+  let ratio = !aggregate_64 /. baseline_eps in
+  Printf.printf "  64-session aggregate vs single-session stream: %.2fx\n" ratio;
+  record "aggregate64_vs_stream_ratio" ratio;
+  (try Sys.remove sock_path with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  (match !json with Some path -> write_json path | None -> ());
+  if exit_code <> 0 then exit 1;
+  (* The acceptance bar: >= 64 concurrent sessions within 2x of the
+     single-session stream path. *)
+  if ratio < 0.5 then begin
+    Printf.printf "FAIL: aggregate throughput below half the stream baseline\n";
+    exit 1
+  end
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "connect" :: rest -> connect_mode rest
+  | _ :: "e19" :: rest -> e19 rest
+  | _ ->
+      prerr_endline
+        "usage: serve_load connect ADDR [--sessions N] [--events M] [--spec S]\n\
+        \                          [--trace FILE] [--prefix P]\n\
+        \       serve_load e19 [--json FILE] [--events M]";
+      exit 2

@@ -351,6 +351,17 @@ let with_transport ?reconnect ?(skip = 0) target f =
   in
   match target with
   | "-" -> skipped (Jmpax.Transport.of_channel stdin)
+  | t when prefixed "listen-unix:" t -> (
+      (* Listener role: bind, accept exactly one writer, and close the
+         listening socket immediately so a second writer is refused
+         instead of queueing forever against a leaked listener. *)
+      let path = String.sub t 12 (String.length t - 12) in
+      match Jmpax.Transport.listen_once path with
+      | Error msg -> die exit_decode msg
+      | Ok transport ->
+          Fun.protect
+            ~finally:(fun () -> Jmpax.Transport.close transport)
+            (fun () -> skipped transport))
   | t when prefixed "unix:" t ->
       let path = String.sub t 5 (String.length t - 5) in
       let dial () =
@@ -494,8 +505,10 @@ let stream_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"TRACE"
              ~doc:"Framed wire stream to consume: a file or FIFO path, $(b,-) \
-                   for stdin, or $(b,unix:PATH) to connect to a listening Unix \
-                   socket.")
+                   for stdin, $(b,unix:PATH) to connect to a listening Unix \
+                   socket, or $(b,listen-unix:PATH) to bind one and accept a \
+                   single writer (the listener is closed as soon as the writer \
+                   connects).")
   in
   let max_buffered =
     Arg.(value & opt (some int) None
@@ -597,6 +610,162 @@ let stream_cmd =
           $ quarantine_file $ checkpoint $ checkpoint_every $ resume
           $ reconnect $ backoff_min $ backoff_max $ max_retries $ deadline
           $ metrics_arg $ trace_arg)
+
+(* {1 serve} *)
+
+let serve_cmd =
+  let run address control spec max_sessions idle_timeout max_buffered jobs
+      recovery checkpoint_dir checkpoint_every read_budget metrics span_trace =
+    let spec = parse_spec spec in
+    let address =
+      let prefixed prefix s =
+        String.length s > String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      in
+      if prefixed "unix:" address then
+        Serve.Loop.Unix_path (String.sub address 5 (String.length address - 5))
+      else if prefixed "tcp:" address then
+        match int_of_string_opt (String.sub address 4 (String.length address - 4)) with
+        | Some port when port >= 0 && port <= 65535 -> Serve.Loop.Tcp port
+        | _ -> die 2 (Printf.sprintf "bad tcp port in %S" address)
+      else die 2 (Printf.sprintf "listen address must be unix:PATH or tcp:PORT, got %S" address)
+    in
+    let control =
+      match (control, address) with
+      | Some "none", _ -> None
+      | Some path, _ -> Some path
+      | None, Serve.Loop.Unix_path p -> Some (p ^ ".ctl")
+      | None, Serve.Loop.Tcp _ -> None
+    in
+    if max_sessions < 1 then die 2 "--max-sessions must be at least 1";
+    if checkpoint_every < 1 then die 2 "--checkpoint-every must be at least 1";
+    if read_budget < 1 then die 2 "--read-budget must be at least 1";
+    let session =
+      { Serve.Session.spec;
+        spec_fp = Jmpax.Checkpoint.fingerprint spec;
+        max_buffered;
+        jobs;
+        recovery;
+        checkpoint_dir;
+        checkpoint_every;
+        now = Unix.gettimeofday }
+    in
+    let config =
+      { Serve.Loop.address;
+        control;
+        session;
+        max_sessions;
+        idle_timeout;
+        read_budget;
+        log = prerr_endline }
+    in
+    let tconfig =
+      Jmpax.Config.default ()
+      |> Jmpax.Config.with_metrics metrics
+      |> Jmpax.Config.with_trace span_trace
+    in
+    let code =
+      Jmpax.Pipeline.with_telemetry tconfig (fun () ->
+          match Serve.Loop.create config with
+          | Error msg -> die 2 msg
+          | Ok t ->
+              let drain _ = Serve.Loop.request_drain t in
+              (try Sys.set_signal Sys.sigterm (Sys.Signal_handle drain)
+               with Invalid_argument _ -> ());
+              (try Sys.set_signal Sys.sigint (Sys.Signal_handle drain)
+               with Invalid_argument _ -> ());
+              prerr_endline
+                (Printf.sprintf "jmpax serve: listening on %s%s"
+                   (Serve.Loop.address_string t)
+                   (match control with
+                   | Some p -> Printf.sprintf " (control %s)" p
+                   | None -> ""));
+              Serve.Loop.run t)
+    in
+    if code <> 0 then exit code
+  in
+  let address =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ADDRESS"
+             ~doc:"Listen address: $(b,unix:PATH) or $(b,tcp:PORT) \
+                   (127.0.0.1; port $(b,0) picks a free port and prints it).")
+  in
+  let control =
+    Arg.(value & opt (some string) None
+         & info [ "control" ] ~docv:"PATH"
+             ~doc:"Unix-domain control socket answering $(b,jmpax stats \
+                   unix:PATH) queries.  Defaults to $(i,PATH).ctl for a \
+                   $(b,unix:) listen address; $(b,none) disables it.")
+  in
+  let max_sessions =
+    Arg.(value & opt int 1024
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Connected-session cap; writers past it are politely \
+                   rejected with $(b,reject server full) (default 1024).")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 300.0
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Evict sessions idle longer than this, checkpointing them \
+                   first when a checkpoint directory is configured (default \
+                   300; 0 disables eviction).")
+  in
+  let max_buffered =
+    Arg.(value & opt (some int) None
+         & info [ "max-buffered" ] ~docv:"N"
+             ~doc:"Per-session backpressure bound: a session buffering more \
+                   than $(docv) out-of-order messages is disconnected \
+                   (exit class 4) without disturbing its siblings.")
+  in
+  let recovery =
+    Arg.(value
+         & opt (enum [ ("fail", Jmpax.Config.Fail); ("skip", Jmpax.Config.Skip);
+                       ("quarantine", Jmpax.Config.Quarantine) ])
+             Jmpax.Config.Fail
+         & info [ "on-decode-error" ] ~docv:"POLICY"
+             ~doc:"Per-session malformed-frame policy: $(b,fail) (default), \
+                   $(b,skip), or $(b,quarantine) (counted like skip).")
+  in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Crash safety: keep one $(i,ID).ckpt per session in \
+                   $(docv); sessions resume across daemon restarts and the \
+                   SIGTERM drain checkpoints every live session there.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 1
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Lattice levels between periodic per-session checkpoints \
+                   (default 1).")
+  in
+  let read_budget =
+    Arg.(value & opt int Serve.Loop.default_read_budget
+         & info [ "read-budget" ] ~docv:"BYTES"
+             ~doc:"Fair-scheduling quantum: at most $(docv) bytes are read \
+                   from one session per tick before its siblings are serviced \
+                   (default 65536).")
+  in
+  let exits =
+    [ Cmd.Exit.info 0
+        ~doc:"drained cleanly: every live session was checkpointed (or no \
+              checkpoint directory was configured).";
+      Cmd.Exit.info 2 ~doc:"command line errors, or the sockets could not be bound.";
+      Cmd.Exit.info exit_checkpoint
+        ~doc:"at least one per-session checkpoint failed during the SIGTERM \
+              drain; the other sessions were still drained.  Per-session \
+              verdicts never affect the daemon's exit code." ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Run the multi-tenant observer daemon: one process monitors many \
+             concurrent writer sessions over a Unix or TCP socket, each with \
+             its own incremental decoder, analyzer and optional checkpoint \
+             file.  Scheduling is round-robin with a per-tick read budget, so \
+             no writer can starve the others; SIGTERM drains gracefully.")
+    Term.(const run $ address $ control $ spec_arg $ max_sessions $ idle_timeout
+          $ max_buffered $ jobs_arg $ recovery $ checkpoint_dir
+          $ checkpoint_every $ read_budget $ metrics_arg $ trace_arg)
 
 (* {1 lattice} *)
 
@@ -770,23 +939,67 @@ let monitor_cmd =
 
 (* {1 stats} *)
 
+(* Query a running daemon's control socket: one request line, read the
+   reply to EOF. *)
+let query_control path request =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      match connect_retry sock (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message e))
+      | () ->
+          let msg = Bytes.of_string (request ^ "\n") in
+          let _ = Unix.write sock msg 0 (Bytes.length msg) in
+          (try Unix.shutdown sock Unix.SHUTDOWN_SEND
+           with Unix.Unix_error _ -> ());
+          let buf = Bytes.create 8192 in
+          let out = Buffer.create 1024 in
+          let rec drain () =
+            match Unix.read sock buf 0 (Bytes.length buf) with
+            | 0 -> Ok (Buffer.contents out)
+            | n ->
+                Buffer.add_subbytes out buf 0 n;
+                drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+            | exception Unix.Unix_error (e, fn, _) ->
+                Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message e))
+          in
+          drain ())
+
 let stats_cmd =
   let run trace =
-    match Telemetry.Summary.of_file trace with
-    | Error msg -> or_die (Error msg)
-    | Ok s ->
-        Format.printf "%a@." Telemetry.Summary.pp s;
-        if not (Telemetry.Summary.well_formed s) then exit 1
+    let prefixed prefix s =
+      String.length s > String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+    in
+    if prefixed "unix:" trace then begin
+      (* Live daemon rollup via its control socket. *)
+      let path = String.sub trace 5 (String.length trace - 5) in
+      match query_control path "stats" with
+      | Error msg -> or_die (Error msg)
+      | Ok reply -> print_string reply
+    end
+    else
+      match Telemetry.Summary.of_file trace with
+      | Error msg -> or_die (Error msg)
+      | Ok s ->
+          Format.printf "%a@." Telemetry.Summary.pp s;
+          if not (Telemetry.Summary.well_formed s) then exit 1
   in
   let trace =
-    Arg.(required & pos 0 (some file) None
+    Arg.(required & pos 0 (some string) None
          & info [] ~docv:"TRACE"
-             ~doc:"Span trace produced by $(b,--trace) on another subcommand.")
+             ~doc:"Span trace produced by $(b,--trace) on another subcommand, \
+                   or $(b,unix:PATH) to query a running $(b,jmpax serve) \
+                   daemon's control socket for its live per-tenant rollup.")
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Replay a span trace into a per-stage summary table (count, total, \
-             min/mean/max time); exits nonzero if the trace is not well nested.")
+             min/mean/max time), or query a live $(b,jmpax serve) control \
+             socket; exits nonzero if the trace is not well nested.")
     Term.(const run $ trace)
 
 (* {1 examples} *)
@@ -813,4 +1026,5 @@ let () =
   let info = Cmd.info "jmpax" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; lattice_cmd; race_cmd;
                                    deadlock_cmd; atomicity_cmd; compare_cmd; examples_cmd; fsm_cmd;
-                                   monitor_cmd; observe_cmd; stream_cmd; stats_cmd ]))
+                                   monitor_cmd; observe_cmd; stream_cmd; serve_cmd;
+                                   stats_cmd ]))

@@ -63,6 +63,36 @@ let of_string text =
       pos := !pos + n;
       n)
 
+(* {1 Single-shot listeners} *)
+
+(* Accept exactly one session and then immediately close and unlink the
+   listening socket.  Keeping the listener open after the accept leaks
+   the fd (and the socket path) for the whole run and silently strands
+   any second writer in the backlog — the session socket is the only
+   thing the single-session stream path may hold on to. *)
+let listen_once ?(backlog = 1) path =
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind listener (Unix.ADDR_UNIX path);
+    Unix.listen listener backlog;
+    let rec accept_retry () =
+      try fst (Unix.accept listener)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry ()
+    in
+    accept_retry ()
+  with
+  | session ->
+      (* The fix under test: the listener dies the moment the session
+         socket exists, so nothing else can connect and no fd leaks. *)
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Ok (of_fd session)
+  | exception Unix.Unix_error (e, fn, _) ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
 (* {1 Reconnection} *)
 
 type backoff = {

@@ -55,6 +55,17 @@ val of_channel : in_channel -> t
 val of_string : string -> t
 (** In-memory transport for tests. *)
 
+val listen_once : ?backlog:int -> string -> (t, string) result
+(** Bind a Unix listening socket at [path], accept exactly one
+    connection, and return it as a transport.  The listening socket is
+    closed and the path unlinked {e immediately after} the accept — a
+    single-session consumer must not keep the listener alive for the
+    rest of the process (a leaked fd, and a trap for any second writer,
+    which would connect into a backlog nobody will ever drain; the
+    regression test connects again after the accept and requires the
+    refusal).  Blocks until a writer connects.  For many concurrent
+    sessions use [jmpax serve] instead. *)
+
 (** {1 Reconnection} *)
 
 type backoff = {

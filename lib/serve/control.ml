@@ -1,0 +1,95 @@
+module M = Telemetry.Metrics
+
+type counters = {
+  mutable accepts : int;
+  mutable rejects : int;
+  mutable evictions : int;
+  mutable disconnects : int;
+  mutable resumes : int;
+  mutable events_finished : int;
+  mutable peak_sessions : int;
+}
+
+let fresh_counters () =
+  { accepts = 0;
+    rejects = 0;
+    evictions = 0;
+    disconnects = 0;
+    resumes = 0;
+    events_finished = 0;
+    peak_sessions = 0 }
+
+let state_name = function
+  | Session.Handshaking -> "handshaking"
+  | Session.Streaming -> "streaming"
+  | Session.Disconnected -> "disconnected"
+  | Session.Done -> "done"
+  | Session.Failed -> "failed"
+
+let render ~registry ~counters ~uptime ~draining =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sessions = Registry.all registry in
+  let live_events =
+    List.fold_left (fun acc s -> acc + Session.events s) 0 sessions
+  in
+  let events_total = counters.events_finished + live_events in
+  let verdicts, violations =
+    List.fold_left
+      (fun (d, v) s ->
+        match Session.violated s with
+        | Some true -> (d + 1, v + 1)
+        | Some false -> (d + 1, v)
+        | None -> (d, v))
+      (0, 0) sessions
+  in
+  p "jmpax-serve 1\n";
+  p "uptime_s %.3f\n" uptime;
+  p "draining %s\n" (if draining then "yes" else "no");
+  p "serve.sessions_active %d\n" (Registry.connected_count registry);
+  p "serve.sessions_registered %d\n" (Registry.total registry);
+  p "serve.sessions_peak %d\n" counters.peak_sessions;
+  p "serve.max_sessions %d\n" (Registry.max_sessions registry);
+  p "serve.accepts %d\n" counters.accepts;
+  p "serve.rejects %d\n" counters.rejects;
+  p "serve.evictions %d\n" counters.evictions;
+  p "serve.disconnects %d\n" counters.disconnects;
+  p "serve.resumes %d\n" counters.resumes;
+  p "serve.events_total %d\n" events_total;
+  p "serve.verdicts %d\n" verdicts;
+  p "serve.violations %d\n" violations;
+  p "serve.throughput_eps %.1f\n"
+    (if uptime > 0.0 then float_of_int events_total /. uptime else 0.0);
+  List.iter
+    (fun s ->
+      p
+        "session id=%s state=%s events=%d level=%d buffered=%d skipped=%d \
+         checkpoints=%d verdict=%s code=%d\n"
+        (Session.id s)
+        (state_name (Session.state s))
+        (Session.events s) (Session.level s) (Session.buffered s)
+        (Session.skipped s)
+        (Session.checkpoints s)
+        (match Session.violated s with
+        | Some true -> "violation"
+        | Some false -> "ok"
+        | None -> "-")
+        (Session.exit_code s))
+    sessions;
+  if M.enabled () then begin
+    let keep name =
+      let has prefix =
+        String.length name >= String.length prefix
+        && String.sub name 0 (String.length prefix) = prefix
+      in
+      has "serve." || has "stream." || has "online." || has "transport."
+    in
+    Buffer.add_string buf (M.to_text_filtered keep)
+  end;
+  Buffer.contents buf
+
+let handle_request ~registry ~counters ~uptime ~draining line =
+  match String.trim line with
+  | "stats" -> render ~registry ~counters ~uptime ~draining
+  | "ping" -> "pong\n"
+  | other -> Printf.sprintf "error unknown command %S (try: stats, ping)\n" other

@@ -1,0 +1,46 @@
+(** The daemon's control socket: per-tenant telemetry rollups on demand.
+
+    [jmpax stats unix:CTL] connects, sends one request line, reads the
+    response, and the daemon closes.  Requests:
+
+    - [stats] — the rollup: daemon counters, aggregate throughput, one
+      line per registered session, and (when telemetry is enabled) the
+      [serve.*]/[stream.*]/[online.*] slice of the metrics registry;
+    - [ping] — [pong], a liveness probe.
+
+    The rollup is plain [key value] lines followed by [session ...]
+    lines, so shell tooling can grep it without a parser. *)
+
+(** Daemon-lifetime counters, owned by the event loop.  Kept as plain
+    fields (always correct, no telemetry required) and mirrored into
+    the [serve.*] metrics registry under the one-branch-when-off
+    contract. *)
+type counters = {
+  mutable accepts : int;
+  mutable rejects : int;
+  mutable evictions : int;
+  mutable disconnects : int;
+  mutable resumes : int;
+  mutable events_finished : int;
+      (** events of sessions already removed from the registry *)
+  mutable peak_sessions : int;
+}
+
+val fresh_counters : unit -> counters
+
+val render :
+  registry:Registry.t ->
+  counters:counters ->
+  uptime:float ->
+  draining:bool ->
+  string
+(** The [stats] response body. *)
+
+val handle_request :
+  registry:Registry.t ->
+  counters:counters ->
+  uptime:float ->
+  draining:bool ->
+  string ->
+  string
+(** Map one request line to its response. *)

@@ -1,0 +1,47 @@
+module M = Telemetry.Metrics
+
+let m_drain_ms = M.histogram "serve.drain_ms"
+let m_drained = M.counter "serve.drained_sessions"
+
+type result = {
+  dr_sessions : int;
+  dr_checkpointed : int;
+  dr_failed : (string * string) list;
+  dr_duration : float;
+}
+
+let run ?(log = prerr_endline) ~registry ~now () =
+  let t0 = now () in
+  let sessions = Registry.all registry in
+  let visited = ref 0 in
+  let checkpointed = ref 0 in
+  let failed = ref [] in
+  List.iter
+    (fun s ->
+      (match Session.state s with
+      | Session.Streaming | Session.Disconnected -> (
+          incr visited;
+          match Session.write_checkpoint s with
+          | Ok () -> incr checkpointed
+          | Error reason ->
+              (* The satellite invariant: log, mark, move on — the
+                 sibling sessions still get their checkpoints. *)
+              log
+                (Printf.sprintf "jmpax serve: drain: session %s: %s"
+                   (Session.id s) reason);
+              Session.mark_drain_failed s reason;
+              failed := (Session.id s, reason) :: !failed)
+      | Session.Handshaking | Session.Done | Session.Failed -> ());
+      Session.close s)
+    sessions;
+  let duration = now () -. t0 in
+  if M.enabled () then begin
+    M.observe m_drain_ms (int_of_float (duration *. 1000.0));
+    M.add m_drained !visited
+  end;
+  { dr_sessions = !visited;
+    dr_checkpointed = !checkpointed;
+    dr_failed = List.rev !failed;
+    dr_duration = duration }
+
+let exit_code r = if r.dr_failed = [] then 0 else 6

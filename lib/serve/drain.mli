@@ -1,0 +1,39 @@
+(** Graceful SIGTERM drain: stop accepting, checkpoint every live
+    session, report one aggregate exit code.
+
+    The drain invariant is per-session isolation to the end: a failing
+    checkpoint write for one session is logged, recorded on {e that}
+    session (exit class 6), and the drain {e continues} with its
+    siblings — one tenant's broken disk must not cost the others their
+    resumability.
+
+    {2 Aggregate exit-code rule}
+
+    Extending the 0–6 table of [jmpax stream] to the daemon:
+
+    - [0] — every session with analyzer state was checkpointed (or no
+      checkpoint directory is configured: nothing to persist was
+      promised);
+    - [6] — at least one drain checkpoint failed; the daemon still
+      drained everything else, and stderr names the failed sessions.
+
+    Session verdicts (violation / no violation) are per-tenant results
+    reported on their own connections and in [jmpax stats]; they never
+    leak into the daemon's exit code. *)
+
+type result = {
+  dr_sessions : int;  (** sessions visited by the drain *)
+  dr_checkpointed : int;
+  dr_failed : (string * string) list;  (** (session id, reason) *)
+  dr_duration : float;  (** seconds *)
+}
+
+val run :
+  ?log:(string -> unit) -> registry:Registry.t -> now:(unit -> float) ->
+  unit -> result
+(** Checkpoints every [Streaming]/[Disconnected] session (best-effort,
+    failures collected, never aborting the sweep), closes every
+    connection, and observes the [serve.drain_ms] histogram. *)
+
+val exit_code : result -> int
+(** [0] or [6] per the aggregate rule above. *)

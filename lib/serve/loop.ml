@@ -1,0 +1,473 @@
+module M = Telemetry.Metrics
+
+let m_accepts = M.counter "serve.accepts"
+let m_rejects = M.counter "serve.rejects"
+let m_disconnects = M.counter "serve.disconnects"
+let m_resumes = M.counter "serve.resumes"
+let m_sessions_active = M.gauge "serve.sessions_active"
+let m_sessions_peak = M.gauge "serve.sessions_peak"
+
+type address = Unix_path of string | Tcp of int
+
+type config = {
+  address : address;
+  control : string option;
+  session : Session.config;
+  max_sessions : int;
+  idle_timeout : float;
+  read_budget : int;
+  log : string -> unit;
+}
+
+let default_read_budget = 64 * 1024
+
+type ctl_conn = { ctl_fd : Unix.file_descr; ctl_buf : Buffer.t }
+
+type t = {
+  cfg : config;
+  mutable listener : Unix.file_descr option;
+  mutable ctl_listener : Unix.file_descr option;
+  bound : string;  (** printable bound address *)
+  reg : Registry.t;
+  ctrs : Control.counters;
+  mutable pending : Session.t list;  (** accepted, hello not yet complete *)
+  mutable ctl_conns : ctl_conn list;
+  mutable cursor : int;  (** round-robin rotation of session service *)
+  drain_flag : bool Atomic.t;
+  mutable is_finished : bool;
+  mutable code : int;
+  mutable drain_res : Drain.result option;
+  started : float;
+  buf : bytes;
+}
+
+let registry t = t.reg
+let counters t = t.ctrs
+let finished t = t.is_finished
+let exit_code t = t.code
+let drain_result t = t.drain_res
+let address_string t = t.bound
+let request_drain t = Atomic.set t.drain_flag true
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let close t =
+  (match t.listener with
+  | Some fd ->
+      t.listener <- None;
+      close_fd fd;
+      (match t.cfg.address with
+      | Unix_path path -> unlink_quiet path
+      | Tcp _ -> ())
+  | None -> ());
+  (match t.ctl_listener with
+  | Some fd ->
+      t.ctl_listener <- None;
+      close_fd fd;
+      Option.iter unlink_quiet t.cfg.control
+  | None -> ());
+  List.iter (fun c -> close_fd c.ctl_fd) t.ctl_conns;
+  t.ctl_conns <- [];
+  List.iter Session.close t.pending;
+  t.pending <- []
+
+let bind_listener address =
+  match address with
+  | Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         unlink_quiet path;
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64;
+         Unix.set_nonblock fd;
+         Ok (fd, "unix:" ^ path)
+       with Unix.Unix_error (e, fn, _) ->
+         close_fd fd;
+         Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message e)))
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd 64;
+         Unix.set_nonblock fd;
+         let bound_port =
+           match Unix.getsockname fd with
+           | Unix.ADDR_INET (_, p) -> p
+           | _ -> port
+         in
+         Ok (fd, Printf.sprintf "tcp:%d" bound_port)
+       with Unix.Unix_error (e, fn, _) ->
+         close_fd fd;
+         Error (Printf.sprintf "tcp:%d: %s: %s" port fn (Unix.error_message e)))
+
+let create cfg =
+  match bind_listener cfg.address with
+  | Error _ as e -> e
+  | Ok (listener, bound) -> (
+      let ctl =
+        match cfg.control with
+        | None -> Ok None
+        | Some path -> (
+            match bind_listener (Unix_path path) with
+            | Ok (fd, _) -> Ok (Some fd)
+            | Error msg ->
+                close_fd listener;
+                (match cfg.address with
+                | Unix_path p -> unlink_quiet p
+                | Tcp _ -> ());
+                Error msg)
+      in
+      match ctl with
+      | Error msg -> Error msg
+      | Ok ctl_listener ->
+          Ok
+            { cfg;
+              listener = Some listener;
+              ctl_listener;
+              bound;
+              reg =
+                Registry.create ~max_sessions:cfg.max_sessions
+                  ~idle_timeout:cfg.idle_timeout ();
+              ctrs = Control.fresh_counters ();
+              pending = [];
+              ctl_conns = [];
+              cursor = 0;
+              drain_flag = Atomic.make false;
+              is_finished = false;
+              code = 0;
+              drain_res = None;
+              started = cfg.session.Session.now ();
+              buf = Bytes.create (max 1 cfg.read_budget) })
+
+(* {1 Bookkeeping} *)
+
+let update_session_gauges t =
+  let active = Registry.connected_count t.reg + List.length t.pending in
+  t.ctrs.Control.peak_sessions <- max t.ctrs.Control.peak_sessions active;
+  if M.enabled () then begin
+    M.set m_sessions_active active;
+    M.set_max m_sessions_peak active
+  end
+
+(* A session left the registry's live set (finished); roll its event
+   count into the daemon totals so throughput survives the idle sweep. *)
+let note_finished t s =
+  ignore s;
+  update_session_gauges t
+
+(* {1 Accepting} *)
+
+let polite_reject t fd reason =
+  t.ctrs.Control.rejects <- t.ctrs.Control.rejects + 1;
+  if M.enabled () then M.incr m_rejects;
+  let line = Bytes.of_string (Printf.sprintf "reject %s\n" reason) in
+  (try ignore (Unix.write fd line 0 (Bytes.length line))
+   with Unix.Unix_error _ -> ());
+  close_fd fd
+
+let accept_sessions t =
+  match t.listener with
+  | None -> ()
+  | Some listener ->
+      let rec go budget =
+        if budget <= 0 then ()
+        else
+          match Unix.accept listener with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              if not (Registry.has_capacity t.reg ~pending:(List.length t.pending))
+              then polite_reject t fd "server full"
+              else begin
+                t.ctrs.Control.accepts <- t.ctrs.Control.accepts + 1;
+                if M.enabled () then M.incr m_accepts;
+                t.pending <- Session.create t.cfg.session fd :: t.pending;
+                update_session_gauges t
+              end;
+              go (budget - 1)
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go budget
+          | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go (budget - 1)
+      in
+      go 32
+
+let accept_control t =
+  match t.ctl_listener with
+  | None -> ()
+  | Some listener -> (
+      match Unix.accept listener with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          t.ctl_conns <- { ctl_fd = fd; ctl_buf = Buffer.create 64 } :: t.ctl_conns
+      | exception Unix.Unix_error _ -> ())
+
+(* {1 Handshake arbitration} *)
+
+let try_resume_from_disk t s ~sid ~rest =
+  match Session.checkpoint_path t.cfg.session sid with
+  | None -> Session.start_fresh s ~id:sid ~rest
+  | Some path ->
+      if not (Sys.file_exists path) then Session.start_fresh s ~id:sid ~rest
+      else begin
+        match Jmpax.Checkpoint.read path with
+        | Error e ->
+            t.cfg.log
+              (Printf.sprintf
+                 "jmpax serve: session %s: unreadable checkpoint %s (%s); \
+                  starting fresh"
+                 sid path
+                 (Jmpax.Checkpoint.error_to_string e));
+            Session.start_fresh s ~id:sid ~rest
+        | Ok ck -> (
+            match Jmpax.Checkpoint.validate ~spec:t.cfg.session.Session.spec ck with
+            | Error e ->
+                t.cfg.log
+                  (Printf.sprintf
+                     "jmpax serve: session %s: checkpoint %s rejected (%s); \
+                      starting fresh"
+                     sid path
+                     (Jmpax.Checkpoint.error_to_string e));
+                Session.start_fresh s ~id:sid ~rest
+            | Ok () -> (
+                match Session.start_resume_checkpoint s ~id:sid ~ck ~rest with
+                | outcome ->
+                    t.ctrs.Control.resumes <- t.ctrs.Control.resumes + 1;
+                    if M.enabled () then M.incr m_resumes;
+                    outcome
+                | exception Invalid_argument msg ->
+                    t.cfg.log
+                      (Printf.sprintf
+                         "jmpax serve: session %s: checkpoint restore failed \
+                          (%s)"
+                         sid msg);
+                    Session.reject s "checkpoint restore failed";
+                    Finished))
+      end
+
+(* [s] is a pending connection whose hello just completed; decide its
+   fate and return the session now owning the connection (if any) plus
+   the outcome of feeding the post-hello bytes. *)
+let complete_handshake t s ~sid ~fp ~rest =
+  let refuse reason =
+    t.ctrs.Control.rejects <- t.ctrs.Control.rejects + 1;
+    if M.enabled () then M.incr m_rejects;
+    Session.reject s reason;
+    (None, Session.Finished)
+  in
+  if not (Session.valid_id sid) then
+    refuse "bad session id (want [A-Za-z0-9._-]{1,64})"
+  else if fp <> "-" && fp <> t.cfg.session.Session.spec_fp then
+    refuse
+      (Printf.sprintf "spec fingerprint mismatch (server runs %s)"
+         t.cfg.session.Session.spec_fp)
+  else
+    match Registry.find t.reg sid with
+    | Some live when Session.connected live ->
+        refuse "session busy (already connected)"
+    | Some parked when Session.state parked = Session.Disconnected ->
+        let outcome = Session.adopt parked ~from:s ~rest in
+        t.ctrs.Control.resumes <- t.ctrs.Control.resumes + 1;
+        if M.enabled () then M.incr m_resumes;
+        (Some parked, outcome)
+    | Some _finished -> refuse "session already completed"
+    | None -> (
+        let outcome = try_resume_from_disk t s ~sid ~rest in
+        match Session.state s with
+        | Session.Failed when Session.id s = "" ->
+            (* Rejected before registration. *)
+            (None, outcome)
+        | _ -> (
+            match Registry.add t.reg s with
+            | Ok () -> (Some s, outcome)
+            | Error msg -> refuse msg))
+
+(* {1 Servicing} *)
+
+let service_session t s =
+  match Session.fd s with
+  | None -> ()
+  | Some fd -> (
+      let n =
+        match Unix.read fd t.buf 0 (min t.cfg.read_budget (Bytes.length t.buf)) with
+        | n -> n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> -1
+        | exception Unix.Unix_error _ -> 0
+      in
+      if n = 0 then begin
+        let was_pending = List.memq s t.pending in
+        (match Session.on_eof s with
+        | Session.Continue ->
+            if Session.state s = Session.Disconnected then begin
+              t.ctrs.Control.disconnects <- t.ctrs.Control.disconnects + 1;
+              if M.enabled () then M.incr m_disconnects
+            end
+        | Session.Finished -> note_finished t s
+        | Session.Hello _ -> ());
+        if was_pending then
+          t.pending <- List.filter (fun p -> not (p == s)) t.pending;
+        update_session_gauges t
+      end
+      else if n > 0 then begin
+        let data = Bytes.sub_string t.buf 0 n in
+        match Session.on_bytes s data with
+        | Session.Continue -> ()
+        | Session.Finished -> note_finished t s
+        | Session.Hello { id = sid; fp; rest } ->
+            t.pending <- List.filter (fun p -> not (p == s)) t.pending;
+            let owner, outcome = complete_handshake t s ~sid ~fp ~rest in
+            (match (owner, outcome) with
+            | Some o, Session.Finished -> note_finished t o
+            | _ -> ());
+            update_session_gauges t
+      end)
+
+let service_control t c =
+  let chunk = Bytes.create 256 in
+  let n =
+    match Unix.read c.ctl_fd chunk 0 256 with
+    | n -> n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+    | exception Unix.Unix_error _ -> 0
+  in
+  if n = 0 then begin
+    close_fd c.ctl_fd;
+    t.ctl_conns <- List.filter (fun x -> not (x == c)) t.ctl_conns
+  end
+  else if n > 0 then begin
+    Buffer.add_subbytes c.ctl_buf chunk 0 n;
+    let text = Buffer.contents c.ctl_buf in
+    match String.index_opt text '\n' with
+    | None ->
+        if Buffer.length c.ctl_buf > 1024 then begin
+          close_fd c.ctl_fd;
+          t.ctl_conns <- List.filter (fun x -> not (x == c)) t.ctl_conns
+        end
+    | Some nl ->
+        let line = String.sub text 0 nl in
+        let uptime = t.cfg.session.Session.now () -. t.started in
+        let reply =
+          Control.handle_request ~registry:t.reg ~counters:t.ctrs ~uptime
+            ~draining:(Atomic.get t.drain_flag) line
+        in
+        let data = Bytes.of_string reply in
+        let rec send pos =
+          if pos < Bytes.length data then
+            match Unix.write c.ctl_fd data pos (Bytes.length data - pos) with
+            | n -> send (pos + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> send pos
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+                match Unix.select [] [ c.ctl_fd ] [] 1.0 with
+                | _, [ _ ], _ -> send pos
+                | _ -> ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> send pos)
+            | exception Unix.Unix_error _ -> ()
+        in
+        send 0;
+        close_fd c.ctl_fd;
+        t.ctl_conns <- List.filter (fun x -> not (x == c)) t.ctl_conns
+  end
+
+(* {1 Drain} *)
+
+let do_drain t =
+  if not t.is_finished then begin
+    t.cfg.log
+      (Printf.sprintf "jmpax serve: drain: %d session(s) live"
+         (Registry.connected_count t.reg));
+    (* Stop accepting first: the drain must not race new tenants. *)
+    close t;
+    let res =
+      Drain.run ~log:t.cfg.log ~registry:t.reg ~now:t.cfg.session.Session.now ()
+    in
+    t.drain_res <- Some res;
+    t.code <- Drain.exit_code res;
+    t.is_finished <- true;
+    t.cfg.log
+      (Printf.sprintf
+         "jmpax serve: drained %d session(s), %d checkpointed, %d failed \
+          (%.0f ms)"
+         res.Drain.dr_sessions res.Drain.dr_checkpointed
+         (List.length res.Drain.dr_failed)
+         (res.Drain.dr_duration *. 1000.0))
+  end
+
+(* {1 The tick} *)
+
+(* Rotate [l] left by [n]: the round-robin service order. *)
+let rotate n l =
+  let len = List.length l in
+  if len = 0 then l
+  else begin
+    let n = n mod len in
+    let rec split i acc = function
+      | rest when i = 0 -> rest @ List.rev acc
+      | x :: rest -> split (i - 1) (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    split n [] l
+  end
+
+let tick ?(timeout = 0.25) t =
+  if Atomic.get t.drain_flag then do_drain t
+  else begin
+    let session_fds =
+      List.filter_map
+        (fun s -> Option.map (fun fd -> (fd, s)) (Session.fd s))
+        (t.pending @ Registry.all t.reg)
+    in
+    let read_fds =
+      Option.to_list t.listener
+      @ Option.to_list t.ctl_listener
+      @ List.map (fun c -> c.ctl_fd) t.ctl_conns
+      @ List.map fst session_fds
+    in
+    match Unix.select read_fds [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    | ready, _, _ ->
+        let is_ready fd = List.memq fd ready in
+        (match t.listener with
+        | Some fd when is_ready fd -> accept_sessions t
+        | _ -> ());
+        (match t.ctl_listener with
+        | Some fd when is_ready fd -> accept_control t
+        | _ -> ());
+        List.iter
+          (fun c -> if is_ready c.ctl_fd then service_control t c)
+          t.ctl_conns;
+        (* Round-robin: each readable session gets one read budget per
+           tick, serviced in rotated order so a firehose writer cannot
+           push its siblings to the end of every tick. *)
+        let ready_sessions =
+          List.filter (fun (fd, _) -> is_ready fd) session_fds
+        in
+        t.cursor <- t.cursor + 1;
+        List.iter
+          (fun (_, s) -> service_session t s)
+          (rotate t.cursor ready_sessions);
+        let evicted =
+          Registry.sweep_idle t.reg ~now:(t.cfg.session.Session.now ())
+        in
+        if evicted <> [] then begin
+          t.ctrs.Control.evictions <-
+            t.ctrs.Control.evictions + List.length evicted;
+          List.iter
+            (fun s ->
+              t.ctrs.Control.events_finished <-
+                t.ctrs.Control.events_finished + Session.events s)
+            evicted;
+          update_session_gauges t
+        end;
+        if Atomic.get t.drain_flag then do_drain t
+  end
+
+let run t =
+  while not t.is_finished do
+    tick t
+  done;
+  t.code

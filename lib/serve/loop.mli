@@ -1,0 +1,71 @@
+(** The daemon's event loop: one process, one [Unix.select], thousands
+    of monitored sessions.
+
+    No thread-per-connection: every socket is non-blocking and the loop
+    multiplexes them in {!tick}s.  Each tick
+
+    + accepts new session and control connections (politely rejecting
+      writers past the max-sessions cap),
+    + services every readable session in {e rotated} (round-robin)
+      order, reading at most [read_budget] bytes per session per tick —
+      the fairness device: a firehose writer gets exactly one budget's
+      worth before its slower siblings are serviced, so it can saturate
+      the daemon's spare capacity but never starve anyone,
+    + answers control-socket queries ({!Control}),
+    + evicts idle sessions ({!Registry.sweep_idle}).
+
+    {!run} ticks until a drain is requested (SIGTERM, or
+    {!request_drain} from tests), then performs the {!Drain} and
+    returns the aggregate exit code.  {!tick} is public so tests can
+    drive the daemon deterministically in-process, with an injected
+    clock and no signals. *)
+
+type address =
+  | Unix_path of string  (** a Unix-domain listening socket *)
+  | Tcp of int  (** TCP on 127.0.0.1 *)
+
+type config = {
+  address : address;
+  control : string option;
+      (** Unix-domain control socket path; [None] disables [stats] *)
+  session : Session.config;
+  max_sessions : int;
+  idle_timeout : float;  (** seconds; [0.] = never evict *)
+  read_budget : int;  (** bytes per session per tick *)
+  log : string -> unit;
+}
+
+val default_read_budget : int
+(** 64 KiB. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Binds the listening and control sockets (stale socket files are
+    replaced).  [Error] if either cannot be bound. *)
+
+val tick : ?timeout:float -> t -> unit
+(** One select round (default timeout 0.25 s).  Returns early on
+    [EINTR] so a signal-triggered drain request is honoured promptly.
+    Performs the drain itself if one is pending. *)
+
+val run : t -> int
+(** Tick until drained; the aggregate exit code per {!Drain}. *)
+
+val request_drain : t -> unit
+(** Signal-safe: may be called from a [Sys.Signal_handle]. *)
+
+val finished : t -> bool
+val exit_code : t -> int
+
+val registry : t -> Registry.t
+val counters : t -> Control.counters
+val drain_result : t -> Drain.result option
+
+val address_string : t -> string
+(** The bound listen address, printable ([unix:PATH] / [tcp:PORT] with
+    the actual port after binding port [0]). *)
+
+val close : t -> unit
+(** Release sockets and unlink socket paths (idempotent); used by tests
+    and the post-drain path. *)

@@ -1,0 +1,70 @@
+module M = Telemetry.Metrics
+
+let m_evictions = M.counter "serve.evictions"
+
+type t = {
+  sessions : (string, Session.t) Hashtbl.t;
+  r_max_sessions : int;
+  r_idle_timeout : float;
+}
+
+let create ?(max_sessions = 1024) ?(idle_timeout = 300.0) () =
+  if max_sessions < 1 then invalid_arg "Registry.create: max_sessions < 1";
+  if idle_timeout < 0.0 then invalid_arg "Registry.create: negative idle_timeout";
+  { sessions = Hashtbl.create 64;
+    r_max_sessions = max_sessions;
+    r_idle_timeout = idle_timeout }
+
+let max_sessions t = t.r_max_sessions
+let idle_timeout t = t.r_idle_timeout
+
+let find t sid = Hashtbl.find_opt t.sessions sid
+let mem t sid = Hashtbl.mem t.sessions sid
+
+let add t s =
+  let sid = Session.id s in
+  if sid = "" then Error "session has no id"
+  else if Hashtbl.mem t.sessions sid then
+    Error (Printf.sprintf "session %S already registered" sid)
+  else begin
+    Hashtbl.replace t.sessions sid s;
+    Ok ()
+  end
+
+let remove t sid = Hashtbl.remove t.sessions sid
+
+let connected_count t =
+  Hashtbl.fold
+    (fun _ s acc -> if Session.connected s then acc + 1 else acc)
+    t.sessions 0
+
+let total t = Hashtbl.length t.sessions
+
+let has_capacity t ~pending = connected_count t + pending < t.r_max_sessions
+
+let all t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+  |> List.sort (fun a b -> String.compare (Session.id a) (Session.id b))
+
+let sweep_idle t ~now =
+  if t.r_idle_timeout <= 0.0 then []
+  else begin
+    let stale =
+      List.filter
+        (fun s -> now -. Session.last_activity s > t.r_idle_timeout)
+        (all t)
+    in
+    List.iter
+      (fun s ->
+        (* An evicted tenant keeps its crash safety: persist what we
+           hold before dropping the in-memory state. *)
+        (match Session.state s with
+        | Session.Streaming | Session.Disconnected ->
+            ignore (Session.write_checkpoint s)
+        | Session.Handshaking | Session.Done | Session.Failed -> ());
+        Session.close s;
+        Hashtbl.remove t.sessions (Session.id s);
+        if M.enabled () then M.incr m_evictions)
+      stale;
+    stale
+  end

@@ -1,0 +1,48 @@
+(** The daemon's session registry: create/lookup/evict with an idle
+    timeout and a max-sessions cap.
+
+    The registry owns every session that completed its hello handshake
+    — connected (streaming) ones, parked [Disconnected] ones awaiting a
+    reconnect, and recently finished ones kept around so [jmpax stats]
+    can report their verdicts.  Capacity ({!has_capacity}) is counted
+    over {e connections}, so parked and finished sessions never block a
+    new writer; the idle sweep reclaims everything eventually. *)
+
+type t
+
+val create : ?max_sessions:int -> ?idle_timeout:float -> unit -> t
+(** [max_sessions] (default 1024) caps concurrently {e connected}
+    sessions — the polite-rejection bound; [idle_timeout] (default 300
+    s, [0.] = never) is how long a session may sit without traffic
+    before {!sweep_idle} evicts it. *)
+
+val max_sessions : t -> int
+val idle_timeout : t -> float
+
+val find : t -> string -> Session.t option
+val mem : t -> string -> bool
+
+val add : t -> Session.t -> (unit, string) result
+(** Registers a session under its id; [Error] on a duplicate id (the
+    caller decides busy-vs-resume before calling). *)
+
+val remove : t -> string -> unit
+
+val connected_count : t -> int
+(** Sessions currently holding a connection (excludes parked and
+    finished ones). *)
+
+val total : t -> int
+
+val has_capacity : t -> pending:int -> bool
+(** Room for one more connection, counting the loop's [pending]
+    not-yet-handshaken connections against the cap too. *)
+
+val all : t -> Session.t list
+(** Sorted by id — the deterministic order of rollups and drains. *)
+
+val sweep_idle : t -> now:float -> Session.t list
+(** Remove and return every session idle past the timeout.  Sessions
+    evicted while still connected (or parked with live analyzer state)
+    get a best-effort checkpoint via {!Session.write_checkpoint} first,
+    so an evicted tenant can still reconnect and resume from disk. *)

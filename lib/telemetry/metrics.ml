@@ -202,11 +202,19 @@ let hist_nonempty_buckets h =
   done;
   !out
 
-let to_text () =
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+  | Series s -> s.s_name
+
+let to_text_filtered keep =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "# jmpax telemetry metrics (zero-valued metrics omitted)\n";
   List.iter
     (fun m ->
+      if not (keep (metric_name m)) then ()
+      else
       match m with
       | Counter c ->
           let v = Atomic.get c.c in
@@ -249,6 +257,8 @@ let to_text () =
           end)
     (all_metrics ());
   Buffer.contents buf
+
+let to_text () = to_text_filtered (fun _ -> true)
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in

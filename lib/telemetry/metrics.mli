@@ -79,5 +79,11 @@ val to_text : unit -> string
 (** Human-readable dump, one metric per line, sorted by name.  Metrics
     that were never touched since the last {!reset} are omitted. *)
 
+val to_text_filtered : (string -> bool) -> string
+(** {!to_text} restricted to the metrics whose name satisfies the
+    predicate — the rollup exporter of the serve daemon's control
+    socket, which returns only its own [serve.*] / [stream.*] slices
+    instead of the whole registry. *)
+
 val to_json : unit -> string
 (** The same dump as a JSON object keyed by metric kind. *)

@@ -1,0 +1,642 @@
+(* The multi-tenant observer daemon: registry lifecycle, the handshake,
+   fair scheduling under a firehose, per-session backpressure isolation,
+   SIGTERM drain with per-session checkpoints, and resume parity — a
+   drained-and-resumed session's verdict is byte-identical to never
+   having been interrupted.
+
+   Everything runs in one process with no threads and no signals: the
+   daemon's [Serve.Loop.tick] is public and its clock injectable, so the
+   tests alternate nonblocking client I/O with explicit ticks. *)
+
+module W = Jmpax.Wire
+module L = Serve.Loop
+module S = Serve.Session
+
+let msg ?(eid = 0) tid var value clock =
+  Trace.Message.make ~eid ~tid ~var ~value ~mvc:(Vclock.of_list clock)
+
+(* {1 Fixtures} *)
+
+(* The paper's landing example, recorded through the full pipeline so
+   stream-path parity is meaningful. *)
+let landing_doc, landing_expected =
+  let program = Tml.Programs.landing_bounded in
+  let spec = Pastltl.Formula.landing_spec in
+  let config =
+    Jmpax.Config.default ()
+    |> Jmpax.Config.with_sched (Tml.Sched.of_script Tml.Programs.landing_observed)
+  in
+  let out = Jmpax.Pipeline.check ~config ~spec program in
+  let relevant = out.Jmpax.Pipeline.relevant_vars in
+  let header =
+    { W.nthreads = List.length program.Tml.Ast.threads;
+      init =
+        List.filter (fun (x, _) -> List.mem x relevant) program.Tml.Ast.shared }
+  in
+  let doc = W.Framed.encode header out.Jmpax.Pipeline.run.Tml.Vm.messages in
+  (doc, Jmpax.Pipeline.verdict_line (Jmpax.Pipeline.predicted_violation out))
+
+let landing_spec = Pastltl.Formula.landing_spec
+let landing_fp = Jmpax.Checkpoint.fingerprint landing_spec
+
+(* A long single-thread chain: linear analyzer cost, arbitrary size. *)
+let chain_doc n =
+  let header = { W.nthreads = 1; init = [ ("x", 1) ] } in
+  let ms = List.init n (fun i -> msg ~eid:i 0 "x" 1 [ i + 1 ]) in
+  W.Framed.encode header ms
+
+(* A single-thread stream delivered in reverse: every message but the
+   last is out of order, the backpressure worst case. *)
+let reversed_doc n =
+  let header = { W.nthreads = 1; init = [ ("x", 0) ] } in
+  let ms = List.init n (fun i -> msg 0 "x" (i + 1) [ i + 1 ]) in
+  W.Framed.encode header (List.rev ms)
+
+let true_fp = Jmpax.Checkpoint.fingerprint Pastltl.Formula.True
+
+(* {1 The in-process harness} *)
+
+let clock = ref 0.0
+
+let temp_dir () =
+  let path = Filename.temp_file "jmpax_serve" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let default_session ?(spec = Pastltl.Formula.True) ?max_buffered
+    ?checkpoint_dir ?(recovery = Jmpax.Config.Fail) () =
+  { S.spec;
+    spec_fp = Jmpax.Checkpoint.fingerprint spec;
+    max_buffered;
+    jobs = 1;
+    recovery;
+    checkpoint_dir;
+    checkpoint_every = 1;
+    now = (fun () -> !clock) }
+
+let with_server ?spec ?max_buffered ?checkpoint_dir ?recovery
+    ?(max_sessions = 16) ?(idle_timeout = 0.0) ?(read_budget = L.default_read_budget)
+    f =
+  clock := 0.0;
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "serve.sock" in
+  let config =
+    { L.address = L.Unix_path sock;
+      control = Some (sock ^ ".ctl");
+      session = default_session ?spec ?max_buffered ?checkpoint_dir ?recovery ();
+      max_sessions;
+      idle_timeout;
+      read_budget;
+      log = ignore }
+  in
+  match L.create config with
+  | Error msg -> Alcotest.failf "server: %s" msg
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () ->
+          L.close t;
+          rm_rf dir)
+        (fun () -> f t sock)
+
+let tick t = L.tick ~timeout:0.01 t
+let ticks ?(n = 5) t = for _ = 1 to n do tick t done
+
+(* Nonblocking client socket; the server only progresses on [tick]. *)
+let connect path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  Unix.set_nonblock sock;
+  sock
+
+let send t sock data =
+  let data = Bytes.of_string data in
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  let stall = ref 0 in
+  while !pos < len && !stall < 1000 do
+    match Unix.write sock data !pos (len - !pos) with
+    | n ->
+        pos := !pos + n;
+        tick t
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        incr stall;
+        tick t
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+        (* Receiver hung up (e.g. it was disconnected for backpressure):
+           the remaining bytes have nowhere to go. *)
+        stall := 1000
+  done
+
+(* Read one '\n'-terminated line, ticking the server while waiting.
+   [None] on EOF before any byte. *)
+let recv_line t sock =
+  let buf = Buffer.create 64 in
+  let byte = Bytes.create 1 in
+  let rec go tries =
+    if tries = 0 then
+      Alcotest.failf "recv_line: no line after %d ticks (got %S)" 2000
+        (Buffer.contents buf)
+    else
+      match Unix.read sock byte 0 1 with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | _ ->
+          if Bytes.get byte 0 = '\n' then Some (Buffer.contents buf)
+          else begin
+            Buffer.add_char buf (Bytes.get byte 0);
+            go tries
+          end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          tick t;
+          go (tries - 1)
+  in
+  go 2000
+
+let recv_eof t sock =
+  let byte = Bytes.create 1 in
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "recv_eof: connection still open"
+    else
+      match Unix.read sock byte 0 1 with
+      | 0 -> ()
+      | _ -> go tries
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          tick t;
+          go (tries - 1)
+  in
+  go 2000
+
+let hello ?(version = "1") id fp = Printf.sprintf "jmpax-serve %s %s %s\n" version id fp
+
+(* Handshake a fresh client: connect, hello, expect [ok 0]. *)
+let open_session t sock_path ~id ~fp =
+  let c = connect sock_path in
+  send t c (hello id fp);
+  (match recv_line t c with
+  | Some ack when String.length ack >= 2 && String.sub ack 0 2 = "ok" -> ()
+  | Some other -> Alcotest.failf "expected ok ack, got %S" other
+  | None -> Alcotest.fail "no ack");
+  c
+
+(* {1 Registry unit tests} *)
+
+let mk_session ?(cfg = default_session ()) () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  (S.create cfg a, b)
+
+let test_registry_lifecycle () =
+  let reg = Serve.Registry.create ~max_sessions:2 ~idle_timeout:10.0 () in
+  let s1, peer1 = mk_session () in
+  (match Serve.Registry.add reg s1 with
+  | Error e -> Alcotest.(check string) "no id yet" "session has no id" e
+  | Ok () -> Alcotest.fail "added a session without an id");
+  ignore (S.start_fresh s1 ~id:"a" ~rest:"");
+  Alcotest.(check bool) "add" true (Serve.Registry.add reg s1 = Ok ());
+  (match Serve.Registry.add reg s1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate id accepted");
+  Alcotest.(check bool) "find" true
+    (match Serve.Registry.find reg "a" with Some s -> s == s1 | None -> false);
+  Alcotest.(check bool) "mem" true (Serve.Registry.mem reg "a");
+  Alcotest.(check int) "connected" 1 (Serve.Registry.connected_count reg);
+  Alcotest.(check bool) "capacity with 0 pending" true
+    (Serve.Registry.has_capacity reg ~pending:0);
+  Alcotest.(check bool) "no capacity with 1 pending" false
+    (Serve.Registry.has_capacity reg ~pending:1);
+  Serve.Registry.remove reg "a";
+  Alcotest.(check bool) "removed" false (Serve.Registry.mem reg "a");
+  Unix.close peer1;
+  S.close s1
+
+let test_registry_idle_sweep () =
+  clock := 0.0;
+  let reg = Serve.Registry.create ~max_sessions:8 ~idle_timeout:5.0 () in
+  let s, peer = mk_session () in
+  ignore (S.start_fresh s ~id:"idle" ~rest:"");
+  Alcotest.(check bool) "add" true (Serve.Registry.add reg s = Ok ());
+  Alcotest.(check (list string)) "young session stays" []
+    (List.map S.id (Serve.Registry.sweep_idle reg ~now:4.0));
+  let evicted = Serve.Registry.sweep_idle reg ~now:6.0 in
+  Alcotest.(check (list string)) "stale session evicted" [ "idle" ]
+    (List.map S.id evicted);
+  Alcotest.(check bool) "gone" false (Serve.Registry.mem reg "idle");
+  Alcotest.(check bool) "socket closed by eviction" false (S.connected s);
+  Unix.close peer
+
+(* {1 Handshake} *)
+
+let test_handshake_fresh_and_verdict () =
+  with_server ~spec:landing_spec (fun t sock ->
+      let c = open_session t sock ~id:"w1" ~fp:landing_fp in
+      send t c landing_doc;
+      (match recv_line t c with
+      | Some verdict ->
+          Alcotest.(check string) "verdict parity with jmpax check"
+            landing_expected verdict
+      | None -> Alcotest.fail "no verdict line");
+      recv_eof t c;
+      Unix.close c;
+      let s = Option.get (Serve.Registry.find (L.registry t) "w1") in
+      Alcotest.(check bool) "session done" true (S.state s = S.Done);
+      Alcotest.(check int) "clean exit class" 0 (S.exit_code s))
+
+let expect_reject t sock line expected_substr =
+  let c = connect sock in
+  send t c line;
+  (match recv_line t c with
+  | Some reply ->
+      let is_reject =
+        String.length reply >= 6 && String.sub reply 0 6 = "reject"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "reject (%s) in %S" expected_substr reply)
+        true is_reject
+  | None -> Alcotest.fail "no reject line");
+  recv_eof t c;
+  Unix.close c
+
+let test_handshake_rejections () =
+  with_server ~spec:landing_spec (fun t sock ->
+      expect_reject t sock (hello "bad id!" "-") "bad id";
+      expect_reject t sock (hello "w1" "wrong-fp") "fp mismatch";
+      expect_reject t sock "how do you do\n" "bad hello";
+      (* Busy: a second hello for a connected session. *)
+      let c1 = open_session t sock ~id:"w1" ~fp:"-" in
+      expect_reject t sock (hello "w1" "-") "busy";
+      Unix.close c1;
+      ticks t;
+      (* Completed: the id of a finished session is not reusable. *)
+      let c2 = open_session t sock ~id:"w2" ~fp:landing_fp in
+      send t c2 landing_doc;
+      ignore (recv_line t c2);
+      recv_eof t c2;
+      Unix.close c2;
+      expect_reject t sock (hello "w2" "-") "already completed")
+
+let test_server_full_polite_rejection () =
+  with_server ~max_sessions:1 (fun t sock ->
+      let c1 = open_session t sock ~id:"only" ~fp:"-" in
+      let c2 = connect sock in
+      ticks t;
+      (match recv_line t c2 with
+      | Some reply ->
+          Alcotest.(check string) "polite rejection" "reject server full" reply
+      | None -> Alcotest.fail "no rejection line");
+      recv_eof t c2;
+      Unix.close c2;
+      Alcotest.(check int) "reject counted" 1 (L.counters t).Serve.Control.rejects;
+      (* The incumbent is unharmed. *)
+      send t c1 (chain_doc 5);
+      (match recv_line t c1 with
+      | Some v ->
+          Alcotest.(check string) "incumbent verdict"
+            (Jmpax.Pipeline.verdict_line false) v
+      | None -> Alcotest.fail "incumbent lost");
+      Unix.close c1)
+
+(* {1 Fair scheduling} *)
+
+(* A firehose writer shoves a large stream as fast as the socket
+   accepts; a drip writer trickles one tiny chunk per tick.  With a
+   small read budget, the drip session must keep making progress while
+   the firehose is being served — the round-robin budget is the only
+   thing standing between it and starvation. *)
+let test_fair_scheduling_no_starvation () =
+  with_server ~read_budget:512 (fun t sock ->
+      let fire = open_session t sock ~id:"firehose" ~fp:true_fp in
+      let drip = open_session t sock ~id:"drip" ~fp:true_fp in
+      let fire_doc = chain_doc 4000 in
+      let drip_doc = chain_doc 20 in
+      (* Interleave: the firehose pushes everything; the drip feeds a
+         few bytes between bursts. *)
+      let drip_pos = ref 0 in
+      let fire_data = Bytes.of_string fire_doc in
+      let fire_pos = ref 0 in
+      let fire_len = Bytes.length fire_data in
+      let guard = ref 0 in
+      while (!fire_pos < fire_len || !drip_pos < String.length drip_doc)
+            && !guard < 100_000 do
+        incr guard;
+        (if !fire_pos < fire_len then
+           match Unix.write fire fire_data !fire_pos (fire_len - !fire_pos) with
+           | n -> fire_pos := !fire_pos + n
+           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+             -> ());
+        (if !drip_pos < String.length drip_doc then
+           let chunk = min 3 (String.length drip_doc - !drip_pos) in
+           match
+             Unix.write drip
+               (Bytes.of_string (String.sub drip_doc !drip_pos chunk))
+               0 chunk
+           with
+           | n -> drip_pos := !drip_pos + n
+           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+             -> ());
+        tick t;
+        (* The drip session is never starved: whenever the firehose has
+           made progress, the drip's consumed events stay within reach
+           of its own (tiny) stream — it is serviced every tick. *)
+        ()
+      done;
+      (match recv_line t drip with
+      | Some v ->
+          Alcotest.(check string) "drip verdict"
+            (Jmpax.Pipeline.verdict_line false) v
+      | None -> Alcotest.fail "drip session starved: no verdict");
+      (match recv_line t fire with
+      | Some v ->
+          Alcotest.(check string) "firehose verdict"
+            (Jmpax.Pipeline.verdict_line false) v
+      | None -> Alcotest.fail "firehose lost");
+      let reg = L.registry t in
+      let events id =
+        S.events (Option.get (Serve.Registry.find reg id))
+      in
+      Alcotest.(check int) "drip fully consumed" 20 (events "drip");
+      Alcotest.(check int) "firehose fully consumed" 4000 (events "firehose");
+      Unix.close fire;
+      Unix.close drip)
+
+(* {1 Backpressure isolation} *)
+
+let test_backpressure_disconnects_only_offender () =
+  with_server ~max_buffered:2 (fun t sock ->
+      let good = open_session t sock ~id:"good" ~fp:true_fp in
+      let bad = open_session t sock ~id:"bad" ~fp:true_fp in
+      (* The offender: a reversed stream that must buffer everything. *)
+      send t bad (reversed_doc 8);
+      ticks t ~n:20;
+      let reg = L.registry t in
+      let bad_s = Option.get (Serve.Registry.find reg "bad") in
+      Alcotest.(check bool) "offender failed" true (S.state bad_s = S.Failed);
+      Alcotest.(check int) "offender exit class 4" 4 (S.exit_code bad_s);
+      Alcotest.(check bool) "offender disconnected" false (S.connected bad_s);
+      (* The sibling streams on, completely unaffected. *)
+      send t good (chain_doc 50);
+      (match recv_line t good with
+      | Some v ->
+          Alcotest.(check string) "sibling verdict"
+            (Jmpax.Pipeline.verdict_line false) v
+      | None -> Alcotest.fail "sibling was disturbed");
+      let good_s = Option.get (Serve.Registry.find reg "good") in
+      Alcotest.(check bool) "sibling done" true (S.state good_s = S.Done);
+      Unix.close good;
+      Unix.close bad)
+
+(* {1 In-memory resume (disconnect / reconnect)} *)
+
+let test_reconnect_resumes_in_memory () =
+  with_server ~spec:landing_spec (fun t sock ->
+      let half = String.length landing_doc / 2 in
+      let c1 = open_session t sock ~id:"w" ~fp:landing_fp in
+      send t c1 (String.sub landing_doc 0 half);
+      ticks t;
+      Unix.close c1;
+      ticks t;
+      let s = Option.get (Serve.Registry.find (L.registry t) "w") in
+      Alcotest.(check bool) "parked" true (S.state s = S.Disconnected);
+      Alcotest.(check int) "disconnect counted" 1
+        (L.counters t).Serve.Control.disconnects;
+      (* Reconnect with the same id; replay from byte 0 as the protocol
+         demands; the daemon discards the prefix it already holds. *)
+      let c2 = connect sock in
+      send t c2 (hello "w" landing_fp);
+      (match recv_line t c2 with
+      | Some ack ->
+          Alcotest.(check string) "ack announces the discard"
+            (Printf.sprintf "ok %d" half) ack
+      | None -> Alcotest.fail "no resume ack");
+      send t c2 landing_doc;
+      (match recv_line t c2 with
+      | Some verdict ->
+          Alcotest.(check string) "verdict parity after reconnect"
+            landing_expected verdict
+      | None -> Alcotest.fail "no verdict after resume");
+      Alcotest.(check int) "resume counted" 1
+        (L.counters t).Serve.Control.resumes;
+      Unix.close c2)
+
+(* {1 Drain: checkpoint, exit codes, resume parity} *)
+
+let test_drain_checkpoints_and_resume_parity () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let half = String.length landing_doc / 2 in
+  (* Phase 1: feed half the stream, then drain (the SIGTERM path). *)
+  with_server ~spec:landing_spec ~checkpoint_dir:dir (fun t sock ->
+      let c = open_session t sock ~id:"w" ~fp:landing_fp in
+      send t c (String.sub landing_doc 0 half);
+      ticks t;
+      L.request_drain t;
+      tick t;
+      Alcotest.(check bool) "finished" true (L.finished t);
+      Alcotest.(check int) "clean drain exit" 0 (L.exit_code t);
+      let res = Option.get (L.drain_result t) in
+      Alcotest.(check int) "one session drained" 1 res.Serve.Drain.dr_sessions;
+      Alcotest.(check int) "one checkpoint" 1 res.Serve.Drain.dr_checkpointed;
+      Alcotest.(check bool) "checkpoint file exists" true
+        (Sys.file_exists (Filename.concat dir "w.ckpt"));
+      Unix.close c);
+  (* Phase 2: a fresh daemon (the restart) resumes from the checkpoint
+     file; the writer replays from byte 0. *)
+  with_server ~spec:landing_spec ~checkpoint_dir:dir (fun t sock ->
+      let c = connect sock in
+      send t c (hello "w" landing_fp);
+      (match recv_line t c with
+      | Some ack -> (
+          match String.split_on_char ' ' ack with
+          | [ "ok"; n ] ->
+              let n = int_of_string n in
+              Alcotest.(check bool)
+                (Printf.sprintf "resume offset %d in (0, %d]" n half)
+                true
+                (n > 0 && n <= half)
+          | _ -> Alcotest.failf "bad resume ack %S" ack)
+      | None -> Alcotest.fail "no resume ack");
+      send t c landing_doc;
+      (match recv_line t c with
+      | Some verdict ->
+          Alcotest.(check string)
+            "verdict parity: drain + restart + resume = uninterrupted"
+            landing_expected verdict
+      | None -> Alcotest.fail "no verdict after checkpoint resume");
+      Alcotest.(check int) "disk resume counted" 1
+        (L.counters t).Serve.Control.resumes;
+      Unix.close c)
+
+let test_drain_failure_isolated_per_session () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Sabotage exactly one session's checkpoint: a directory squatting on
+     its <id>.ckpt path makes the atomic rename fail. *)
+  Unix.mkdir (Filename.concat dir "victim.ckpt") 0o700;
+  with_server ~spec:landing_spec ~checkpoint_dir:dir (fun t sock ->
+      let half = String.length landing_doc / 2 in
+      let v = open_session t sock ~id:"victim" ~fp:landing_fp in
+      let s = open_session t sock ~id:"survivor" ~fp:landing_fp in
+      send t v (String.sub landing_doc 0 half);
+      send t s (String.sub landing_doc 0 half);
+      ticks t;
+      L.request_drain t;
+      tick t;
+      Alcotest.(check bool) "finished" true (L.finished t);
+      Alcotest.(check int) "aggregate exit code 6" 6 (L.exit_code t);
+      let res = Option.get (L.drain_result t) in
+      Alcotest.(check int) "both sessions drained" 2 res.Serve.Drain.dr_sessions;
+      Alcotest.(check int) "survivor checkpointed" 1
+        res.Serve.Drain.dr_checkpointed;
+      Alcotest.(check (list string)) "only the victim failed" [ "victim" ]
+        (List.map fst res.Serve.Drain.dr_failed);
+      Alcotest.(check bool) "survivor checkpoint on disk" true
+        (Sys.file_exists (Filename.concat dir "survivor.ckpt"));
+      let victim = Option.get (Serve.Registry.find (L.registry t) "victim") in
+      Alcotest.(check int) "victim marked exit class 6" 6 (S.exit_code victim);
+      Unix.close v;
+      Unix.close s)
+
+(* {1 Idle eviction through the loop} *)
+
+let test_idle_eviction_checkpoints () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_server ~spec:landing_spec ~checkpoint_dir:dir ~idle_timeout:10.0
+    (fun t sock ->
+      let half = String.length landing_doc / 2 in
+      let c = open_session t sock ~id:"idler" ~fp:landing_fp in
+      send t c (String.sub landing_doc 0 half);
+      ticks t;
+      clock := 100.0;
+      ticks t;
+      Alcotest.(check bool) "evicted" false
+        (Serve.Registry.mem (L.registry t) "idler");
+      Alcotest.(check int) "eviction counted" 1
+        (L.counters t).Serve.Control.evictions;
+      Alcotest.(check bool) "evicted tenant keeps its crash safety" true
+        (Sys.file_exists (Filename.concat dir "idler.ckpt"));
+      Unix.close c)
+
+(* {1 Control socket} *)
+
+let test_control_stats () =
+  with_server ~spec:landing_spec (fun t sock ->
+      let c = open_session t sock ~id:"w" ~fp:landing_fp in
+      send t c landing_doc;
+      ignore (recv_line t c);
+      let ctl = connect (sock ^ ".ctl") in
+      send t ctl "stats\n";
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 256 in
+      let rec drain tries =
+        if tries = 0 then Alcotest.fail "control reply never completed"
+        else
+          match Unix.read ctl chunk 0 256 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain tries
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              tick t;
+              drain (tries - 1)
+      in
+      drain 2000;
+      let reply = Buffer.contents buf in
+      let has needle =
+        let nl = String.length needle and rl = String.length reply in
+        let rec go i = i + nl <= rl && (String.sub reply i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "preamble" true (has "jmpax-serve 1");
+      Alcotest.(check bool) "accepts counter" true (has "serve.accepts 1");
+      Alcotest.(check bool) "per-session line" true (has "session id=w state=done");
+      Alcotest.(check bool) "events rollup" true (has "serve.events_total");
+      Unix.close ctl;
+      Unix.close c)
+
+(* {1 The single-accept listener (regression)} *)
+
+(* [jmpax stream listen-unix:PATH] accepts exactly one writer; the
+   listening socket must be closed and unlinked the moment the session
+   socket is accepted, so a second writer is refused instead of queueing
+   forever against a leaked listener. *)
+let test_listen_once_closes_listener () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "one.sock" in
+  let writer = Thread.create (fun () ->
+      (* Dial until the listener is up, then hold the session open long
+         enough for the second-connect probe below. *)
+      let rec dial tries =
+        let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect s (Unix.ADDR_UNIX path) with
+        | () -> s
+        | exception Unix.Unix_error _ ->
+            Unix.close s;
+            if tries = 0 then failwith "listener never appeared"
+            else begin
+              ignore (Unix.select [] [] [] 0.01);
+              dial (tries - 1)
+            end
+      in
+      let s = dial 500 in
+      ignore (Unix.select [] [] [] 0.3);
+      Unix.close s)
+      ()
+  in
+  (match Jmpax.Transport.listen_once path with
+  | Error msg -> Alcotest.failf "listen_once: %s" msg
+  | Ok transport ->
+      (* The one writer is connected; the listener must already be gone:
+         its socket path unlinked, a fresh connect refused. *)
+      Alcotest.(check bool) "socket path unlinked after accept" false
+        (Sys.file_exists path);
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () ->
+          Unix.close probe;
+          Alcotest.fail "second writer connected: the listener leaked"
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+          Unix.close probe);
+      Jmpax.Transport.close transport);
+  Thread.join writer
+
+let () =
+  Alcotest.run "serve"
+    [ ( "registry",
+        [ Alcotest.test_case "lifecycle" `Quick test_registry_lifecycle;
+          Alcotest.test_case "idle sweep" `Quick test_registry_idle_sweep ] );
+      ( "handshake",
+        [ Alcotest.test_case "fresh session, verdict parity" `Quick
+            test_handshake_fresh_and_verdict;
+          Alcotest.test_case "rejections" `Quick test_handshake_rejections;
+          Alcotest.test_case "server full is polite" `Quick
+            test_server_full_polite_rejection ] );
+      ( "scheduling",
+        [ Alcotest.test_case "no starvation under a firehose" `Quick
+            test_fair_scheduling_no_starvation ] );
+      ( "isolation",
+        [ Alcotest.test_case "backpressure disconnects only the offender"
+            `Quick test_backpressure_disconnects_only_offender ] );
+      ( "resume",
+        [ Alcotest.test_case "reconnect resumes in memory" `Quick
+            test_reconnect_resumes_in_memory;
+          Alcotest.test_case "drain, restart, resume: verdict parity" `Quick
+            test_drain_checkpoints_and_resume_parity ] );
+      ( "drain",
+        [ Alcotest.test_case "checkpoint failure is per-session" `Quick
+            test_drain_failure_isolated_per_session;
+          Alcotest.test_case "idle eviction checkpoints first" `Quick
+            test_idle_eviction_checkpoints ] );
+      ( "control",
+        [ Alcotest.test_case "stats rollup" `Quick test_control_stats ] );
+      ( "transport",
+        [ Alcotest.test_case "listen-once closes the listener" `Quick
+            test_listen_once_closes_listener ] ) ]
