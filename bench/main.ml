@@ -10,7 +10,7 @@
 
    Usage:
      dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- E5      # one experiment (E1..E18)
+     dune exec bench/main.exe -- E5      # one experiment (E1..E20)
      dune exec bench/main.exe -- perf    # only the Bechamel timing runs
 
    Add [--json FILE] to also write every recorded (experiment, metric,
@@ -1123,6 +1123,93 @@ let e18 ?(smoke = false) () =
     ((ratio -. 1.) *. 100.);
   ratio <= 1.15
 
+(* {1 E20: wire v3 — delta-encoded clocks, bytes and decode throughput} *)
+
+(* The workload the delta encoding is built for: a wide system where
+   each thread's clock advances mostly in its own component, with an
+   occasional join of one peer — vector clocks are wide but change in
+   only a couple of entries between a thread's consecutive messages.
+   A single densely-advancing shared clock would defeat deltas (every
+   entry changes every message); that shape is E17's v2 territory. *)
+let e20_trace ~nthreads ~n =
+  let header = { Jmpax.Wire.nthreads; init = [ ("x", 0) ] } in
+  let clocks = Array.init nthreads (fun _ -> Array.make nthreads 0) in
+  let ms =
+    List.init n (fun i ->
+        let tid = i * 7 mod nthreads in
+        clocks.(tid).(tid) <- clocks.(tid).(tid) + 1;
+        if i mod 8 = 0 then begin
+          let peer = (tid + 1 + (i mod (nthreads - 1))) mod nthreads in
+          clocks.(tid).(peer) <- max clocks.(tid).(peer) clocks.(peer).(peer)
+        end;
+        Trace.Message.make ~eid:i ~tid ~var:"x" ~value:i
+          ~mvc:(Vclock.of_array (Array.copy clocks.(tid))))
+  in
+  (header, ms)
+
+let e20 ?(smoke = false) () =
+  section "E20" "Wire v3: delta-encoded binary clocks vs framed v2";
+  let nthreads = 64 and n = if smoke then 4_000 else 40_000 in
+  let header, ms = e20_trace ~nthreads ~n in
+  let v2 = Jmpax.Wire.Framed.encode header ms in
+  let v3 = Jmpax.Wire.Framed3.encode header ms in
+  (* Correctness before timing: the encodings must decode to the same
+     messages. *)
+  (match (Jmpax.Wire.decode_framed v2, Jmpax.Wire.decode_framed v3) with
+  | Ok (_, a), Ok (_, b) when List.length a = n && List.length b = n ->
+      List.iter2
+        (fun (x : Trace.Message.t) (y : Trace.Message.t) ->
+          if
+            x.tid <> y.tid || x.var <> y.var || x.value <> y.value
+            || not (Vclock.equal x.mvc y.mvc)
+          then failwith "E20: v2 and v3 decode to different messages")
+        a b
+  | _ -> failwith "E20: codecs disagree on the synthetic trace");
+  let bytes_ratio = float_of_int (String.length v2) /. float_of_int (String.length v3) in
+  Printf.printf
+    "trace: %d messages x %d threads; v2 %d bytes, v3 %d bytes (%.2fx smaller)\n"
+    n nthreads (String.length v2) (String.length v3) bytes_ratio;
+  record ~experiment:"E20" ~metric:"v2_bytes" (float_of_int (String.length v2));
+  record ~experiment:"E20" ~metric:"v3_bytes" (float_of_int (String.length v3));
+  record ~experiment:"E20" ~metric:"bytes_ratio_v2_over_v3" bytes_ratio;
+  (* Decode throughput through the incremental reader in 64 KiB chunks
+     (the [jmpax stream] hot path), compared in events/s — the quantity
+     the monitor consumes; MB/s would flatter v2 for carrying more
+     bytes per event. *)
+  let quota = if smoke then 0.15 else 0.5 in
+  let results =
+    measure ~quota
+      [ Test.make ~name:"v2 reader"
+          (Staged.stage (fun () -> ignore (drain_framed ~chunk:65536 v2)));
+        Test.make ~name:"v3 reader"
+          (Staged.stage (fun () -> ignore (drain_framed ~chunk:65536 v3))) ]
+  in
+  let eps = ref [] in
+  Printf.printf "%-12s %12s %14s %10s\n" "codec" "per doc" "events/s" "MB/s";
+  List.iter
+    (fun (name, ns) ->
+      let bytes = if name = "v2 reader" then String.length v2 else String.length v3 in
+      let events_per_s = float_of_int n /. ns *. 1e9 in
+      let mbps = float_of_int bytes /. ns *. 1e3 in
+      Printf.printf "%-12s %s %14.0f %9.1f\n" name (pp_ns ns) events_per_s mbps;
+      let key = String.map (fun c -> if c = ' ' then '_' else c) name in
+      record ~experiment:"E20" ~metric:(key ^ "_ns") ns;
+      record ~experiment:"E20" ~metric:(key ^ "_events_per_s") events_per_s;
+      record ~experiment:"E20" ~metric:(key ^ "_MB_per_s") mbps;
+      eps := (name, events_per_s) :: !eps)
+    results;
+  let speedup =
+    match (List.assoc_opt "v3 reader" !eps, List.assoc_opt "v2 reader" !eps) with
+    | Some v3e, Some v2e -> v3e /. v2e
+    | _ -> nan
+  in
+  record ~experiment:"E20" ~metric:"decode_speedup_v3_over_v2" speedup;
+  Printf.printf
+    "verdict: v3 is %.2fx smaller (gate: >= 3x at width %d) and decodes %.2fx \
+     faster in events/s (gate: >= 2x)\n"
+    bytes_ratio nthreads speedup;
+  bytes_ratio >= 3.0 && speedup >= 2.0
+
 (* {1 Driver} *)
 
 let gate_failed = ref false
@@ -1140,11 +1227,19 @@ let run_e18 ?smoke () =
     gate_failed := true
   end
 
+let run_e20 ?smoke () =
+  if not (e20 ?smoke ()) then begin
+    prerr_endline
+      "bench: E20 wire v3 gate FAILED (need >= 3x smaller and >= 2x decode events/s \
+       vs v2)";
+    gate_failed := true
+  end
+
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", fun () -> e15 ()); ("E16", fun () -> run_e16 ());
-    ("E17", e17); ("E18", fun () -> run_e18 ()) ]
+    ("E17", e17); ("E18", fun () -> run_e18 ()); ("E20", fun () -> run_e20 ()) ]
 
 let dump_metrics dest =
   let text = Telemetry.Metrics.to_text () in
@@ -1190,7 +1285,8 @@ let () =
       e1 ();
       e15 ~smoke:true ();
       run_e16 ~smoke:true ();
-      run_e18 ~smoke:true ()
+      run_e18 ~smoke:true ();
+      run_e20 ~smoke:true ()
   | ([] | [ "all" ]), false -> List.iter (fun (_, f) -> f ()) experiments
   | [ "perf" ], _ ->
       e3 ();
@@ -1203,7 +1299,7 @@ let () =
           match List.assoc_opt (String.uppercase_ascii id) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (known: E1..E18, all, perf, --smoke)\n" id;
+              Printf.eprintf "unknown experiment %s (known: E1..E20, all, perf, --smoke)\n" id;
               exit 2)
         ids);
   Option.iter write_json !json_path;

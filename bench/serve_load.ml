@@ -301,13 +301,21 @@ let e19 argv =
   let pid = spawn_daemon ~sock_path in
   let addr = Unix_sock sock_path in
   let fp = Jmpax.Checkpoint.fingerprint spec in
+  (* One unmeasured session first: the freshly forked daemon pays its
+     heap growth and analyzer warm-up on the first stream it serves,
+     which would otherwise be billed entirely to the 1-session arm. *)
+  (match run_session ~addr ~sid:"e19.warmup" ~fp ~payload with
+  | Ok v when v = expected -> ()
+  | Ok v -> failwith ("warmup: wrong verdict: " ^ v)
+  | Error e -> failwith ("warmup session failed: " ^ e));
+  let aggregate_1 = ref 0.0 in
   let aggregate_64 = ref 0.0 in
-  List.iter
-    (fun sessions ->
+  List.iteri
+    (fun arm sessions ->
       let t0 = Unix.gettimeofday () in
       let results =
         run_sessions ~addr
-          ~prefix:(Printf.sprintf "e19.n%d." sessions)
+          ~prefix:(Printf.sprintf "e19.a%d.n%d." arm sessions)
           ~sessions ~fp ~payload
       in
       let dt = Unix.gettimeofday () -. t0 in
@@ -318,11 +326,17 @@ let e19 argv =
           | Error e -> failwith ("session failed: " ^ e))
         results;
       let eps = float_of_int (sessions * !events) /. dt in
+      if sessions = 1 then aggregate_1 := max !aggregate_1 eps;
       if sessions = 64 then aggregate_64 := eps;
       Printf.printf "  %3d sessions: %.0f events/s aggregate (%.3f s, all verdicts ok)\n"
         sessions eps dt;
-      record (Printf.sprintf "sessions%d_aggregate_eps" sessions) eps)
-    [ 1; 8; 64 ];
+      if sessions <> 1 then
+        record (Printf.sprintf "sessions%d_aggregate_eps" sessions) eps)
+    (* The 1-session arm is a handful of milliseconds, so scheduling
+       noise swamps a single run: best of three is the steady-state
+       number. *)
+    [ 1; 1; 1; 8; 64 ];
+  record "sessions1_aggregate_eps" !aggregate_1;
 
   (* Graceful drain: SIGTERM, expect the documented clean exit 0. *)
   Unix.kill pid Sys.sigterm;
@@ -330,6 +344,9 @@ let e19 argv =
   let exit_code = match status with Unix.WEXITED c -> c | _ -> 255 in
   Printf.printf "  SIGTERM drain: daemon exit %d\n" exit_code;
   record "drain_exit_code" (float_of_int exit_code);
+  let ratio1 = !aggregate_1 /. baseline_eps in
+  Printf.printf "  1-session daemon vs in-process stream: %.2fx\n" ratio1;
+  record "sessions1_vs_stream_ratio" ratio1;
   let ratio = !aggregate_64 /. baseline_eps in
   Printf.printf "  64-session aggregate vs single-session stream: %.2fx\n" ratio;
   record "aggregate64_vs_stream_ratio" ratio;
@@ -341,6 +358,12 @@ let e19 argv =
      single-session stream path. *)
   if ratio < 0.5 then begin
     Printf.printf "FAIL: aggregate throughput below half the stream baseline\n";
+    exit 1
+  end;
+  (* Single-tenant overhead bar: one daemon session must stay within
+     0.6x of the in-process stream path. *)
+  if ratio1 < 0.6 then begin
+    Printf.printf "FAIL: 1-session daemon throughput below 0.6x the stream baseline\n";
     exit 1
   end
 

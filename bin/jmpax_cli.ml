@@ -236,7 +236,14 @@ let run_cmd =
                 (fun (x, _) -> List.mem x relevant_vars)
                 program.Tml.Ast.shared }
         in
-        Jmpax.Wire.write_file ~format path header r.Tml.Vm.messages;
+        (match Jmpax.Wire.write_file ~format path header r.Tml.Vm.messages with
+        | () -> ()
+        | exception Jmpax.Wire.Frame_overflow { length; limit; _ } ->
+            Format.eprintf
+              "error: a clock this wide encodes into a %d-byte frame, over the \
+               %d-byte wire limit@."
+              length limit;
+            exit 3);
         Format.printf "@.%d messages written to %s@." (List.length r.Tml.Vm.messages)
           path)
   in
@@ -247,11 +254,17 @@ let run_cmd =
   in
   let format =
     Arg.(value
-         & opt (enum [ ("v1", Jmpax.Wire.V1); ("v2", Jmpax.Wire.Framed_v2) ])
+         & opt
+             (enum
+                [ ("v1", Jmpax.Wire.V1);
+                  ("v2", Jmpax.Wire.Framed_v2);
+                  ("v3", Jmpax.Wire.Binary_v3) ])
              Jmpax.Wire.Framed_v2
          & info [ "format" ] ~docv:"FMT"
-             ~doc:"Wire format for $(b,--output): $(b,v2) (framed, default) or \
-                   $(b,v1) (line-oriented text).")
+             ~doc:"Wire format for $(b,--output): $(b,v2) (framed text, default), \
+                   $(b,v3) (binary, delta-encoded clocks) or $(b,v1) \
+                   (line-oriented text).  $(b,check), $(b,stream) and \
+                   $(b,serve) accept any of them transparently.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute an instrumented program once and dump its messages.")

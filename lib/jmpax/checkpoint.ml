@@ -14,6 +14,7 @@ type t = {
   ck_next_eid : int;
   ck_reader_stats : Wire.Reader.stats;
   ck_reader_ended : bool array;
+  ck_v3 : Wire.Reader.v3_state option;
   ck_ends : int;
   ck_quarantined : int;
   ck_peak_buffered : int;
@@ -106,6 +107,15 @@ let encode_body t =
   p "reader-stats %d %d %d %d %d" r.Wire.Reader.frames r.Wire.Reader.messages
     r.Wire.Reader.skipped_frames r.Wire.Reader.resyncs r.Wire.Reader.skipped_bytes;
   p "reader-ended %s" (bits_of_bools t.ck_reader_ended);
+  (match t.ck_v3 with
+  | None -> ()
+  | Some v3 ->
+      p "v3-vars %d" (Array.length v3.Wire.Reader.v3_vars);
+      Array.iter (fun x -> p "v3-var %s" (Wire.encode_var x)) v3.Wire.Reader.v3_vars;
+      p "v3-valid %s" (bits_of_bools v3.Wire.Reader.v3_valid);
+      Array.iter
+        (fun b -> p "v3-base %s" (ints_of_array b))
+        v3.Wire.Reader.v3_baselines);
   p "stream-stats %d %d %d" t.ck_ends t.ck_quarantined t.ck_peak_buffered;
   p "online %d %d %d %d %d %d" s.Predict.Online.snap_level
     (if s.Predict.Online.snap_done then 1 else 0)
@@ -275,6 +285,51 @@ let decode_body body =
     in
     let* re, lines = field "reader-ended" "reader-ended" lines in
     let* reader_ended = bools_of_bits "reader-ended" re in
+    (* The v3 group is present iff the checkpointed stream was wire v3:
+       the reader's variable intern table and per-thread delta baselines
+       (with their validity bits), without which a resumed reader could
+       not decode another delta frame. *)
+    let* v3, lines =
+      match lines with
+      | line :: _
+        when String.length line >= 8 && String.sub line 0 8 = "v3-vars " ->
+          let* nv_s, lines = field "v3-vars" "v3-vars" lines in
+          let* nv = nat_field "v3-vars" nv_s in
+          if nv > 1 lsl 20 then malformed "v3-vars count %d too large" nv
+          else
+            let rec take_vars acc k lines =
+              if k = 0 then Ok (List.rev acc, lines)
+              else
+                let* v, lines = field "v3-var" "v3-var" lines in
+                match Wire.decode_var v with
+                | Ok name -> take_vars (name :: acc) (k - 1) lines
+                | Error e ->
+                    malformed "bad v3-var line: %s" (Wire.Error.to_string e)
+            in
+            let* vars, lines = take_vars [] nv lines in
+            let* vb, lines = field "v3-valid" "v3-valid" lines in
+            let* valid = bools_of_bits "v3-valid" vb in
+            if Array.length valid <> nthreads then
+              malformed "v3-valid width disagrees with %d threads" nthreads
+            else
+              let rec take_bases acc k lines =
+                if k = 0 then Ok (List.rev acc, lines)
+                else
+                  let* b, lines = field "v3-base" "v3-base" lines in
+                  let* a = ints_field "v3-base" b in
+                  if Array.length a <> nthreads then
+                    malformed "v3-base width disagrees with %d threads" nthreads
+                  else take_bases (a :: acc) (k - 1) lines
+              in
+              let* bases, lines = take_bases [] nthreads lines in
+              Ok
+                ( Some
+                    { Wire.Reader.v3_vars = Array.of_list vars;
+                      v3_baselines = Array.of_list bases;
+                      v3_valid = valid },
+                  lines )
+      | _ -> Ok (None, lines)
+    in
     let* ss, lines = field "stream-stats" "stream-stats" lines in
     let* ends, quarantined, peak_buffered =
       match String.split_on_char ' ' ss with
@@ -377,6 +432,7 @@ let decode_body body =
             ck_next_eid = next_eid;
             ck_reader_stats = reader_stats;
             ck_reader_ended = reader_ended;
+            ck_v3 = v3;
             ck_ends = ends;
             ck_quarantined = quarantined;
             ck_peak_buffered = peak_buffered;

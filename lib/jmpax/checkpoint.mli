@@ -38,6 +38,9 @@ type t = {
   ck_next_eid : int;
   ck_reader_stats : Wire.Reader.stats;
   ck_reader_ended : bool array;
+  ck_v3 : Wire.Reader.v3_state option;
+      (** the wire-v3 delta-decode state (intern table, per-thread
+          baselines and their validity bits); [None] for a v2 stream *)
   ck_ends : int;  (** end-of-stream frames consumed by the driver *)
   ck_quarantined : int;
   ck_peak_buffered : int;

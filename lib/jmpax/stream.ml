@@ -59,7 +59,8 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
               ck.Checkpoint.ck_online
           in
           let reader =
-            Wire.Reader.resume ?max_frame ~header:ck.Checkpoint.ck_header
+            Wire.Reader.resume ?max_frame ?v3:ck.Checkpoint.ck_v3
+              ~header:ck.Checkpoint.ck_header
               ~ended:ck.Checkpoint.ck_reader_ended
               ~next_eid:ck.Checkpoint.ck_next_eid
               ~stats:ck.Checkpoint.ck_reader_stats
@@ -111,6 +112,7 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
             ck_next_eid = Wire.Reader.next_eid reader;
             ck_reader_stats = Wire.Reader.stats reader;
             ck_reader_ended = Wire.Reader.ended_threads reader;
+            ck_v3 = Wire.Reader.v3_state reader;
             ck_ends = !ends;
             ck_quarantined = !quarantined;
             ck_peak_buffered = !peak;
@@ -175,7 +177,11 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
         else begin
           let n = read buf 0 chunk_size in
           if n = 0 then Wire.Reader.close reader
-          else Wire.Reader.feed reader (Bytes.sub_string buf 0 n)
+          else
+            (* Zero-copy: the chunk is blitted from the transport buffer
+               straight into the reader's parse buffer, no intermediate
+               string. *)
+            Wire.Reader.feed_bytes reader buf 0 n
         end;
         loop ()
     | Wire.Reader.Item (Wire.Reader.Header h) ->

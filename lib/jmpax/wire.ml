@@ -28,6 +28,7 @@ module Error = struct
     | Unrecognized_line of string
     | Bad_preamble of string
     | Unknown_frame_kind of int
+    | Version_mismatch of { stream : int; frame : int }
     | Frame_too_large of { length : int; limit : int }
     | Truncated_frame of { expected : int; got : int }
     | Bad_frame_trailer of int
@@ -37,6 +38,11 @@ module Error = struct
     | Duplicate_end of int
     | Message_after_end of { tid : int }
     | Lost_sync of int
+    | Bad_varint of string
+    | Unknown_var_id of { id : int; defined : int }
+    | Too_many_vars of { limit : int }
+    | Stale_delta_baseline of { tid : int }
+    | Bad_delta of string
     | Duplicate_message of { tid : int; index : int }
     | Backpressure of { buffered : int; limit : int }
     | Missing_messages of { tid : int; next : int }
@@ -65,6 +71,8 @@ module Error = struct
     | Unrecognized_line s -> Printf.sprintf "unrecognized line %S" s
     | Bad_preamble s -> Printf.sprintf "bad stream preamble %S" s
     | Unknown_frame_kind k -> Printf.sprintf "unknown frame kind 0x%02X" k
+    | Version_mismatch { stream; frame } ->
+        Printf.sprintf "wire v%d frame inside a v%d stream" frame stream
     | Frame_too_large { length; limit } ->
         Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" length limit
     | Truncated_frame { expected; got } ->
@@ -77,6 +85,17 @@ module Error = struct
     | Message_after_end { tid } ->
         Printf.sprintf "message from thread %d after its end-of-stream frame" tid
     | Lost_sync n -> Printf.sprintf "lost frame sync: %d byte(s) skipped" n
+    | Bad_varint s -> Printf.sprintf "bad varint (%s)" s
+    | Unknown_var_id { id; defined } ->
+        Printf.sprintf "variable id %d not interned (%d defined)" id defined
+    | Too_many_vars { limit } ->
+        Printf.sprintf "variable intern table full (%d entries)" limit
+    | Stale_delta_baseline { tid } ->
+        Printf.sprintf
+          "delta message for thread %d after its baseline was invalidated by \
+           skipped input; a full-clock frame is required to resynchronize"
+          tid
+    | Bad_delta s -> Printf.sprintf "bad clock delta (%s)" s
     | Duplicate_message { tid; index } ->
         Printf.sprintf "duplicate message (thread %d, index %d)" tid index
     | Backpressure { buffered; limit } ->
@@ -91,6 +110,8 @@ module Error = struct
 end
 
 let ( let* ) = Result.bind
+
+exception Frame_overflow of { kind : char; length : int; limit : int }
 
 (* {1 Variable-name escaping} *)
 
@@ -302,12 +323,12 @@ let decode text =
    0x00 'J' 'F'  kind  len:u32be  payload[len]  '\n'
    v}
 
-   The 3-byte sentinel can never occur inside a valid payload (payloads
-   are single text lines whose variable names percent-encode every
-   control character), so a reader that hits garbage can resynchronize
-   by scanning for the next sentinel.  The trailing newline doubles as a
-   cheap tamper tripwire for corrupted lengths and keeps streams
-   greppable. *)
+   The 3-byte sentinel can never occur inside a valid v2 payload
+   (payloads are single text lines whose variable names percent-encode
+   every control character), so a reader that hits garbage can
+   resynchronize by scanning for the next sentinel.  The trailing
+   newline doubles as a cheap tamper tripwire for corrupted lengths and
+   keeps streams greppable. *)
 
 module Framed = struct
   let preamble = "jmpax-wire 2\n"
@@ -318,8 +339,14 @@ module Framed = struct
   let overhead = String.length sentinel + 1 + 4 + 1 (* kind + len + trailer *)
   let default_max_frame = 1 lsl 20
 
+  (* Encoders enforce the same bound the default reader enforces, so a
+     frame we emit is always a frame a peer accepts ([Frame_too_large]
+     used to be asymmetric: very wide clocks could encode into frames no
+     default reader would take back). *)
   let frame kind payload =
     let len = String.length payload in
+    if len > default_max_frame then
+      raise (Frame_overflow { kind; length = len; limit = default_max_frame });
     let buf = Buffer.create (overhead + len) in
     Buffer.add_string buf sentinel;
     Buffer.add_char buf kind;
@@ -331,6 +358,12 @@ module Framed = struct
     Buffer.add_char buf '\n';
     Buffer.contents buf
 
+  let frame_result kind payload =
+    match frame kind payload with
+    | s -> Ok s
+    | exception Frame_overflow { length; limit; _ } ->
+        Error (Error.Frame_too_large { length; limit })
+
   let encode_header header = frame kind_header (encode_header_body header)
   let encode_message m = frame kind_message (encode_message m)
   let encode_end tid = frame kind_end (Printf.sprintf "end %d" tid)
@@ -341,6 +374,158 @@ module Framed = struct
     Buffer.add_string buf (encode_header header);
     List.iter (fun m -> Buffer.add_string buf (encode_message m)) messages;
     for tid = 0 to header.nthreads - 1 do
+      Buffer.add_string buf (encode_end tid)
+    done;
+    Buffer.contents buf
+end
+
+(* {1 Binary wire format, version 3}
+
+   Same sentinel framing as v2 — preamble ["jmpax-wire 3\n"], then
+   [0x00 'J' 'F' kind len:u32be payload '\n'] frames — but message
+   payloads are binary: LEB128 varints, variable names interned once per
+   stream, and vector clocks shipped as sparse {e deltas} against the
+   sender's previous clock for the same thread.  Between consecutive
+   events of one thread only a few entries change (Zheng & Garg's
+   optimal-VC observation), so a delta frame is a handful of bytes where
+   a v2 frame re-sends all [nthreads] entries in decimal.
+
+   A full clock (flags bit 0) is the escape hatch: it replaces the
+   receiver's baseline outright, so an encoder that loses track of what
+   the peer last saw — a redial without byte-identical replay — calls
+   {!Framed3.reset} and the stream stays sound.  Unlike v2 payloads, v3
+   payloads may contain the sentinel bytes, so post-corruption resync is
+   best-effort (a false sentinel inside a payload costs an extra skip,
+   never a wrong decode: after any skip the reader poisons every
+   baseline and hard-errors on delta frames until a full clock
+   re-anchors that thread). *)
+
+module Framed3 = struct
+  let preamble = "jmpax-wire 3\n"
+  let kind_header = 'h'
+  let kind_vardef = 'v'
+  let kind_message = 'm'
+  let kind_end = 'e'
+
+  (* Bound on interned names per stream: a decoder can't be ballooned by
+     a hostile stream of vardef frames. *)
+  let var_limit = 1 lsl 20
+
+  (* Unsigned LEB128; OCaml ints are 63-bit so 9 groups of 7 suffice. *)
+  let add_varint buf n =
+    if n < 0 then invalid_arg "Wire.Framed3: negative varint";
+    let rec go n =
+      if n < 0x80 then Buffer.add_char buf (Char.unsafe_chr n)
+      else begin
+        Buffer.add_char buf (Char.unsafe_chr (0x80 lor (n land 0x7f)));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let zigzag n = (n lsl 1) lxor (n asr 62)
+
+  type encoder = {
+    enc_header : header;
+    var_ids : (string, int) Hashtbl.t;
+    mutable nvars : int;
+    baselines : int array array;  (* per-thread last transmitted clock *)
+    valid : bool array;  (* false ⇒ next frame for that thread is full *)
+  }
+
+  (* Decoding a v3 stream costs one clock-width baseline per active
+     thread; without a ceiling a forged header claiming a billion
+     threads would bill the reader quadratic memory before a single
+     message arrives.  v2, whose reader state is linear in the thread
+     count, accepts wider headers. *)
+  let max_threads = 4096
+
+  let encoder h =
+    if h.nthreads <= 0 then invalid_arg "Wire.Framed3.encoder: no threads";
+    if h.nthreads > max_threads then
+      invalid_arg "Wire.Framed3.encoder: thread count over the v3 limit";
+    { enc_header = h;
+      var_ids = Hashtbl.create 16;
+      nvars = 0;
+      baselines = Array.init h.nthreads (fun _ -> Array.make h.nthreads 0);
+      valid = Array.make h.nthreads true }
+
+  (* Forget the per-thread baselines: every thread's next message
+     carries a full clock.  The escape hatch for a writer that redials
+     and continues mid-stream instead of replaying byte-identical bytes
+     from offset zero.  The intern table is kept — variable ids are
+     stream-scoped and the receiver never discards them. *)
+  let reset enc = Array.fill enc.valid 0 (Array.length enc.valid) false
+
+  let encode_header h = Framed.frame kind_header (encode_header_body h)
+
+  let encode_message enc (m : Message.t) =
+    let n = enc.enc_header.nthreads in
+    if m.Message.tid < 0 || m.Message.tid >= n then
+      invalid_arg "Wire.Framed3.encode_message: thread id out of range";
+    if Vclock.dim m.Message.mvc <> n then
+      invalid_arg "Wire.Framed3.encode_message: clock width disagrees with header";
+    let out = Buffer.create 64 in
+    let vid =
+      match Hashtbl.find_opt enc.var_ids m.Message.var with
+      | Some id -> id
+      | None ->
+          let id = enc.nvars in
+          if id >= var_limit then
+            invalid_arg "Wire.Framed3.encode_message: variable intern table full";
+          Hashtbl.add enc.var_ids m.Message.var id;
+          enc.nvars <- id + 1;
+          Buffer.add_string out (Framed.frame kind_vardef (encode_var m.Message.var));
+          id
+    in
+    let payload = Buffer.create 32 in
+    let base = enc.baselines.(m.Message.tid) in
+    let c = Vclock.to_array m.Message.mvc in
+    if enc.valid.(m.Message.tid) then begin
+      Buffer.add_char payload '\x00';
+      add_varint payload m.Message.tid;
+      add_varint payload vid;
+      add_varint payload (zigzag m.Message.value);
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        if c.(i) <> base.(i) then incr k
+      done;
+      add_varint payload !k;
+      let prev = ref (-1) in
+      for i = 0 to n - 1 do
+        if c.(i) <> base.(i) then begin
+          add_varint payload (i - !prev - 1);
+          add_varint payload (zigzag (c.(i) - base.(i)));
+          prev := i
+        end
+      done
+    end
+    else begin
+      Buffer.add_char payload '\x01';
+      add_varint payload m.Message.tid;
+      add_varint payload vid;
+      add_varint payload (zigzag m.Message.value);
+      for i = 0 to n - 1 do
+        add_varint payload c.(i)
+      done;
+      enc.valid.(m.Message.tid) <- true
+    end;
+    Array.blit c 0 base 0 n;
+    Buffer.add_string out (Framed.frame kind_message (Buffer.contents payload));
+    Buffer.contents out
+
+  let encode_end tid =
+    let payload = Buffer.create 4 in
+    add_varint payload tid;
+    Framed.frame kind_end (Buffer.contents payload)
+
+  let encode h messages =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf preamble;
+    Buffer.add_string buf (encode_header h);
+    let enc = encoder h in
+    List.iter (fun m -> Buffer.add_string buf (encode_message enc m)) messages;
+    for tid = 0 to h.nthreads - 1 do
       Buffer.add_string buf (encode_end tid)
     done;
     Buffer.contents buf
@@ -368,16 +553,36 @@ module Reader = struct
     skipped_bytes : int;
   }
 
+  type v3_state = {
+    v3_vars : string array;
+    v3_baselines : int array array;
+    v3_valid : bool array;
+  }
+
+  (* The buffer is a compacting [Bytes.t]: chunks are blitted in at
+     [len], frames parsed in place at [pos], and the live window slid
+     back to offset 0 only when space runs out.  v3 payloads are decoded
+     straight out of [buf] — no per-frame payload extraction — so the
+     only per-message allocations are the clock array and the
+     [Message.t] itself. *)
   type t = {
     max_frame : int;
-    mutable pending : string;  (* unconsumed input *)
-    mutable pos : int;  (* parse position in [pending] *)
+    mutable buf : Bytes.t;
+    mutable pos : int;  (* parse position in [buf] *)
+    mutable len : int;  (* end of valid data in [buf] *)
+    mutable scan : int;  (* in-place varint cursor (v3 payloads) *)
     mutable consumed : int;  (* stream offset of the next unparsed byte *)
     mutable closed : bool;
     mutable preamble_done : bool;
+    mutable version : int;  (* 0 before the preamble, then 2 or 3 *)
     mutable header : header option;
     mutable ended : bool array;  (* resized when the header arrives *)
     mutable next_eid : int;
+    (* v3 decode state *)
+    mutable vars : string array;  (* intern table, id order *)
+    mutable nvars : int;
+    mutable baselines : int array array;  (* per-thread last decoded clock *)
+    mutable base_ok : bool array;  (* poisoned by skips until a full clock *)
     mutable frames : int;
     mutable messages : int;
     mutable skipped_frames : int;
@@ -390,14 +595,21 @@ module Reader = struct
 
   let create ?(max_frame = Framed.default_max_frame) () =
     { max_frame;
-      pending = "";
+      buf = Bytes.create 4096;
       pos = 0;
+      len = 0;
+      scan = 0;
       consumed = 0;
       closed = false;
       preamble_done = false;
+      version = 0;
       header = None;
       ended = [||];
       next_eid = 0;
+      vars = [||];
+      nvars = 0;
+      baselines = [||];
+      base_ok = [||];
       frames = 0;
       messages = 0;
       skipped_frames = 0;
@@ -409,21 +621,44 @@ module Reader = struct
   (* A reader already past the preamble and header — the checkpoint
      restore path.  [consumed] seeds the stream offset so later
      checkpoints of the resumed run stay consistent, and [stats] carries
-     the pre-crash counters so the final report covers the whole
-     stream. *)
-  let resume ?(max_frame = Framed.default_max_frame) ~header:h ~ended ~next_eid
+     the pre-crash counters so the final report covers the whole stream.
+     [v3] restores the intern table and per-thread delta baselines of a
+     v3 stream; omitting it resumes a v2 stream. *)
+  let resume ?(max_frame = Framed.default_max_frame) ?v3 ~header:h ~ended ~next_eid
       ~stats:(s : stats) ~consumed () =
     if Array.length ended <> h.nthreads then
       invalid_arg "Wire.Reader.resume: ended width disagrees with the header";
+    let version, vars, nvars, baselines, base_ok =
+      match v3 with
+      | None -> (2, [||], 0, [||], [||])
+      | Some { v3_vars; v3_baselines; v3_valid } ->
+          if
+            Array.length v3_baselines <> h.nthreads
+            || Array.length v3_valid <> h.nthreads
+            || Array.exists (fun b -> Array.length b <> h.nthreads) v3_baselines
+          then invalid_arg "Wire.Reader.resume: v3 state disagrees with the header";
+          ( 3,
+            Array.copy v3_vars,
+            Array.length v3_vars,
+            Array.map Array.copy v3_baselines,
+            Array.copy v3_valid )
+    in
     { max_frame;
-      pending = "";
+      buf = Bytes.create 4096;
       pos = 0;
+      len = 0;
+      scan = 0;
       consumed;
       closed = false;
       preamble_done = true;
+      version;
       header = Some h;
       ended = Array.copy ended;
       next_eid;
+      vars;
+      nvars;
+      baselines;
+      base_ok;
       frames = s.frames;
       messages = s.messages;
       skipped_frames = s.skipped_frames;
@@ -439,29 +674,63 @@ module Reader = struct
       resyncs = t.resyncs;
       skipped_bytes = t.skipped_bytes }
 
+  let available t = t.len - t.pos
+
+  (* Make room for [extra] incoming bytes: slide the live window back to
+     offset 0 when the tail is full, and double the buffer only when the
+     window itself outgrows it. *)
+  let ensure_space t extra =
+    let live = available t in
+    let cap = Bytes.length t.buf in
+    if t.len + extra <= cap then ()
+    else if live + extra <= cap then begin
+      Bytes.blit t.buf t.pos t.buf 0 live;
+      t.pos <- 0;
+      t.len <- live
+    end
+    else begin
+      let need = live + extra in
+      let cap' = ref (max 4096 (cap * 2)) in
+      while !cap' < need do
+        cap' := !cap' * 2
+      done;
+      let nb = Bytes.create !cap' in
+      Bytes.blit t.buf t.pos nb 0 live;
+      t.buf <- nb;
+      t.pos <- 0;
+      t.len <- live
+    end
+
+  let feed_bytes t src srcpos n =
+    if t.closed then invalid_arg "Wire.Reader.feed: reader is closed";
+    if srcpos < 0 || n < 0 || srcpos + n > Bytes.length src then
+      invalid_arg "Wire.Reader.feed_bytes: range out of bounds";
+    if n > 0 then begin
+      ensure_space t n;
+      Bytes.blit src srcpos t.buf t.len n;
+      t.len <- t.len + n
+    end
+
   let feed t chunk =
     if t.closed then invalid_arg "Wire.Reader.feed: reader is closed";
-    if chunk <> "" then
-      if t.pos >= String.length t.pending then begin
-        t.pending <- chunk;
-        t.pos <- 0
-      end
-      else if t.pos = 0 then t.pending <- t.pending ^ chunk
-      else begin
-        t.pending <-
-          String.sub t.pending t.pos (String.length t.pending - t.pos) ^ chunk;
-        t.pos <- 0
-      end
+    let n = String.length chunk in
+    if n > 0 then begin
+      ensure_space t n;
+      Bytes.blit_string chunk 0 t.buf t.len n;
+      t.len <- t.len + n
+    end
 
   let close t = t.closed <- true
 
-  let available t = String.length t.pending - t.pos
-
   let take t n =
-    let s = String.sub t.pending t.pos n in
+    let s = Bytes.sub_string t.buf t.pos n in
     t.pos <- t.pos + n;
     t.consumed <- t.consumed + n;
     s
+
+  let advance t n =
+    t.pos <- t.pos + n;
+    t.consumed <- t.consumed + n
 
   let consumed t = t.consumed
   let next_eid t = t.next_eid
@@ -470,13 +739,23 @@ module Reader = struct
      event (a partial frame, or a garbage span still being hunted). *)
   let pending_bytes t = available t + Buffer.length t.garbage
 
+  (* Any skipped input may have hidden a message whose clock the peer
+     folded into later deltas; until a full clock re-anchors a thread,
+     decoding its deltas would be silently wrong.  Poison everything. *)
+  let poison t =
+    if t.version = 3 then Array.fill t.base_ok 0 (Array.length t.base_ok) false
+
   (* Index of the first sentinel at or after [from], if any is complete
      in the buffered input. *)
   let find_sentinel t from =
-    let s = t.pending and n = String.length t.pending in
+    let b = t.buf and n = t.len in
     let rec go i =
       if i + 3 > n then None
-      else if s.[i] = '\x00' && s.[i + 1] = 'J' && s.[i + 2] = 'F' then Some i
+      else if
+        Bytes.unsafe_get b i = '\x00'
+        && Bytes.unsafe_get b (i + 1) = 'J'
+        && Bytes.unsafe_get b (i + 2) = 'F'
+      then Some i
       else go (i + 1)
     in
     go from
@@ -492,6 +771,7 @@ module Reader = struct
     t.garbage_error <- None;
     t.resyncs <- t.resyncs + 1;
     t.skipped_bytes <- t.skipped_bytes + String.length bytes;
+    poison t;
     Skip { error; bytes }
 
   (* Drop garbage up to the next sentinel (or, while the stream is still
@@ -523,42 +803,219 @@ module Reader = struct
         | None -> Error (Error.Bad_end_frame payload))
     | _ -> Error (Error.Bad_end_frame payload)
 
-  (* Decode one well-framed payload against the running stream state. *)
-  let deliver t kind payload =
-    match kind with
-    | k when k = Framed.kind_header -> (
-        if t.header <> None then Error Error.Duplicate_header_frame
+  (* {2 In-place v3 payload parsing}
+
+     All cursors live on [t.scan]; errors raise the local [Bad]
+     exception, caught at the frame boundary, so the hot path allocates
+     neither substrings nor intermediate tuples. *)
+
+  exception Bad of Error.t
+
+  let bad e = raise (Bad e)
+
+  let get_byte t limit what =
+    if t.scan >= limit then bad (Error.Bad_varint (what ^ ": truncated"));
+    let b = Char.code (Bytes.unsafe_get t.buf t.scan) in
+    t.scan <- t.scan + 1;
+    b
+
+  let get_varint t limit what =
+    let rec go acc shift =
+      let b = get_byte t limit what in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if acc < 0 then bad (Error.Bad_varint (what ^ ": overflow"))
+      else if b land 0x80 = 0 then acc
+      else if shift >= 56 then bad (Error.Bad_varint (what ^ ": overflow"))
+      else go acc (shift + 7)
+    in
+    go 0 0
+
+  let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+  let install_header t h =
+    t.header <- Some h;
+    t.ended <- Array.make h.nthreads false;
+    if t.version = 3 then begin
+      (* Baseline rows are allocated lazily, on a thread's first
+         message: an empty row means "all zeros" (the initial baseline),
+         and a header's claimed width alone never costs quadratic
+         memory. *)
+      t.baselines <- Array.make h.nthreads [||];
+      t.base_ok <- Array.make h.nthreads true
+    end
+
+  let deliver_vardef t ~base ~len =
+    match t.header with
+    | None -> Error Error.Missing_header_frame
+    | Some _ ->
+        if t.nvars >= Framed3.var_limit then
+          Error (Error.Too_many_vars { limit = Framed3.var_limit })
         else
-          let* h = decode_header_body payload in
-          t.header <- Some h;
-          t.ended <- Array.make h.nthreads false;
-          Ok (Header h))
-    | k when k = Framed.kind_message -> (
-        match t.header with
-        | None -> Error Error.Missing_header_frame
-        | Some h ->
-            let* m = decode_message ~expect_width:h.nthreads payload in
-            if t.ended.(m.Message.tid) then
-              Error (Error.Message_after_end { tid = m.Message.tid })
+          let* name = decode_var (Bytes.sub_string t.buf (base + 8) len) in
+          if t.nvars >= Array.length t.vars then begin
+            let grown = Array.make (max 16 (2 * Array.length t.vars)) "" in
+            Array.blit t.vars 0 grown 0 t.nvars;
+            t.vars <- grown
+          end;
+          t.vars.(t.nvars) <- name;
+          t.nvars <- t.nvars + 1;
+          Ok None
+
+  let deliver_msg3 t ~base ~len =
+    match t.header with
+    | None -> Error Error.Missing_header_frame
+    | Some h -> (
+        let limit = base + 8 + len in
+        t.scan <- base + 8;
+        match
+          let flags = get_byte t limit "flags" in
+          if flags land lnot 1 <> 0 then
+            bad (Error.Bad_delta (Printf.sprintf "bad flags byte 0x%02X" flags));
+          let full = flags land 1 = 1 in
+          let tid = get_varint t limit "thread id" in
+          if tid >= h.nthreads then
+            bad (Error.Tid_out_of_range { tid; nthreads = h.nthreads });
+          if t.ended.(tid) then bad (Error.Message_after_end { tid });
+          let vid = get_varint t limit "variable id" in
+          if vid >= t.nvars then
+            bad (Error.Unknown_var_id { id = vid; defined = t.nvars });
+          let value = unzigzag (get_varint t limit "value") in
+          let n = h.nthreads in
+          let baseline =
+            let b = t.baselines.(tid) in
+            if Array.length b = n then b
             else begin
-              let m = { m with Message.eid = t.next_eid } in
-              t.next_eid <- t.next_eid + 1;
-              t.messages <- t.messages + 1;
-              Ok (Msg m)
-            end)
-    | k when k = Framed.kind_end -> (
-        match t.header with
-        | None -> Error Error.Missing_header_frame
-        | Some h ->
-            let* tid = decode_end_payload payload in
-            if tid < 0 || tid >= h.nthreads then
+              (* First message from this thread: materialize its
+                 all-zero baseline row. *)
+              let b = Array.make n 0 in
+              t.baselines.(tid) <- b;
+              b
+            end
+          in
+          if full then begin
+            for i = 0 to n - 1 do
+              baseline.(i) <- get_varint t limit "clock entry"
+            done;
+            t.base_ok.(tid) <- true
+          end
+          else begin
+            if not t.base_ok.(tid) then bad (Error.Stale_delta_baseline { tid });
+            let k = get_varint t limit "delta count" in
+            if k > n then
+              bad
+                (Error.Bad_delta
+                   (Printf.sprintf "%d deltas for a %d-thread clock" k n));
+            let idx = ref (-1) in
+            for _ = 1 to k do
+              let gap = get_varint t limit "delta index" in
+              let i = !idx + 1 + gap in
+              if i >= n then bad (Error.Bad_delta "entry index out of range");
+              idx := i;
+              let d = unzigzag (get_varint t limit "delta value") in
+              let v = baseline.(i) + d in
+              if v < 0 then bad (Error.Bad_delta "negative clock entry");
+              baseline.(i) <- v
+            done
+          end;
+          if t.scan <> limit then
+            bad (Error.Bad_delta "trailing bytes in message frame");
+          if baseline.(tid) < 1 then
+            bad
+              (Error.Inconsistent_message
+                 (Printf.sprintf "v3 msg tid=%d own-component=%d" tid baseline.(tid)));
+          let mvc = Vclock.of_array baseline in
+          let m =
+            Message.make ~eid:t.next_eid ~tid ~var:t.vars.(vid) ~value ~mvc
+          in
+          t.next_eid <- t.next_eid + 1;
+          t.messages <- t.messages + 1;
+          Msg m
+        with
+        | item -> Ok (Some item)
+        | exception Bad e -> Error e
+        | exception Invalid_argument _ ->
+            Error
+              (Error.Inconsistent_message
+                 (Printf.sprintf "v3 msg (%d-byte payload)" len)))
+
+  let deliver_end3 t ~base ~len =
+    match t.header with
+    | None -> Error Error.Missing_header_frame
+    | Some h -> (
+        let limit = base + 8 + len in
+        t.scan <- base + 8;
+        match get_varint t limit "end tid" with
+        | tid ->
+            if t.scan <> limit then
+              Error (Error.Bad_end_frame "trailing bytes in end frame")
+            else if tid >= h.nthreads then
               Error (Error.Tid_out_of_range { tid; nthreads = h.nthreads })
             else if t.ended.(tid) then Error (Error.Duplicate_end tid)
             else begin
               t.ended.(tid) <- true;
-              Ok (End_of_thread tid)
-            end)
-    | k -> Error (Error.Unknown_frame_kind (Char.code k))
+              Ok (Some (End_of_thread tid))
+            end
+        | exception Bad e -> Error e)
+
+  (* Decode one well-framed payload against the running stream state.
+     [Ok None] is internal bookkeeping (a vardef): nothing to deliver,
+     parse on.  The frame bytes are [buf[base .. base+8+len]] and have
+     already been consumed by the caller. *)
+  let deliver t kind ~base ~len =
+    let is_v2 =
+      kind = Framed.kind_header || kind = Framed.kind_message
+      || kind = Framed.kind_end
+    in
+    if is_v2 && t.version = 3 then
+      Error (Error.Version_mismatch { stream = 3; frame = 2 })
+    else if (not is_v2) && t.version = 2 then
+      Error (Error.Version_mismatch { stream = 2; frame = 3 })
+    else if kind = Framed.kind_header || kind = Framed3.kind_header then begin
+      if t.header <> None then Error Error.Duplicate_header_frame
+      else
+        let* h = decode_header_body (Bytes.sub_string t.buf (base + 8) len) in
+        if t.version = 3 && h.nthreads > Framed3.max_threads then
+          Error
+            (Error.Bad_thread_count
+               (Printf.sprintf "threads %d (v3 limit %d)" h.nthreads
+                  Framed3.max_threads))
+        else begin
+          install_header t h;
+          Ok (Some (Header h))
+        end
+    end
+    else if kind = Framed.kind_message then begin
+      match t.header with
+      | None -> Error Error.Missing_header_frame
+      | Some h ->
+          let payload = Bytes.sub_string t.buf (base + 8) len in
+          let* m = decode_message ~expect_width:h.nthreads payload in
+          if t.ended.(m.Message.tid) then
+            Error (Error.Message_after_end { tid = m.Message.tid })
+          else begin
+            let m = { m with Message.eid = t.next_eid } in
+            t.next_eid <- t.next_eid + 1;
+            t.messages <- t.messages + 1;
+            Ok (Some (Msg m))
+          end
+    end
+    else if kind = Framed.kind_end then begin
+      match t.header with
+      | None -> Error Error.Missing_header_frame
+      | Some h ->
+          let* tid = decode_end_payload (Bytes.sub_string t.buf (base + 8) len) in
+          if tid < 0 || tid >= h.nthreads then
+            Error (Error.Tid_out_of_range { tid; nthreads = h.nthreads })
+          else if t.ended.(tid) then Error (Error.Duplicate_end tid)
+          else begin
+            t.ended.(tid) <- true;
+            Ok (Some (End_of_thread tid))
+          end
+    end
+    else if kind = Framed3.kind_vardef then deliver_vardef t ~base ~len
+    else if kind = Framed3.kind_message then deliver_msg3 t ~base ~len
+    else if kind = Framed3.kind_end then deliver_end3 t ~base ~len
+    else Error (Error.Unknown_frame_kind (Char.code kind))
 
   (* A frame-closed truncated tail (only possible once the transport is
      closed): everything left is one short frame. *)
@@ -566,26 +1023,39 @@ module Reader = struct
     let bytes = take t (available t) in
     t.skipped_bytes <- t.skipped_bytes + String.length bytes;
     t.skipped_frames <- t.skipped_frames + 1;
+    poison t;
     Skip
       { error = Error.Truncated_frame { expected; got = String.length bytes }; bytes }
 
   let at_sentinel t =
-    available t >= 3 && String.sub t.pending t.pos 3 = Framed.sentinel
+    available t >= 3
+    && Bytes.get t.buf t.pos = '\x00'
+    && Bytes.get t.buf (t.pos + 1) = 'J'
+    && Bytes.get t.buf (t.pos + 2) = 'F'
+
+  let known_kind k =
+    k = Framed.kind_header || k = Framed.kind_message || k = Framed.kind_end
+    || k = Framed3.kind_header || k = Framed3.kind_vardef
+    || k = Framed3.kind_message || k = Framed3.kind_end
 
   let rec next t =
     if not t.preamble_done then begin
       let want = String.length Framed.preamble in
       if available t >= want then begin
-        if String.sub t.pending t.pos want = Framed.preamble then begin
-          t.pos <- t.pos + want;
-          t.consumed <- t.consumed + want;
+        let got = Bytes.sub_string t.buf t.pos want in
+        if got = Framed.preamble || got = Framed3.preamble then begin
+          advance t want;
           t.preamble_done <- true;
+          t.version <- (if got = Framed.preamble then 2 else 3);
           next t
         end
         else begin
           (* Hunt for a sentinel so a corrupted prefix does not hide the
-             rest of the stream. *)
+             rest of the stream.  The version byte is gone with the
+             preamble; assume v2 (a mangled v3 stream then fails loud
+             with [Version_mismatch] skips rather than guessing). *)
           t.preamble_done <- true;
+          t.version <- 2;
           t.garbage_error <-
             Some
               (fun bytes ->
@@ -598,6 +1068,7 @@ module Reader = struct
         else begin
           let got = take t (available t) in
           t.preamble_done <- true;
+          t.version <- 2;
           t.skipped_bytes <- t.skipped_bytes + String.length got;
           t.resyncs <- t.resyncs + 1;
           Skip { error = Error.Bad_preamble got; bytes = got }
@@ -612,8 +1083,8 @@ module Reader = struct
         if t.closed then truncated_tail t ~expected:Framed.overhead else Await
       else begin
         let base = t.pos in
-        let kind = t.pending.[base + 3] in
-        let b i = Char.code t.pending.[base + 4 + i] in
+        let kind = Bytes.get t.buf (base + 3) in
+        let b i = Char.code (Bytes.get t.buf (base + 4 + i)) in
         let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
         let resync_past_sentinel error =
           (* The frame header itself is suspect: drop just the sentinel
@@ -623,9 +1094,8 @@ module Reader = struct
           t.garbage_error <- Some (fun _ -> error);
           next t
         in
-        if kind <> Framed.kind_header && kind <> Framed.kind_message
-           && kind <> Framed.kind_end
-        then resync_past_sentinel (Error.Unknown_frame_kind (Char.code kind))
+        if not (known_kind kind) then
+          resync_past_sentinel (Error.Unknown_frame_kind (Char.code kind))
         else if len > t.max_frame then
           resync_past_sentinel
             (Error.Frame_too_large { length = len; limit = t.max_frame })
@@ -634,20 +1104,24 @@ module Reader = struct
           if available t < total then
             if t.closed then truncated_tail t ~expected:total else Await
           else begin
-            let trailer = t.pending.[base + total - 1] in
+            let trailer = Bytes.get t.buf (base + total - 1) in
             if trailer <> '\n' then
               resync_past_sentinel (Error.Bad_frame_trailer (Char.code trailer))
             else begin
-              let raw = take t total in
-              let payload = String.sub raw 8 len in
-              match deliver t kind payload with
-              | Ok item ->
+              advance t total;
+              match deliver t kind ~base ~len with
+              | Ok (Some item) ->
                   t.frames <- t.frames + 1;
                   Item item
+              | Ok None ->
+                  (* Internal bookkeeping (vardef); keep parsing. *)
+                  t.frames <- t.frames + 1;
+                  next t
               | Error error ->
                   t.skipped_frames <- t.skipped_frames + 1;
                   t.skipped_bytes <- t.skipped_bytes + total;
-                  Skip { error; bytes = raw }
+                  poison t;
+                  Skip { error; bytes = Bytes.sub_string t.buf base total }
             end
           end
         end
@@ -664,11 +1138,26 @@ module Reader = struct
 
   let header t = t.header
   let ended_threads t = Array.copy t.ended
+
+  let v3_state t =
+    if t.version <> 3 then None
+    else
+      let width = match t.header with Some h -> h.nthreads | None -> 0 in
+      Some
+        { v3_vars = Array.sub t.vars 0 t.nvars;
+          v3_baselines =
+            (* Lazily-unallocated rows are all-zero baselines; the
+               external invariant is full-width rows. *)
+            Array.map
+              (fun b -> if Array.length b = width then Array.copy b else Array.make width 0)
+              t.baselines;
+          v3_valid = Array.copy t.base_ok }
 end
 
-(* Strict whole-document decode of a framed stream: the first error
-   aborts.  End-of-stream frames are checked but not required, so a
-   truncated-but-frame-aligned recording still decodes. *)
+(* Strict whole-document decode of a framed stream (v2 or v3, by
+   preamble): the first error aborts.  End-of-stream frames are checked
+   but not required, so a truncated-but-frame-aligned recording still
+   decodes. *)
 let decode_framed text =
   let r = Reader.create () in
   Reader.feed r text;
@@ -689,12 +1178,15 @@ let decode_framed text =
 
 (* {1 Files} *)
 
-type format = V1 | Framed_v2
+type format = V1 | Framed_v2 | Binary_v3
 
 let sniff text =
-  if String.length text >= String.length Framed.preamble
-     && String.sub text 0 (String.length Framed.preamble) = Framed.preamble
-  then Some Framed_v2
+  let has_prefix p =
+    String.length text >= String.length p
+    && String.sub text 0 (String.length p) = p
+  in
+  if has_prefix Framed.preamble then Some Framed_v2
+  else if has_prefix Framed3.preamble then Some Binary_v3
   else
     let first =
       match String.index_opt text '\n' with
@@ -705,7 +1197,7 @@ let sniff text =
 
 let decode_any text =
   match sniff text with
-  | Some Framed_v2 -> decode_framed text
+  | Some (Framed_v2 | Binary_v3) -> decode_framed text
   | Some V1 | None -> decode text
 
 let write_file ?(format = Framed_v2) path header messages =
@@ -713,6 +1205,7 @@ let write_file ?(format = Framed_v2) path header messages =
     match format with
     | V1 -> encode header messages
     | Framed_v2 -> Framed.encode header messages
+    | Binary_v3 -> Framed3.encode header messages
   in
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc doc)

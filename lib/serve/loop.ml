@@ -33,6 +33,9 @@ type t = {
   mutable pending : Session.t list;  (** accepted, hello not yet complete *)
   mutable ctl_conns : ctl_conn list;
   mutable cursor : int;  (** round-robin rotation of session service *)
+  mutable hot : bool;
+      (** a session consumed its whole read budget last tick, so its
+          socket likely still holds decodable frames: poll, don't sleep *)
   drain_flag : bool Atomic.t;
   mutable is_finished : bool;
   mutable code : int;
@@ -135,6 +138,7 @@ let create cfg =
               pending = [];
               ctl_conns = [];
               cursor = 0;
+              hot = false;
               drain_flag = Atomic.make false;
               is_finished = false;
               code = 0;
@@ -286,44 +290,66 @@ let complete_handshake t s ~sid ~fp ~rest =
 
 (* {1 Servicing} *)
 
+(* Drain up to one read budget from the session's socket, in as many
+   short reads as it takes: when the writer dribbles, several reads per
+   tick amortize the select round-trip instead of paying it per chunk.
+   The budget still bounds what one session can consume per tick, so
+   the round-robin fairness story is unchanged.  Returns [true] when
+   the whole budget was consumed — the kernel buffer then likely still
+   holds decodable frames, and the caller should poll rather than sleep
+   on its next select. *)
 let service_session t s =
-  match Session.fd s with
-  | None -> ()
-  | Some fd -> (
-      let n =
-        match Unix.read fd t.buf 0 (min t.cfg.read_budget (Bytes.length t.buf)) with
-        | n -> n
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> -1
-        | exception Unix.Unix_error _ -> 0
-      in
-      if n = 0 then begin
-        let was_pending = List.memq s t.pending in
-        (match Session.on_eof s with
-        | Session.Continue ->
-            if Session.state s = Session.Disconnected then begin
-              t.ctrs.Control.disconnects <- t.ctrs.Control.disconnects + 1;
-              if M.enabled () then M.incr m_disconnects
-            end
-        | Session.Finished -> note_finished t s
-        | Session.Hello _ -> ());
-        if was_pending then
-          t.pending <- List.filter (fun p -> not (p == s)) t.pending;
-        update_session_gauges t
-      end
-      else if n > 0 then begin
-        let data = Bytes.sub_string t.buf 0 n in
-        match Session.on_bytes s data with
-        | Session.Continue -> ()
-        | Session.Finished -> note_finished t s
-        | Session.Hello { id = sid; fp; rest } ->
-            t.pending <- List.filter (fun p -> not (p == s)) t.pending;
-            let owner, outcome = complete_handshake t s ~sid ~fp ~rest in
-            (match (owner, outcome) with
-            | Some o, Session.Finished -> note_finished t o
-            | _ -> ());
-            update_session_gauges t
-      end)
+  let budget = min t.cfg.read_budget (Bytes.length t.buf) in
+  let rec go consumed =
+    if consumed >= budget then consumed
+    else
+      match Session.fd s with
+      | None -> consumed
+      | Some fd -> (
+          let n =
+            match Unix.read fd t.buf 0 (budget - consumed) with
+            | n -> n
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> -1
+            | exception Unix.Unix_error _ -> 0
+          in
+          if n = 0 then begin
+            let was_pending = List.memq s t.pending in
+            (match Session.on_eof s with
+            | Session.Continue ->
+                if Session.state s = Session.Disconnected then begin
+                  t.ctrs.Control.disconnects <- t.ctrs.Control.disconnects + 1;
+                  if M.enabled () then M.incr m_disconnects
+                end
+            | Session.Finished -> note_finished t s
+            | Session.Hello _ -> ());
+            if was_pending then
+              t.pending <- List.filter (fun p -> not (p == s)) t.pending;
+            update_session_gauges t;
+            consumed
+          end
+          else if n < 0 then consumed
+          else begin
+            let data = Bytes.sub_string t.buf 0 n in
+            match Session.on_bytes s data with
+            | Session.Continue -> go (consumed + n)
+            | Session.Finished ->
+                note_finished t s;
+                consumed + n
+            | Session.Hello { id = sid; fp; rest } ->
+                t.pending <- List.filter (fun p -> not (p == s)) t.pending;
+                let owner, outcome = complete_handshake t s ~sid ~fp ~rest in
+                (match (owner, outcome) with
+                | Some o, Session.Finished -> note_finished t o
+                | _ -> ());
+                update_session_gauges t;
+                (* Ownership may just have moved to an adopted session;
+                   leave further reads to the next tick. *)
+                consumed + n
+          end)
+  in
+  go 0 >= budget
 
 let service_control t c =
   let chunk = Bytes.create 256 in
@@ -415,6 +441,10 @@ let rotate n l =
 let tick ?(timeout = 0.25) t =
   if Atomic.get t.drain_flag then do_drain t
   else begin
+    (* A saturated session left decodable frames behind last tick: poll
+       instead of sleeping so they are consumed at once. *)
+    let timeout = if t.hot then 0.0 else timeout in
+    t.hot <- false;
     let session_fds =
       List.filter_map
         (fun s -> Option.map (fun fd -> (fd, s)) (Session.fd s))
@@ -448,7 +478,7 @@ let tick ?(timeout = 0.25) t =
         in
         t.cursor <- t.cursor + 1;
         List.iter
-          (fun (_, s) -> service_session t s)
+          (fun (_, s) -> if service_session t s then t.hot <- true)
           (rotate t.cursor ready_sessions);
         let evicted =
           Registry.sweep_idle t.reg ~now:(t.cfg.session.Session.now ())

@@ -7,10 +7,15 @@
     + accepts new session and control connections (politely rejecting
       writers past the max-sessions cap),
     + services every readable session in {e rotated} (round-robin)
-      order, reading at most [read_budget] bytes per session per tick —
-      the fairness device: a firehose writer gets exactly one budget's
+      order, draining at most [read_budget] bytes per session per tick
+      (in as many short reads as the socket yields, so a dribbling
+      writer doesn't cost one select round-trip per chunk) — the
+      fairness device: a firehose writer gets exactly one budget's
       worth before its slower siblings are serviced, so it can saturate
-      the daemon's spare capacity but never starve anyone,
+      the daemon's spare capacity but never starve anyone.  A session
+      that consumed its whole budget likely left decodable frames in
+      its socket, so the next tick polls (zero select timeout) instead
+      of sleeping,
     + answers control-socket queries ({!Control}),
     + evicts idle sessions ({!Registry.sweep_idle}).
 

@@ -183,6 +183,7 @@ let write_checkpoint t =
               ck_next_eid = Wire.Reader.next_eid reader;
               ck_reader_stats = Wire.Reader.stats reader;
               ck_reader_ended = Wire.Reader.ended_threads reader;
+              ck_v3 = Wire.Reader.v3_state reader;
               ck_ends = t.s_ends;
               ck_quarantined = 0;
               ck_peak_buffered = t.peak_buffered;
@@ -404,7 +405,7 @@ let start_resume_checkpoint t ~id ~ck ~rest =
       ~spec:t.cfg.spec ck.Checkpoint.ck_online
   in
   let reader =
-    Wire.Reader.resume ~header:ck.Checkpoint.ck_header
+    Wire.Reader.resume ?v3:ck.Checkpoint.ck_v3 ~header:ck.Checkpoint.ck_header
       ~ended:ck.Checkpoint.ck_reader_ended ~next_eid:ck.Checkpoint.ck_next_eid
       ~stats:ck.Checkpoint.ck_reader_stats ~consumed:ck.Checkpoint.ck_position
       ()

@@ -26,17 +26,42 @@ let corpus =
         msg 1 "p%q" 4 [ 2; 2 ] ] )
   in
   let t3 = (h3, [ msg 2 "v" 9 [ 0; 0; 1 ] ]) in
-  let docs (h, ms) = [ W.Framed.encode h ms; W.encode h ms ] in
+  let docs (h, ms) =
+    [ W.Framed.encode h ms; W.encode h ms; W.Framed3.encode h ms ]
+  in
+  (* A wide sparse-clock v3 document: long index gaps and multi-byte
+     varints, the byte shapes v2 never produces.  Clocks are chained
+     (each message joins its predecessor) so the events are totally
+     ordered: a fully concurrent 32-thread trace would make the
+     downstream lattice frontier combinatorial, which is the analysis's
+     documented worst case, not a decoder property worth fuzzing. *)
+  let wide =
+    let nthreads = 32 in
+    let active = [| 0; 13; 27 |] in
+    let h = { W.nthreads; init = [ ("x", 0) ] } in
+    let last = Array.make nthreads 0 in
+    let ms =
+      List.init 48 (fun i ->
+          let tid = active.(i mod Array.length active) in
+          last.(tid) <- last.(tid) + 1;
+          Trace.Message.make ~eid:i ~tid ~var:"x" ~value:(i * 7919)
+            ~mvc:(Vclock.of_array (Array.copy last)))
+    in
+    W.Framed3.encode h ms
+  in
   List.concat_map docs [ t1; t2; t3 ]
-  @ [ (* degenerate but valid-prefix shapes *)
+  @ [ wide;
+      (* degenerate but valid-prefix shapes *)
       W.Framed.preamble;
       W.Framed.preamble ^ W.Framed.encode_header { W.nthreads = 1; init = [] };
+      W.Framed3.preamble;
+      W.Framed3.preamble ^ W.Framed3.encode_header { W.nthreads = 2; init = [] };
       "jmpax-trace 1\nthreads 1\n" ]
 
 let mutate rng doc =
   let pick n = Random.State.int rng n in
   let n = String.length doc in
-  match pick 7 with
+  match pick 8 with
   | 0 when n > 0 ->
       let b = Bytes.of_string doc in
       let i = pick n in
@@ -56,8 +81,26 @@ let mutate rng doc =
       let len = 1 + pick (min 48 (n - i)) in
       String.sub doc 0 (i + len) ^ String.sub doc i (n - i)
   | 5 ->
-      (* forge a frame with a random kind and payload *)
-      doc ^ W.Framed.frame (Char.chr (pick 256)) (String.init (pick 32) (fun _ -> Char.chr (pick 256)))
+      (* forge a frame with a random kind and payload: random kinds hit
+         the unknown-kind path, v2 kinds inside v3 streams (and vice
+         versa) hit the version-mismatch path *)
+      let kind =
+        match pick 4 with
+        | 0 -> W.Framed.kind_message
+        | 1 -> W.Framed3.kind_message
+        | 2 -> W.Framed3.kind_vardef
+        | _ -> Char.chr (pick 256)
+      in
+      doc ^ W.Framed.frame kind (String.init (pick 32) (fun _ -> Char.chr (pick 256)))
+  | 6 ->
+      (* forge a v3 message frame with adversarial varint bytes:
+         truncated runs (0x80+ continuation with no terminator),
+         overflowing shifts and corrupt delta lists *)
+      let payload =
+        String.init (pick 24) (fun _ ->
+            if pick 2 = 0 then Char.chr (0x80 lor pick 128) else Char.chr (pick 256))
+      in
+      doc ^ W.Framed.frame W.Framed3.kind_message payload
   | _ -> String.init (1 + pick 128) (fun _ -> Char.chr (pick 256))
 
 let drain_reader rng doc =

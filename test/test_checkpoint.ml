@@ -30,9 +30,15 @@ let recorded_trace program script spec =
   in
   (out, header, out.Jmpax.Pipeline.run.Tml.Vm.messages)
 
-let framed_doc program script spec =
+let framed_doc ?(encode = W.Framed.encode) program script spec =
   let _, header, messages = recorded_trace program script spec in
-  W.Framed.encode header messages
+  encode header messages
+
+(* The differential runs over both binary encodings: v3 resume must
+   restore the delta-decode state ([ck_v3]) or every delta frame after
+   the checkpoint would be rejected as stale. *)
+let wire_encodings =
+  [ ("v2", W.Framed.encode); ("v3", W.Framed3.encode) ]
 
 let in_temp_file f =
   let path = Filename.temp_file "jmpax" ".ckpt" in
@@ -93,6 +99,18 @@ let gen_checkpoint =
     nat_array >>= fun gc_floor ->
     bool_array >>= fun ended ->
     bool_array >>= fun reader_ended ->
+    (* Half the checkpoints carry wire-v3 delta-decode state. *)
+    oneof
+      [ return None;
+        (list_size (int_range 0 4) var >>= fun vars ->
+         array_size (return nthreads) nat_array >>= fun baselines ->
+         bool_array >>= fun valid ->
+         return
+           (Some
+              { W.Reader.v3_vars = Array.of_list vars;
+                v3_baselines = baselines;
+                v3_valid = valid })) ]
+    >>= fun v3 ->
     int_range 0 100_000 >>= fun position ->
     int_range 0 999 >>= fun next_eid ->
     int_range 0 40 >>= fun level ->
@@ -113,6 +131,7 @@ let gen_checkpoint =
         ck_reader_stats =
           { W.Reader.frames; messages; skipped_frames; resyncs; skipped_bytes };
         ck_reader_ended = reader_ended;
+        ck_v3 = v3;
         ck_ends = ends;
         ck_quarantined = quarantined;
         ck_peak_buffered = peak_buffered;
@@ -275,8 +294,9 @@ let violation_keys (vs : Predict.Analyzer.violation list) =
 
 let test_kill_resume_differential () =
   List.iter
-    (fun (name, program, script, spec) ->
-      let doc = framed_doc program script spec in
+    (fun ((name, program, script, spec), (enc_name, encode)) ->
+      let name = Printf.sprintf "%s/%s" name enc_name in
+      let doc = framed_doc ~encode program script spec in
       let expected =
         match Jmpax.Stream.run_string ~chunk_size:13 ~spec doc with
         | Ok o -> o
@@ -337,7 +357,9 @@ let test_kill_resume_differential () =
                   then
                     Alcotest.failf "%s kill=%d: violations differ" name kill))
         kill_points)
-    paper_examples
+    (List.concat_map
+       (fun ex -> List.map (fun enc -> (ex, enc)) wire_encodings)
+       paper_examples)
 
 (* {1 Transports} *)
 

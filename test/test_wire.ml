@@ -614,13 +614,313 @@ let test_online_gc_collects_store () =
         (List.length messages)
         (Telemetry.Metrics.value (Telemetry.Metrics.counter "online.gc_removed")))
 
+(* {1 Wire v3: delta-encoded binary clocks} *)
+
+let test_roundtrip_v3 =
+  QCheck.Test.make ~name:"decode_framed (Framed3.encode h ms) = Ok (h, ms)"
+    ~count:300 arb_trace (fun (h, ms) ->
+      roundtrip_ok "v3" W.decode_framed (W.Framed3.encode h ms) h ms
+      && roundtrip_ok "any/v3" W.decode_any (W.Framed3.encode h ms) h ms)
+
+(* v2 and v3 are two encodings of the same stream: decoding either must
+   yield payload-identical messages in the same order. *)
+let test_v2_v3_parity =
+  QCheck.Test.make ~name:"v3 decodes to exactly what v2 decodes to" ~count:300
+    arb_trace (fun (h, ms) ->
+      match
+        (W.decode_framed (W.Framed.encode h ms), W.decode_framed (W.Framed3.encode h ms))
+      with
+      | Ok (h2, ms2), Ok (h3, ms3) ->
+          h2 = h3
+          && List.length ms2 = List.length ms3
+          && List.for_all2 same_payload ms2 ms3
+          && List.for_all2
+               (fun (a : Trace.Message.t) (b : Trace.Message.t) -> a.eid = b.eid)
+               ms2 ms3
+      | Error e, _ | _, Error e ->
+          QCheck.Test.fail_reportf "parity: %s" (E.to_string e))
+
+let test_reader_chunk_insensitive_v3 =
+  QCheck.Test.make ~name:"Reader is chunk-boundary insensitive (v3)" ~count:300
+    arb_trace_chunked (fun ((h, ms), chunks) ->
+      let doc = W.Framed3.encode h ms in
+      let items, skips = reader_drain_items doc ~chunks in
+      if skips <> 0 then
+        QCheck.Test.fail_reportf "clean v3 stream produced %d skips" skips;
+      let headers =
+        List.filter_map (function W.Reader.Header h -> Some h | _ -> None) items
+      in
+      let msgs =
+        List.filter_map (function W.Reader.Msg m -> Some m | _ -> None) items
+      in
+      let ends =
+        List.filter_map (function W.Reader.End_of_thread t -> Some t | _ -> None) items
+      in
+      headers = [ h ]
+      && List.length msgs = List.length ms
+      && List.for_all2 same_payload ms msgs
+      && List.sort compare ends = List.init h.W.nthreads Fun.id)
+
+let test_v3_deterministic () =
+  let h = { W.nthreads = 2; init = [ ("x", 0) ] } in
+  let ms = [ msg 0 "x" 1 [ 1; 0 ]; msg 1 "x" 2 [ 1; 1 ]; msg 0 "x" 3 [ 2; 1 ] ] in
+  (* Determinism is what keeps replay-from-zero reconnects sound: the
+     redialled writer's bytes must match what the reader already saw. *)
+  Alcotest.(check string) "same input, same bytes" (W.Framed3.encode h ms)
+    (W.Framed3.encode h ms)
+
+(* A hand-assembled v3 stream: preamble, header, then [frames]. *)
+let v3_doc h frames =
+  W.Framed3.preamble ^ W.Framed3.encode_header h ^ String.concat "" frames
+
+let drain_all doc =
+  let r = W.Reader.create () in
+  W.Reader.feed r doc;
+  W.Reader.close r;
+  let rec go acc =
+    match W.Reader.next r with
+    | W.Reader.Item i -> go (`Item i :: acc)
+    | W.Reader.Skip { error; bytes } -> go (`Skip (error, bytes) :: acc)
+    | W.Reader.Await -> go acc
+    | W.Reader.Eof -> List.rev acc
+  in
+  go []
+
+let skip_errors events =
+  List.filter_map (function `Skip (e, _) -> Some e | _ -> None) events
+
+let delivered_msgs events =
+  List.filter_map (function `Item (W.Reader.Msg m) -> Some m | _ -> None) events
+
+let test_v3_truncated_varint () =
+  let h = { W.nthreads = 1; init = [] } in
+  (* flags byte says "full clock", then a varint that never ends. *)
+  let doc =
+    v3_doc h [ W.Framed.frame W.Framed3.kind_message "\x01\xff" ]
+  in
+  let events = drain_all doc in
+  (match skip_errors events with
+  | [ E.Bad_varint _ ] -> ()
+  | es ->
+      Alcotest.failf "expected one Bad_varint skip, got [%s]"
+        (String.concat "; " (List.map E.to_string es)));
+  Alcotest.(check int) "nothing delivered" 0 (List.length (delivered_msgs events))
+
+let test_v3_stale_baseline_after_skip () =
+  (* Skipped bytes may have hidden a message, so every delta baseline is
+     poisoned: the next delta frame must error, and only a full clock
+     (here: the writer's [reset]) re-anchors the thread. *)
+  let h = { W.nthreads = 1; init = [ ("x", 0) ] } in
+  let m1 = msg ~eid:0 0 "x" 1 [ 1 ] in
+  let m2 = msg ~eid:1 0 "x" 2 [ 2 ] in
+  let m3 = msg ~eid:2 0 "x" 3 [ 3 ] in
+  let enc = W.Framed3.encoder h in
+  let f1 = W.Framed3.encode_message enc m1 in
+  let f2 = W.Framed3.encode_message enc m2 in
+  W.Framed3.reset enc;
+  let f3 = W.Framed3.encode_message enc m3 in
+  let doc = v3_doc h [ f1; "NOISE"; f2; f3; W.Framed3.encode_end 0 ] in
+  let events = drain_all doc in
+  (match skip_errors events with
+  | [ E.Lost_sync 5; E.Stale_delta_baseline { tid = 0 } ] -> ()
+  | es ->
+      Alcotest.failf "expected Lost_sync then Stale_delta_baseline, got [%s]"
+        (String.concat "; " (List.map E.to_string es)));
+  (* m2 is lost with the baseline; the full-clock m3 still lands with
+     the right absolute clock. *)
+  check_payloads "survivors" [ m1; m3 ] (delivered_msgs events)
+
+let test_v3_mixed_versions_hard_error () =
+  let h = { W.nthreads = 1; init = [] } in
+  let m = msg 0 "x" 1 [ 1 ] in
+  (* A v2 message frame inside a v3 stream... *)
+  let doc3 = v3_doc h [ W.Framed.encode_message m ] in
+  (match W.decode_framed doc3 with
+  | Error (E.Version_mismatch { stream = 3; frame = 2 }) -> ()
+  | Error e -> Alcotest.failf "v2-in-v3: wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "v2-in-v3 frame decoded");
+  (* ... and a v3 message frame inside a v2 stream. *)
+  let enc = W.Framed3.encoder h in
+  let doc2 =
+    W.Framed.preamble ^ W.Framed.encode_header h
+    ^ W.Framed3.encode_message enc m
+  in
+  (match W.decode_framed doc2 with
+  | Error (E.Version_mismatch { stream = 2; frame = 3 }) -> ()
+  | Error e -> Alcotest.failf "v3-in-v2: wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "v3-in-v2 frame decoded");
+  (* The skipping reader surfaces the same typed error, not a decode. *)
+  let events = drain_all doc3 in
+  match skip_errors events with
+  | [ E.Version_mismatch { stream = 3; frame = 2 } ] -> ()
+  | es ->
+      Alcotest.failf "reader: expected Version_mismatch, got [%s]"
+        (String.concat "; " (List.map E.to_string es))
+
+(* Found by the fuzzer: a forged v3 header claiming a huge thread count
+   must be a typed error, not a quadratic allocation. *)
+let test_v3_thread_limit () =
+  let forged =
+    W.Framed3.preamble ^ W.Framed.frame W.Framed3.kind_header "threads 999999999"
+  in
+  (match skip_errors (drain_all forged) with
+  | [ E.Bad_thread_count _ ] -> ()
+  | es ->
+      Alcotest.failf "expected Bad_thread_count, got [%s]"
+        (String.concat "; " (List.map E.to_string es)));
+  (* At the limit it still works end to end. *)
+  let h = { W.nthreads = W.Framed3.max_threads; init = [] } in
+  let m = msg 0 "x" 1 (1 :: List.init (W.Framed3.max_threads - 1) (fun _ -> 0)) in
+  (match W.decode_framed (W.Framed3.encode h [ m ]) with
+  | Ok (h', [ m' ]) ->
+      Alcotest.(check int) "width survives" h.W.nthreads h'.W.nthreads;
+      Alcotest.(check bool) "payload survives" true (same_payload m m')
+  | Ok _ -> Alcotest.fail "wrong message count"
+  | Error e -> Alcotest.failf "limit-width stream rejected: %s" (E.to_string e));
+  (* One past it, the encoder refuses outright. *)
+  let over = { W.nthreads = W.Framed3.max_threads + 1; init = [] } in
+  match W.Framed3.encoder over with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoder accepted a clock wider than the v3 limit"
+
+let test_v3_unknown_var_id () =
+  let h = { W.nthreads = 1; init = [] } in
+  (* full clock, tid 0, var id 7 (never defined), value 0, clock [1] *)
+  let payload = "\x01\x00\x07\x00\x01" in
+  let doc = v3_doc h [ W.Framed.frame W.Framed3.kind_message payload ] in
+  let events = drain_all doc in
+  match skip_errors events with
+  | [ E.Unknown_var_id { id = 7; defined = 0 } ] -> ()
+  | es ->
+      Alcotest.failf "expected Unknown_var_id, got [%s]"
+        (String.concat "; " (List.map E.to_string es))
+
+(* The E20 workload shape in miniature: wide clocks, sparse updates —
+   the case the delta encoding exists for. *)
+let test_v3_wide_clocks_are_smaller () =
+  let nthreads = 64 in
+  let h = { W.nthreads; init = [ ("x", 0) ] } in
+  (* Per the paper's Algorithm A, a thread's clock changes only in its
+     own entry between its consecutive messages, plus the entries it
+     learns when reading a peer's write: sparse deltas, wide clocks. *)
+  let clocks = Array.init nthreads (fun _ -> Array.make nthreads 0) in
+  let ms =
+    List.init 512 (fun i ->
+        let tid = i * 7 mod nthreads in
+        let c = clocks.(tid) in
+        c.(tid) <- c.(tid) + 1;
+        if i mod 8 = 0 then begin
+          let peer = (tid + (i mod 13) + 1) mod nthreads in
+          c.(peer) <- max c.(peer) clocks.(peer).(peer)
+        end;
+        msg ~eid:i tid "x" i (Array.to_list c))
+  in
+  let v2 = W.Framed.encode h ms and v3 = W.Framed3.encode h ms in
+  if String.length v3 * 3 > String.length v2 then
+    Alcotest.failf "v3 not 3x smaller on wide sparse clocks: %d vs %d bytes"
+      (String.length v3) (String.length v2);
+  roundtrip_ok "wide" W.decode_framed v3 h ms |> ignore
+
+(* {1 Frame-size symmetry (the Frame_too_large asymmetry fix)} *)
+
+let test_frame_boundary () =
+  let limit = W.Framed.default_max_frame in
+  let at = String.make limit 'a' and over = String.make (limit + 1) 'a' in
+  (* Exactly at the reader's limit: both sides accept. *)
+  (match W.Framed.frame_result 'M' at with
+  | Ok f ->
+      (* sentinel + kind + u32 length + trailing newline *)
+      let overhead = String.length W.Framed.sentinel + 6 in
+      Alcotest.(check int) "framed length" (limit + overhead) (String.length f)
+  | Error e -> Alcotest.failf "frame at the limit rejected: %s" (E.to_string e));
+  (* One byte over: the encoder fails with the same typed error the
+     reader would report, instead of emitting an undecodable frame. *)
+  (match W.Framed.frame_result 'M' over with
+  | Error (E.Frame_too_large { length; limit = l }) ->
+      Alcotest.(check int) "length" (limit + 1) length;
+      Alcotest.(check int) "limit" limit l
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "frame over the limit accepted");
+  (match W.Framed.frame 'M' over with
+  | exception W.Frame_overflow { kind = 'M'; length; limit = l } ->
+      Alcotest.(check int) "exn length" (limit + 1) length;
+      Alcotest.(check int) "exn limit" limit l
+  | _ -> Alcotest.fail "frame over the limit did not raise");
+  (* The high-level encoders inherit the check: a message whose encoding
+     cannot fit any legal frame raises instead of corrupting the stream. *)
+  let h = { W.nthreads = 1; init = [] } in
+  let giant = msg 0 (String.make (limit + 1) 'v') 1 [ 1 ] in
+  (match W.Framed.encode h [ giant ] with
+  | exception W.Frame_overflow _ -> ()
+  | _ -> Alcotest.fail "v2 encode accepted an overflowing message");
+  match W.Framed3.encode h [ giant ] with
+  | exception W.Frame_overflow _ -> ()
+  | _ -> Alcotest.fail "v3 encode accepted an overflowing message"
+
+(* A message frame at exactly the limit must round-trip through the
+   reader: the boundary is inclusive on both sides. *)
+let test_frame_boundary_roundtrip () =
+  let limit = W.Framed.default_max_frame in
+  let pad = String.length (W.encode_message (msg 0 "" 1 [ 1 ])) in
+  let m = msg 0 (String.make (limit - pad) 'v') 1 [ 1 ] in
+  Alcotest.(check int) "payload is exactly the limit" limit
+    (String.length (W.encode_message m));
+  let h = { W.nthreads = 1; init = [] } in
+  match W.decode_framed (W.Framed.encode h [ m ]) with
+  | Ok (_, [ m' ]) ->
+      Alcotest.(check bool) "payload survives" true (same_payload m m')
+  | Ok (_, ms) -> Alcotest.failf "expected 1 message, got %d" (List.length ms)
+  | Error e -> Alcotest.failf "limit-sized frame rejected: %s" (E.to_string e)
+
+let test_adversarial_corpus_v3 () =
+  let rng = Random.State.make [| 0xBEEF3 |] in
+  let h, ms =
+    ( { W.nthreads = 2; init = [ ("x", 0); ("odd var", 1) ] },
+      [ msg 0 "x" 1 [ 1; 0 ]; msg 1 "odd var" 2 [ 0; 1 ]; msg 0 "x" 3 [ 2; 0 ] ] )
+  in
+  let base = W.Framed3.encode h ms in
+  for _ = 1 to 1_000 do
+    let doc = mutate rng base in
+    let chunks = List.init (1 + Random.State.int rng 8) (fun _ -> 1 + Random.State.int rng 9) in
+    match no_exceptions_on doc ~chunks with
+    | () -> ()
+    | exception e ->
+        Alcotest.failf "v3 decoder raised %s on %S" (Printexc.to_string e) doc
+  done
+
+(* v3 through the full stream driver: verdict parity with the offline
+   pipeline, the acceptance bar of the format change. *)
+let test_stream_matches_check_v3 () =
+  List.iter
+    (fun (name, program, script, spec) ->
+      let out, header, messages = recorded_trace program script spec in
+      let doc = W.Framed3.encode header messages in
+      List.iter
+        (fun chunk_size ->
+          match Jmpax.Stream.run_string ~chunk_size ~spec doc with
+          | Error e -> Alcotest.failf "%s (v3): stream failed: %s" name (E.to_string e)
+          | Ok o ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s (v3, chunk %d): verdict line" name chunk_size)
+                (Jmpax.Pipeline.verdict_line (Jmpax.Pipeline.predicted_violation out))
+                (Jmpax.Pipeline.verdict_line o.Jmpax.Stream.s_violated);
+              Alcotest.(check int)
+                (Printf.sprintf "%s (v3): messages" name)
+                (List.length messages)
+                o.Jmpax.Stream.s_stats.Jmpax.Stream.messages)
+        [ 1; 7; 64 * 1024 ])
+    paper_examples
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ test_var_roundtrip;
       test_roundtrip_v1;
       test_roundtrip_framed;
       test_decode_any_sniffs;
-      test_reader_chunk_insensitive ]
+      test_reader_chunk_insensitive;
+      test_roundtrip_v3;
+      test_v2_v3_parity;
+      test_reader_chunk_insensitive_v3 ]
 
 let () =
   Alcotest.run "wire"
@@ -638,9 +938,29 @@ let () =
       ("laws", qcheck_tests);
       ( "adversarial",
         [ Alcotest.test_case "mutations never raise" `Quick test_adversarial_corpus;
+          Alcotest.test_case "v3 mutations never raise" `Quick
+            test_adversarial_corpus_v3;
           Alcotest.test_case "resync counts" `Quick test_framed_skip_counts ] );
+      ( "wire v3",
+        [ Alcotest.test_case "deterministic encoding" `Quick test_v3_deterministic;
+          Alcotest.test_case "truncated varint" `Quick test_v3_truncated_varint;
+          Alcotest.test_case "stale baseline after skip" `Quick
+            test_v3_stale_baseline_after_skip;
+          Alcotest.test_case "mixed v2/v3 hard-errors" `Quick
+            test_v3_mixed_versions_hard_error;
+          Alcotest.test_case "unknown var id" `Quick test_v3_unknown_var_id;
+          Alcotest.test_case "thread-count ceiling" `Quick test_v3_thread_limit;
+          Alcotest.test_case "wide sparse clocks shrink 3x" `Quick
+            test_v3_wide_clocks_are_smaller ] );
+      ( "frame bounds",
+        [ Alcotest.test_case "encoder rejects what the reader would" `Quick
+            test_frame_boundary;
+          Alcotest.test_case "limit-sized frame round-trips" `Quick
+            test_frame_boundary_roundtrip ] );
       ( "stream",
         [ Alcotest.test_case "verdicts match check" `Quick test_stream_matches_check;
+          Alcotest.test_case "verdicts match check (v3)" `Quick
+            test_stream_matches_check_v3;
           Alcotest.test_case "over a FIFO" `Quick test_stream_over_fifo ] );
       ( "recovery",
         [ Alcotest.test_case "fail" `Quick test_recovery_fail;
