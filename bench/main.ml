@@ -841,7 +841,7 @@ let e16 ?(smoke = false) () =
         grid 8 2 ]
   in
   let measure_arm ~on ~quota run =
-    if on then Telemetry.Metrics.enable () else Telemetry.Metrics.disable ();
+    if on then Telemetry.Metrics.enable_deep () else Telemetry.Metrics.disable ();
     let ns =
       match
         measure ~quota
@@ -876,7 +876,7 @@ let e16 ?(smoke = false) () =
       Printf.printf "%-12s %s %s %8.3fx\n" name (pp_ns off) (pp_ns on) ratio)
     workloads;
   record ~experiment:"E16" ~metric:"worst_overhead_ratio" !worst;
-  if was_on then Telemetry.Metrics.enable ();
+  if was_on then Telemetry.Metrics.enable_deep ();
   Printf.printf "verdict: worst metrics-on overhead %+.1f%% (gate: +10%%)\n"
     ((!worst -. 1.) *. 100.);
   !worst <= 1.10
@@ -1277,7 +1277,7 @@ let () =
     | a :: rest -> a :: strip rest
   in
   let args = strip args in
-  if !metrics_path <> None then Telemetry.Metrics.enable ();
+  if !metrics_path <> None then Telemetry.Metrics.enable_deep ();
   (match (args, !smoke) with
   | [], true ->
       (* CI smoke: a fast subset proving the bench binary still runs,

@@ -195,32 +195,112 @@ let connect_mode argv =
     results;
   if !failed > 0 then exit 1
 
+(* {1 hold mode}
+
+   One writer session that stops mid-stream and keeps the connection
+   open: hello, ack, then the payload minus its tail, then block until
+   the daemon closes the socket.  The CI smoke uses it to leave a
+   Streaming session behind at SIGTERM so the drain's checkpoint pass
+   has a session to checkpoint ([event=checkpoint] in the log). *)
+let hold_mode argv =
+  let addr = ref "" and sid = ref "held" and trace = ref None in
+  let spec_arg = ref None and events = ref events_default and cut = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--sid" :: s :: rest ->
+        sid := s;
+        parse rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--spec" :: s :: rest ->
+        spec_arg := Some s;
+        parse rest
+    | "--events" :: n :: rest ->
+        events := int_of_string n;
+        parse rest
+    | "--cut" :: n :: rest ->
+        cut := Some (int_of_string n);
+        parse rest
+    | a :: rest when !addr = "" ->
+        addr := a;
+        parse rest
+    | a :: _ -> failwith ("unexpected argument " ^ a)
+  in
+  parse argv;
+  if !addr = "" then failwith "hold mode needs an ADDRESS (unix:PATH or tcp:PORT)";
+  let addr = parse_addr !addr in
+  let payload =
+    match !trace with Some path -> read_file path | None -> synth_trace !events
+  in
+  (* Default cut: everything but the final 8 bytes — past the header
+     frame (so the session has an online analyzer to checkpoint) yet
+     mid-frame, so the reader parks at Await instead of finishing. *)
+  let cut =
+    match !cut with
+    | Some n -> min n (String.length payload)
+    | None -> max 0 (String.length payload - 8)
+  in
+  let fp =
+    Jmpax.Checkpoint.fingerprint
+      (match !spec_arg with Some s -> Pastltl.Fparser.parse s | None -> spec)
+  in
+  let sock = connect addr in
+  write_all sock (Printf.sprintf "jmpax-serve 1 %s %s\n" !sid fp);
+  (match read_line_blocking sock with
+  | None -> failwith "connection closed before ack"
+  | Some ack when String.length ack >= 6 && String.sub ack 0 6 = "reject" ->
+      failwith ack
+  | Some _ack -> ());
+  write_all sock (String.sub payload 0 cut);
+  Printf.printf "holding %s: %d of %d bytes sent\n%!" !sid cut
+    (String.length payload);
+  (* Block until the daemon closes the connection (drain) or we are
+     killed; either way the session stayed live on the daemon side. *)
+  let buf = Bytes.create 256 in
+  let rec wait () =
+    match Unix.read sock buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | _ -> wait ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  wait ()
+
 (* {1 E19 mode} *)
 
 let json_records : (string * float) list ref = ref []
 let record metric value = json_records := (metric, value) :: !json_records
 
-let write_json path =
+let write_json ?(experiment = "E19") path =
   let records = List.rev !json_records in
   let oc = open_out path in
   output_string oc "[";
   List.iteri
     (fun i (m, v) ->
-      Printf.fprintf oc "%s\n  {\"experiment\": \"E19\", \"metric\": %S, \"value\": %.6g}"
+      Printf.fprintf oc "%s\n  {\"experiment\": %S, \"metric\": %S, \"value\": %.6g}"
         (if i = 0 then "" else ",")
-        m v)
+        experiment m v)
     records;
   output_string oc "\n]\n";
   close_out oc;
   Printf.printf "\n%d result records written to %s\n" (List.length records) path
 
-let spawn_daemon ~sock_path =
+(* [telemetry] turns the full observability stack on in the daemon
+   child: live metrics registry plus info-level structured logs — the
+   exact configuration E21 bills against the all-off baseline. *)
+let spawn_daemon ?control ?(telemetry = false) ~sock_path () =
   (* The child inherits stdio buffers; flush so it doesn't replay the
      parent's pending output on exit. *)
   flush stdout;
   flush stderr;
   match Unix.fork () with
   | 0 -> (
+      if telemetry then begin
+        Telemetry.Metrics.enable ();
+        Telemetry.Log.set_level Telemetry.Log.Info
+      end
+      else Telemetry.Log.set_level Telemetry.Log.Error;
       let session =
         { Serve.Session.spec;
           spec_fp = Jmpax.Checkpoint.fingerprint spec;
@@ -233,12 +313,13 @@ let spawn_daemon ~sock_path =
       in
       let config =
         { Serve.Loop.address = Serve.Loop.Unix_path sock_path;
-          control = None;
+          control;
           session;
           max_sessions = 128;
           idle_timeout = 0.0;
           read_budget = Serve.Loop.default_read_budget;
-          log = ignore }
+          health_max_lag = 0;
+          health_max_buffered = 0 }
       in
       match Serve.Loop.create config with
       | Error msg ->
@@ -298,7 +379,7 @@ let e19 argv =
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let sock_path = Filename.concat dir "serve.sock" in
-  let pid = spawn_daemon ~sock_path in
+  let pid = spawn_daemon ~sock_path () in
   let addr = Unix_sock sock_path in
   let fp = Jmpax.Checkpoint.fingerprint spec in
   (* One unmeasured session first: the freshly forked daemon pays its
@@ -367,13 +448,156 @@ let e19 argv =
     exit 1
   end
 
+(* {1 E21 mode} *)
+
+(* One request line against the daemon's control socket, reply read to
+   EOF — the same wire exchange `echo metrics | nc -U` performs. *)
+let query_control path request =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      write_all sock (request ^ "\n");
+      (try Unix.shutdown sock Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      let buf = Bytes.create 8192 in
+      let out = Buffer.create 1024 in
+      let rec drain () =
+        match Unix.read sock buf 0 (Bytes.length buf) with
+        | 0 -> Buffer.contents out
+        | n ->
+            Buffer.add_subbytes out buf 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ())
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* Experiment E21: the observability tax.  Two daemon children serve
+   the identical session load — one with metrics + info logging off,
+   one with the full stack on — and the on-arm must stay within 1.10x
+   of the off-arm's best-of-N aggregate throughput.  The on-arm is also
+   scraped mid-run to prove the exposition carries the tentpole
+   families. *)
+let e21 argv =
+  let json = ref None and events = ref events_default in
+  let sessions = ref 8 and reps = ref 3 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | "--events" :: n :: rest ->
+        events := int_of_string n;
+        parse rest
+    | "--sessions" :: n :: rest ->
+        sessions := int_of_string n;
+        parse rest
+    | "--reps" :: n :: rest ->
+        reps := int_of_string n;
+        parse rest
+    | a :: _ -> failwith ("unexpected argument " ^ a)
+  in
+  parse argv;
+  let payload = synth_trace !events in
+  let expected = expected_verdict payload in
+  let fp = Jmpax.Checkpoint.fingerprint spec in
+  Printf.printf
+    "E21: telemetry overhead (%d sessions x %d events, best of %d)\n\n"
+    !sessions !events !reps;
+  let measure_arm ~name ~telemetry =
+    let dir = Filename.temp_file "jmpax_e21" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let sock_path = Filename.concat dir "serve.sock" in
+    let ctl_path = sock_path ^ ".ctl" in
+    let pid = spawn_daemon ~control:ctl_path ~telemetry ~sock_path () in
+    let addr = Unix_sock sock_path in
+    let finish () =
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      (try Sys.remove sock_path with Sys_error _ -> ());
+      (try Sys.remove ctl_path with Sys_error _ -> ());
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      match status with Unix.WEXITED c -> c | _ -> 255
+    in
+    (* Warm-up stream: heap growth and analyzer warm-up are paid before
+       the clock starts, same as E19. *)
+    (match run_session ~addr ~sid:(name ^ ".warmup") ~fp ~payload with
+    | Ok v when v = expected -> ()
+    | Ok v -> failwith ("warmup: wrong verdict: " ^ v)
+    | Error e -> failwith ("warmup session failed: " ^ e));
+    let best = ref 0.0 in
+    for rep = 1 to !reps do
+      let t0 = Unix.gettimeofday () in
+      let results =
+        run_sessions ~addr
+          ~prefix:(Printf.sprintf "e21.%s.r%d." name rep)
+          ~sessions:!sessions ~fp ~payload
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Array.iter
+        (function
+          | Ok v when v = expected -> ()
+          | Ok v -> failwith ("wrong verdict: " ^ v)
+          | Error e -> failwith ("session failed: " ^ e))
+        results;
+      best := max !best (float_of_int (!sessions * !events) /. dt)
+    done;
+    (* Mid-run scrape of the on-arm: the exposition must be present and
+       carry the latency histogram and rolling-rate families while
+       sessions are still registered. *)
+    if telemetry then begin
+      let expo = query_control ctl_path "metrics" in
+      List.iter
+        (fun needle ->
+          if not (contains ~needle expo) then
+            failwith ("metrics exposition is missing " ^ needle))
+        [ "jmpax_serve_verdict_latency_seconds_bucket";
+          "jmpax_serve_events_per_second";
+          "jmpax_serve_events_total" ];
+      let health = query_control ctl_path "health" in
+      if not (contains ~needle:"ok" health) then
+        failwith ("unexpected health reply: " ^ health)
+    end;
+    let code = finish () in
+    if code <> 0 then failwith (Printf.sprintf "%s arm: drain exit %d" name code);
+    Printf.printf "  %-4s arm: %.0f events/s aggregate\n%!" name !best;
+    !best
+  in
+  let off_eps = measure_arm ~name:"off" ~telemetry:false in
+  let on_eps = measure_arm ~name:"on" ~telemetry:true in
+  let overhead = off_eps /. on_eps in
+  Printf.printf "  metrics+log overhead: %.3fx (gate <= 1.10x)\n" overhead;
+  record "events_per_session" (float_of_int !events);
+  record "sessions" (float_of_int !sessions);
+  record "telemetry_off_eps" off_eps;
+  record "telemetry_on_eps" on_eps;
+  record "overhead_ratio" overhead;
+  (match !json with
+  | Some path -> write_json ~experiment:"E21" path
+  | None -> ());
+  if overhead > 1.10 then begin
+    Printf.printf "FAIL: telemetry overhead above the 1.10x gate\n";
+    exit 1
+  end
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "connect" :: rest -> connect_mode rest
+  | _ :: "hold" :: rest -> hold_mode rest
   | _ :: "e19" :: rest -> e19 rest
+  | _ :: "e21" :: rest -> e21 rest
   | _ ->
       prerr_endline
         "usage: serve_load connect ADDR [--sessions N] [--events M] [--spec S]\n\
         \                          [--trace FILE] [--prefix P]\n\
-        \       serve_load e19 [--json FILE] [--events M]";
+        \       serve_load hold ADDR [--sid S] [--trace FILE] [--spec S]\n\
+        \                          [--events M] [--cut BYTES]\n\
+        \       serve_load e19 [--json FILE] [--events M]\n\
+        \       serve_load e21 [--json FILE] [--events M] [--sessions N] [--reps R]";
       exit 2

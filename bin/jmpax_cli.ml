@@ -88,6 +88,26 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let log_level_arg =
+  let doc =
+    "Structured-log threshold: $(b,debug), $(b,info), $(b,warn) or \
+     $(b,error).  Every daemon lifecycle event (accept, reject, evict, \
+     redial, checkpoint, drain) emits one greppable $(b,event=...) line \
+     on stderr."
+  in
+  Arg.(value
+       & opt (enum [ ("debug", Telemetry.Log.Debug); ("info", Telemetry.Log.Info);
+                     ("warn", Telemetry.Log.Warn); ("error", Telemetry.Log.Error) ])
+           Telemetry.Log.Info
+       & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_format_arg =
+  let doc = "Structured-log format: $(b,text) (key=value) or $(b,json)." in
+  Arg.(value
+       & opt (enum [ ("text", Telemetry.Log.Text); ("json", Telemetry.Log.Json) ])
+           Telemetry.Log.Text
+       & info [ "log-format" ] ~docv:"FORMAT" ~doc)
+
 let trace_arg =
   let doc =
     "Write a Chrome-trace span stream of the pipeline stages to $(docv) \
@@ -412,7 +432,9 @@ let with_transport ?reconnect ?(skip = 0) target f =
 let stream_cmd =
   let run target spec jobs max_buffered recovery quarantine_file checkpoint
       checkpoint_every resume reconnect backoff_min backoff_max max_retries
-      deadline metrics span_trace =
+      deadline metrics span_trace log_level log_format =
+    Telemetry.Log.set_level log_level;
+    Telemetry.Log.set_format log_format;
     let spec = parse_spec spec in
     let resume =
       match resume with
@@ -622,13 +644,20 @@ let stream_cmd =
     Term.(const run $ target $ spec_arg $ jobs_arg $ max_buffered $ recovery
           $ quarantine_file $ checkpoint $ checkpoint_every $ resume
           $ reconnect $ backoff_min $ backoff_max $ max_retries $ deadline
-          $ metrics_arg $ trace_arg)
+          $ metrics_arg $ trace_arg $ log_level_arg $ log_format_arg)
 
 (* {1 serve} *)
 
 let serve_cmd =
   let run address control spec max_sessions idle_timeout max_buffered jobs
-      recovery checkpoint_dir checkpoint_every read_budget metrics span_trace =
+      recovery checkpoint_dir checkpoint_every read_budget metrics span_trace
+      log_level log_format live_metrics health_max_lag health_max_buffered =
+    Telemetry.Log.set_level log_level;
+    Telemetry.Log.set_format log_format;
+    (* A daemon whose [metrics] control request always answers "empty"
+       is useless, so the live registry defaults on; [--live-metrics
+       false] restores the zero-overhead single-branch-off path. *)
+    if live_metrics && metrics = None then Telemetry.Metrics.enable ();
     let spec = parse_spec spec in
     let address =
       let prefixed prefix s =
@@ -670,7 +699,8 @@ let serve_cmd =
         max_sessions;
         idle_timeout;
         read_budget;
-        log = prerr_endline }
+        health_max_lag;
+        health_max_buffered }
     in
     let tconfig =
       Jmpax.Config.default ()
@@ -759,6 +789,29 @@ let serve_cmd =
                    from one session per tick before its siblings are serviced \
                    (default 65536).")
   in
+  let live_metrics =
+    Arg.(value & opt bool true
+         & info [ "live-metrics" ] ~docv:"BOOL"
+             ~doc:"Keep the telemetry registry live so the control socket's \
+                   $(b,metrics) request answers with a populated Prometheus \
+                   exposition (default true; the measured overhead gate is \
+                   E21).  $(b,--live-metrics false) restores the \
+                   single-branch-when-off fast path.")
+  in
+  let health_max_lag =
+    Arg.(value & opt int 0
+         & info [ "health-max-lag" ] ~docv:"BYTES"
+             ~doc:"The control socket's $(b,health) request reports \
+                   $(b,degraded) once any session holds more than $(docv) \
+                   undecoded bytes (default 0 = no lag check).")
+  in
+  let health_max_buffered =
+    Arg.(value & opt int 0
+         & info [ "health-max-buffered" ] ~docv:"N"
+             ~doc:"The $(b,health) request reports $(b,degraded) once any \
+                   session buffers more than $(docv) out-of-order messages \
+                   (default 0 = no buffering check).")
+  in
   let exits =
     [ Cmd.Exit.info 0
         ~doc:"drained cleanly: every live session was checkpointed (or no \
@@ -778,7 +831,9 @@ let serve_cmd =
              no writer can starve the others; SIGTERM drains gracefully.")
     Term.(const run $ address $ control $ spec_arg $ max_sessions $ idle_timeout
           $ max_buffered $ jobs_arg $ recovery $ checkpoint_dir
-          $ checkpoint_every $ read_budget $ metrics_arg $ trace_arg)
+          $ checkpoint_every $ read_budget $ metrics_arg $ trace_arg
+          $ log_level_arg $ log_format_arg $ live_metrics $ health_max_lag
+          $ health_max_buffered)
 
 (* {1 lattice} *)
 
@@ -952,37 +1007,97 @@ let monitor_cmd =
 
 (* {1 stats} *)
 
+(* A control-socket hang is not a connection refusal: supervisors retry
+   a refusal (the daemon is restarting) but page on a timeout (the
+   daemon is wedged), so the two need distinct exit codes. *)
+let exit_control_timeout = 7
+
+type control_error =
+  | Control_refused of string  (** nothing listening (or socket gone) *)
+  | Control_timeout of string  (** connected, but the reply stalled *)
+  | Control_io of string  (** anything else *)
+
+let control_error_message = function
+  | Control_refused m | Control_timeout m | Control_io m -> m
+
 (* Query a running daemon's control socket: one request line, read the
-   reply to EOF. *)
-let query_control path request =
+   reply to EOF, bounded by a wall-clock [timeout] (the daemon answers
+   from its select loop, so a stalled reply means a wedged daemon, not
+   a slow one). *)
+let query_control ?(timeout = 5.0) path request =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
       match connect_retry sock (Unix.ADDR_UNIX path) with
       | exception Unix.Unix_error (e, fn, _) ->
-          Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message e))
+          let msg = Printf.sprintf "%s: %s: %s" path fn (Unix.error_message e) in
+          (match e with
+          | Unix.ECONNREFUSED | Unix.ENOENT -> Error (Control_refused msg)
+          | _ -> Error (Control_io msg))
       | () ->
           let msg = Bytes.of_string (request ^ "\n") in
           let _ = Unix.write sock msg 0 (Bytes.length msg) in
           (try Unix.shutdown sock Unix.SHUTDOWN_SEND
            with Unix.Unix_error _ -> ());
+          let deadline = Unix.gettimeofday () +. timeout in
           let buf = Bytes.create 8192 in
           let out = Buffer.create 1024 in
           let rec drain () =
-            match Unix.read sock buf 0 (Bytes.length buf) with
-            | 0 -> Ok (Buffer.contents out)
-            | n ->
-                Buffer.add_subbytes out buf 0 n;
-                drain ()
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
-            | exception Unix.Unix_error (e, fn, _) ->
-                Error (Printf.sprintf "%s: %s: %s" path fn (Unix.error_message e))
+            let left = deadline -. Unix.gettimeofday () in
+            if left <= 0.0 then
+              Error
+                (Control_timeout
+                   (Printf.sprintf "%s: no reply within %gs" path timeout))
+            else
+              match Unix.select [ sock ] [] [] left with
+              | [], _, _ ->
+                  Error
+                    (Control_timeout
+                       (Printf.sprintf "%s: no reply within %gs" path timeout))
+              | _ -> (
+                  match Unix.read sock buf 0 (Bytes.length buf) with
+                  | 0 -> Ok (Buffer.contents out)
+                  | n ->
+                      Buffer.add_subbytes out buf 0 n;
+                      drain ()
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+                  | exception Unix.Unix_error (e, fn, _) ->
+                      Error
+                        (Control_io
+                           (Printf.sprintf "%s: %s: %s" path fn
+                              (Unix.error_message e))))
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
           in
           drain ())
 
+let die_control_error err =
+  let code =
+    match err with
+    | Control_refused _ -> exit_transport_lost
+    | Control_timeout _ -> exit_control_timeout
+    | Control_io _ -> exit_decode
+  in
+  die code (control_error_message err)
+
+let timeout_arg =
+  let doc =
+    "Give up on the control socket after $(docv) seconds without a \
+     reply (a wedged daemon exits with code 7; a refused connection \
+     with code 5)."
+  in
+  Arg.(value & opt float 5.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let control_exits =
+  [ Cmd.Exit.info exit_transport_lost
+      ~doc:"the control socket refused the connection (daemon not \
+            running, or the socket path is stale).";
+    Cmd.Exit.info exit_control_timeout
+      ~doc:"the daemon accepted the connection but did not reply \
+            within $(b,--timeout) seconds." ]
+
 let stats_cmd =
-  let run trace =
+  let run trace query timeout =
     let prefixed prefix s =
       String.length s > String.length prefix
       && String.sub s 0 (String.length prefix) = prefix
@@ -990,8 +1105,8 @@ let stats_cmd =
     if prefixed "unix:" trace then begin
       (* Live daemon rollup via its control socket. *)
       let path = String.sub trace 5 (String.length trace - 5) in
-      match query_control path "stats" with
-      | Error msg -> or_die (Error msg)
+      match query_control ~timeout path query with
+      | Error err -> die_control_error err
       | Ok reply -> print_string reply
     end
     else
@@ -1008,12 +1123,147 @@ let stats_cmd =
                    or $(b,unix:PATH) to query a running $(b,jmpax serve) \
                    daemon's control socket for its live per-tenant rollup.")
   in
+  let query =
+    Arg.(value & opt string "stats"
+         & info [ "query" ] ~docv:"REQUEST"
+             ~doc:"Control-socket request to send for $(b,unix:PATH) targets: \
+                   $(b,stats) (default), $(b,metrics) for the Prometheus text \
+                   exposition, $(b,health) for the ok/degraded/draining \
+                   verdict, or $(b,ping).")
+  in
   Cmd.v
-    (Cmd.info "stats"
+    (Cmd.info "stats" ~exits:control_exits
        ~doc:"Replay a span trace into a per-stage summary table (count, total, \
              min/mean/max time), or query a live $(b,jmpax serve) control \
              socket; exits nonzero if the trace is not well nested.")
-    Term.(const run $ trace)
+    Term.(const run $ trace $ query $ timeout_arg)
+
+(* {1 top} *)
+
+(* A [stats] reply split into the header's key/value lines and the
+   per-session [session k=v ...] lines; trailing free-form metrics text
+   is ignored. *)
+let parse_stats reply =
+  let header = Hashtbl.create 32 in
+  let sessions = ref [] in
+  let parse_kvs rest =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+            Some
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' rest)
+  in
+  String.split_on_char '\n' reply
+  |> List.iter (fun line ->
+         match String.index_opt line ' ' with
+         | None -> ()
+         | Some i ->
+             let key = String.sub line 0 i in
+             let rest = String.sub line (i + 1) (String.length line - i - 1) in
+             if key = "session" then sessions := parse_kvs rest :: !sessions
+             else if not (Hashtbl.mem header key) then
+               Hashtbl.replace header key rest);
+  (header, List.rev !sessions)
+
+let top_cmd =
+  let run target interval once timeout =
+    let prefixed prefix s =
+      String.length s > String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+    in
+    let path =
+      if prefixed "unix:" target then
+        String.sub target 5 (String.length target - 5)
+      else die 2 "jmpax top expects a unix:PATH control-socket address"
+    in
+    if interval <= 0.0 then die 2 "--interval must be positive";
+    (* Per-session event deltas between polls give a client-side EPS
+       that works even against a daemon running with telemetry off. *)
+    let prev_events : (string, int * float) Hashtbl.t = Hashtbl.create 32 in
+    let field kvs k = List.assoc_opt k kvs in
+    let fieldi kvs k =
+      match field kvs k with
+      | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)
+      | None -> 0
+    in
+    let render_screen reply now =
+      let header, sessions = parse_stats reply in
+      let h key = try Hashtbl.find header key with Not_found -> "-" in
+      let buf = Buffer.create 2048 in
+      let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      if not once then Buffer.add_string buf "\027[H\027[2J";
+      p "jmpax top — %s   uptime %ss   health %s%s\n" target (h "uptime_s")
+        (h "health")
+        (if h "draining" = "yes" then " (draining)" else "");
+      p "sessions %s/%s (peak %s)   events %s   verdicts %s   violations %s\n"
+        (h "serve.sessions_active") (h "serve.max_sessions")
+        (h "serve.sessions_peak") (h "serve.events_total") (h "serve.verdicts")
+        (h "serve.violations");
+      p "rates eps 1s=%s 10s=%s 60s=%s   latency us p50=%s p90=%s p99=%s\n"
+        (h "serve.events_rate_1s") (h "serve.events_rate_10s")
+        (h "serve.events_rate_60s") (h "serve.latency_p50_us")
+        (h "serve.latency_p90_us") (h "serve.latency_p99_us");
+      p "\n%-12s %-12s %10s %8s %6s %8s %8s %8s %8s\n" "SID" "STATE" "EVENTS"
+        "EPS" "LEVEL" "BUFFERED" "LAG" "CKPTS" "VERDICT";
+      List.iter
+        (fun kvs ->
+          let sid = Option.value ~default:"-" (field kvs "id") in
+          let events = fieldi kvs "events" in
+          let eps =
+            match Hashtbl.find_opt prev_events sid with
+            | Some (e0, t0) when now > t0 && events >= e0 ->
+                Printf.sprintf "%.1f" (float_of_int (events - e0) /. (now -. t0))
+            | _ -> "-"
+          in
+          Hashtbl.replace prev_events sid (events, now);
+          p "%-12s %-12s %10d %8s %6d %8d %8d %8d %8s\n" sid
+            (Option.value ~default:"-" (field kvs "state"))
+            events eps (fieldi kvs "level") (fieldi kvs "buffered")
+            (fieldi kvs "lag") (fieldi kvs "checkpoints")
+            (Option.value ~default:"-" (field kvs "verdict")))
+        sessions;
+      if sessions = [] then p "(no sessions)\n";
+      print_string (Buffer.contents buf);
+      flush stdout
+    in
+    let rec loop () =
+      (match query_control ~timeout path "stats" with
+      | Error err -> die_control_error err
+      | Ok reply -> render_screen reply (Unix.gettimeofday ()));
+      if not once then begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ADDRESS"
+             ~doc:"The daemon's control socket, as $(b,unix:PATH).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between polls (default 2).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render one snapshot without clearing the screen and exit \
+                   (for scripts and tests).")
+  in
+  Cmd.v
+    (Cmd.info "top" ~exits:control_exits
+       ~doc:"Live terminal view of a running $(b,jmpax serve) daemon: polls \
+             the control socket and redraws a per-session table (state, \
+             events, client-side events/s, buffering, lag, verdicts) plus \
+             the daemon-wide rates and latency quantiles.")
+    Term.(const run $ target $ interval $ once $ timeout_arg)
 
 (* {1 examples} *)
 
@@ -1040,4 +1290,4 @@ let () =
   exit (Cmd.eval (Cmd.group info [ check_cmd; run_cmd; lattice_cmd; race_cmd;
                                    deadlock_cmd; atomicity_cmd; compare_cmd; examples_cmd; fsm_cmd;
                                    monitor_cmd; observe_cmd; stream_cmd; serve_cmd;
-                                   stats_cmd ]))
+                                   stats_cmd; top_cmd ]))

@@ -59,7 +59,7 @@ let with_telemetry (config : Config.t) f =
       if metrics <> None then begin
         Telemetry.Metrics.reset ();
         Clock.Registry.reset_stats ();
-        Telemetry.Metrics.enable ()
+        Telemetry.Metrics.enable_deep ()
       end;
       Fun.protect
         ~finally:(fun () ->

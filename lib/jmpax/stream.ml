@@ -122,6 +122,12 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
         | Ok () ->
             last_ck_level := Predict.Online.level o;
             incr checkpoints;
+            Telemetry.Log.info ~event:"checkpoint"
+              ~fields:
+                [ ("path", path);
+                  ("position", string_of_int ck.Checkpoint.ck_position);
+                  ("level", string_of_int !last_ck_level) ]
+              "";
             Ok ()
         | Error e -> Error (Wire.Error.Checkpoint (Checkpoint.error_to_string e)))
     | _ -> Ok ()

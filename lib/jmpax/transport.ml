@@ -1,4 +1,5 @@
 module M = Telemetry.Metrics
+module L = Telemetry.Log
 
 let m_eintr = M.counter "transport.eintr_retries"
 let m_reconnects = M.counter "transport.reconnects"
@@ -135,7 +136,8 @@ let reconnecting ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ?(seed = 0)
     drop_conn ();
     if !lost = None then begin
       lost := Some reason;
-      if M.enabled () then M.incr m_lost
+      if M.enabled () then M.incr m_lost;
+      L.error ~event:"transport_lost" reason
     end
   in
   (* One backoff step; [false] once the retry budget is exhausted. *)
@@ -150,6 +152,11 @@ let reconnecting ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ?(seed = 0)
       let d = backoff.bo_min +. Random.State.float rng (Float.max span 0.0) in
       let d = Float.min d backoff.bo_max in
       prev_sleep := d;
+      L.warn ~event:"redial"
+        ~fields:
+          [ ("delay_s", Printf.sprintf "%.3f" d);
+            ("retries_left", string_of_int !retries_left) ]
+        reason;
       if backoff.bo_deadline > 0.0 then begin
         budget_left := !budget_left -. d;
         if !budget_left < 0.0 then begin
@@ -216,6 +223,9 @@ let reconnecting ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ?(seed = 0)
           | None -> 0
           | Some _ ->
               if M.enabled () then M.incr m_reconnects;
+              L.info ~event:"reconnect"
+                ~fields:[ ("offset", string_of_int !delivered) ]
+                "connection re-established";
               cooked buf pos len)
       | Some c -> (
           match retrying c.c_read buf pos len with

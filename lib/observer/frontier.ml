@@ -5,8 +5,11 @@
 module M = Telemetry.Metrics
 
 (* Handles are created once at module initialization; hot-path sites
-   branch on [M.enabled ()] before touching them (§4e of DESIGN.md: one
-   branch, no closure, when telemetry is off). *)
+   branch on [M.deep_enabled ()] before touching them (§4e of
+   DESIGN.md: one branch, no closure, when telemetry is off).  Every
+   site in this module is per-level or per-intern — the deep
+   diagnostics tier — so a daemon running with only the operational
+   registry live ([--live-metrics]) pays just the branch. *)
 let m_intern_hit = M.counter "frontier.intern.hit"
 let m_intern_miss = M.counter "frontier.intern.miss"
 let m_probes = M.counter "frontier.intern.probes"
@@ -45,15 +48,20 @@ module Pool = struct
     in
     M.add c us
 
+  (* Busy-time accounting rides on span tracing, not on the metrics
+     flag: wall-clock reads per shard-run are too expensive for the
+     always-on operational registry (E21 gates metrics-on overhead at
+     1.10x), and per-shard utilization only matters when profiling —
+     exactly when --trace is given. *)
   let run_shard f s =
-    if M.enabled () then begin
+    if Telemetry.Span.enabled () then begin
       let t0 = Telemetry.Span.now_us () in
       Fun.protect
-        ~finally:(fun () -> note_busy s (int_of_float (Telemetry.Span.now_us () -. t0)))
+        ~finally:(fun () ->
+          if M.deep_enabled () then
+            note_busy s (int_of_float (Telemetry.Span.now_us () -. t0)))
         (fun () -> Telemetry.Span.with_ ~name:"frontier.shard" (fun () -> f s))
     end
-    else if Telemetry.Span.enabled () then
-      Telemetry.Span.with_ ~name:"frontier.shard" (fun () -> f s)
     else f s
 
   (* Run [f s] for every shard [s] in [0 .. nshards-1], shard 0 on the
@@ -195,7 +203,7 @@ module Cutset = struct
 
   let intern_off t (a : int array) off =
     if 2 * (t.count + 1) > Array.length t.slots then grow_slots t;
-    if M.enabled () then begin
+    if M.deep_enabled () then begin
       let s = find_slot_probed t a off in
       let p = t.last_probes in
       t.stat_probes <- t.stat_probes + p;
@@ -403,7 +411,7 @@ module Make (P : PAYLOAD) = struct
               else lp.data.(lid) <- P.merge lp.data.(lid) p')
             (moves ~shard:s cutbuf)
         done);
-    if M.enabled () then
+    if M.deep_enabled () then
       Array.iter
         (fun (lc, _) ->
           M.observe m_shard_cuts (Cutset.count lc);
@@ -440,7 +448,7 @@ module Make (P : PAYLOAD) = struct
     { cuts; order; payloads }
 
   let expand pool ?(par_threshold = default_par_threshold) ~moves ~transition f =
-    if M.enabled () then begin
+    if M.deep_enabled () then begin
       M.incr m_levels;
       M.observe m_level_cuts (size f)
     end;

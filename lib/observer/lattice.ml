@@ -78,7 +78,7 @@ let build_body ?(max_nodes = 200_000) ?(jobs = 1) ?par_threshold comp =
     else begin
       incr level;
       F.iter (fun cut p -> p.nid <- add_node cut p.bstate !level p.preds) next;
-      if M.enabled () then M.push m_level_nodes (F.size next);
+      if M.deep_enabled () then M.push m_level_nodes (F.size next);
       frontier := next
     end
   done;

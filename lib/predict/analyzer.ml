@@ -84,7 +84,7 @@ let analyze_body ~stop_at_first ~max_violations ~jobs ?par_threshold ~spec comp 
     let cuts = F.size !frontier in
     max_frontier_cuts := max !max_frontier_cuts cuts;
     cuts_visited := !cuts_visited + cuts;
-    if M.enabled () then M.push m_level_series cuts;
+    if M.deep_enabled () then M.push m_level_series cuts;
     let entries = F.fold (fun acc _ e -> acc + Mset.cardinal e.msets) 0 !frontier in
     max_frontier_entries := max !max_frontier_entries entries;
     let this_level_violated = ref false in

@@ -168,12 +168,13 @@ let rec advance_one_level_body t =
         { state = state'; msets = stepped })
       t.frontier
   in
-  t.monitor_steps <- Array.fold_left ( + ) t.monitor_steps steps;
-  if M.enabled () then M.add m_monitor_steps (Array.fold_left ( + ) 0 steps);
+  let stepped = Array.fold_left ( + ) 0 steps in
+  t.monitor_steps <- t.monitor_steps + stepped;
+  if M.deep_enabled () then M.add m_monitor_steps stepped;
   if F.size next = 0 then t.done_ <- true
   else begin
     t.retired_cuts <- t.retired_cuts + F.size t.frontier;
-    if M.enabled () then begin
+    if M.deep_enabled () then begin
       M.add m_retired (F.size t.frontier);
       M.push m_level_cuts (F.size next)
     end;
@@ -198,7 +199,7 @@ and gc_store t =
       for k = t.gc_floor.(i) + 1 to floor.(i) do
         Hashtbl.remove t.store (i, k)
       done;
-      if M.enabled () then M.add m_gc_removed (floor.(i) - t.gc_floor.(i));
+      if M.deep_enabled () then M.add m_gc_removed (floor.(i) - t.gc_floor.(i));
       t.gc_floor.(i) <- floor.(i)
     end
   done
@@ -237,7 +238,7 @@ let feed t (m : Message.t) =
     t.prefix.(m.tid) <- !k
   end
   else t.beyond.(m.tid) <- t.beyond.(m.tid) + 1;
-  if M.enabled () then M.set_max m_peak_buffered (total_beyond t);
+  if M.deep_enabled () then M.set_max m_peak_buffered (total_beyond t);
   pump t
 
 let feed_all t ms = List.iter (feed t) ms

@@ -1,20 +1,24 @@
-(** The daemon's control socket: per-tenant telemetry rollups on demand.
+(** The daemon's control socket: live operational telemetry on demand.
 
-    [jmpax stats unix:CTL] connects, sends one request line, reads the
-    response, and the daemon closes.  Requests:
+    A client connects, sends one request line, reads the response, and
+    the daemon closes.  Requests:
 
-    - [stats] — the rollup: daemon counters, aggregate throughput, one
-      line per registered session, and (when telemetry is enabled) the
-      [serve.*]/[stream.*]/[online.*] slice of the metrics registry;
-    - [ping] — [pong], a liveness probe.
-
-    The rollup is plain [key value] lines followed by [session ...]
-    lines, so shell tooling can grep it without a parser. *)
+    - [stats] — the rollup: daemon counters, health, rolling event
+      rates and latency quantiles (when telemetry is enabled), one line
+      per registered session, and the [serve.*]/[stream.*]/[online.*]
+      slice of the metrics registry.  Plain [key value] lines followed
+      by [session k=v ...] lines, so shell tooling can grep it and
+      [jmpax top] can parse it without a JSON reader;
+    - [metrics] — the same state in Prometheus text exposition format
+      (see {!prometheus});
+    - [health] — one line: [ok], [degraded <detail>] or [draining],
+      from the configured thresholds;
+    - [ping] — [pong], a liveness probe. *)
 
 (** Daemon-lifetime counters, owned by the event loop.  Kept as plain
     fields (always correct, no telemetry required) and mirrored into
-    the [serve.*] metrics registry under the one-branch-when-off
-    contract. *)
+    the [serve.*] metrics registry by {!sync} under the
+    one-branch-when-off contract. *)
 type counters = {
   mutable accepts : int;
   mutable rejects : int;
@@ -28,19 +32,49 @@ type counters = {
 
 val fresh_counters : unit -> counters
 
-val render :
-  registry:Registry.t ->
-  counters:counters ->
-  uptime:float ->
-  draining:bool ->
-  string
+(** Everything a request handler needs to know about the daemon,
+    assembled by the loop per request (and per tick, for {!sync}). *)
+type view = {
+  v_registry : Registry.t;
+  v_counters : counters;
+  v_uptime : float;
+  v_now : float;  (** the loop's (steppable) clock, for window rates *)
+  v_draining : bool;
+  v_max_lag : int;
+      (** [health] degrades when a session's unconsumed reader bytes
+          exceed this; [0] disables the check *)
+  v_max_buffered : int;
+      (** [health] degrades when a session's out-of-order buffer
+          exceeds this; [0] disables the check *)
+}
+
+val sync :
+  registry:Registry.t -> counters:counters -> pending:int -> now:float -> unit
+(** Mirror the plain counters into the [serve.*] registry and push the
+    events delta into the rolling [serve.events] window.  Called by the
+    loop on {e every} tick (and again at the top of every render), so a
+    Prometheus scrape and a [stats] rollup can never disagree
+    mid-window.  No-op when telemetry is disabled. *)
+
+val health : view -> string * string
+(** [(status, detail)] with status [ok], [degraded] or [draining];
+    [detail] names the first offending session when degraded. *)
+
+val render : view -> string
 (** The [stats] response body. *)
 
-val handle_request :
-  registry:Registry.t ->
-  counters:counters ->
-  uptime:float ->
-  draining:bool ->
-  string ->
-  string
+val prometheus : view -> string
+(** The [metrics] response body: Prometheus text exposition.  Daemon
+    counters render from the plain {!counters} (so the scrape works
+    even with telemetry off); per-session series are labeled families
+    ([sid="..."]) capped at {!session_series_cap} with the overflow
+    counted in [jmpax_serve_sessions_omitted]; the live registry
+    contributes the latency histogram
+    ([jmpax_serve_verdict_latency_seconds_bucket]) and rolling rates
+    ([jmpax_serve_events_per_second]) when telemetry is enabled. *)
+
+val session_series_cap : int
+(** Cardinality cap on per-session labeled families (64). *)
+
+val handle_request : view -> string -> string
 (** Map one request line to its response. *)

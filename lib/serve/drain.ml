@@ -1,4 +1,5 @@
 module M = Telemetry.Metrics
+module L = Telemetry.Log
 
 let m_drain_ms = M.histogram "serve.drain_ms"
 let m_drained = M.counter "serve.drained_sessions"
@@ -10,7 +11,7 @@ type result = {
   dr_duration : float;
 }
 
-let run ?(log = prerr_endline) ~registry ~now () =
+let run ~registry ~now () =
   let t0 = now () in
   let sessions = Registry.all registry in
   let visited = ref 0 in
@@ -24,11 +25,9 @@ let run ?(log = prerr_endline) ~registry ~now () =
           match Session.write_checkpoint s with
           | Ok () -> incr checkpointed
           | Error reason ->
-              (* The satellite invariant: log, mark, move on — the
-                 sibling sessions still get their checkpoints. *)
-              log
-                (Printf.sprintf "jmpax serve: drain: session %s: %s"
-                   (Session.id s) reason);
+              (* The invariant: log, mark, move on — the sibling
+                 sessions still get their checkpoints. *)
+              L.warn ~sid:(Session.id s) ~event:"drain_failed" reason;
               Session.mark_drain_failed s reason;
               failed := (Session.id s, reason) :: !failed)
       | Session.Handshaking | Session.Done | Session.Failed -> ());

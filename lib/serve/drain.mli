@@ -28,12 +28,11 @@ type result = {
   dr_duration : float;  (** seconds *)
 }
 
-val run :
-  ?log:(string -> unit) -> registry:Registry.t -> now:(unit -> float) ->
-  unit -> result
+val run : registry:Registry.t -> now:(unit -> float) -> unit -> result
 (** Checkpoints every [Streaming]/[Disconnected] session (best-effort,
-    failures collected, never aborting the sweep), closes every
-    connection, and observes the [serve.drain_ms] histogram. *)
+    failures collected and logged via {!Telemetry.Log}, never aborting
+    the sweep), closes every connection, and observes the
+    [serve.drain_ms] histogram. *)
 
 val exit_code : result -> int
 (** [0] or [6] per the aggregate rule above. *)

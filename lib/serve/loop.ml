@@ -1,11 +1,5 @@
 module M = Telemetry.Metrics
-
-let m_accepts = M.counter "serve.accepts"
-let m_rejects = M.counter "serve.rejects"
-let m_disconnects = M.counter "serve.disconnects"
-let m_resumes = M.counter "serve.resumes"
-let m_sessions_active = M.gauge "serve.sessions_active"
-let m_sessions_peak = M.gauge "serve.sessions_peak"
+module L = Telemetry.Log
 
 type address = Unix_path of string | Tcp of int
 
@@ -16,7 +10,8 @@ type config = {
   max_sessions : int;
   idle_timeout : float;
   read_budget : int;
-  log : string -> unit;
+  health_max_lag : int;
+  health_max_buffered : int;
 }
 
 let default_read_budget = 64 * 1024
@@ -146,15 +141,29 @@ let create cfg =
               started = cfg.session.Session.now ();
               buf = Bytes.create (max 1 cfg.read_budget) })
 
+let view t =
+  { Control.v_registry = t.reg;
+    v_counters = t.ctrs;
+    v_uptime = t.cfg.session.Session.now () -. t.started;
+    v_now = t.cfg.session.Session.now ();
+    v_draining = Atomic.get t.drain_flag;
+    v_max_lag = t.cfg.health_max_lag;
+    v_max_buffered = t.cfg.health_max_buffered }
+
 (* {1 Bookkeeping} *)
 
+(* The active/peak gauges themselves live in the registry via
+   [Control.sync]; here only the plain peak field is kept current, so
+   an intra-tick spike is never lost before the next sync. *)
 let update_session_gauges t =
   let active = Registry.connected_count t.reg + List.length t.pending in
-  t.ctrs.Control.peak_sessions <- max t.ctrs.Control.peak_sessions active;
-  if M.enabled () then begin
-    M.set m_sessions_active active;
-    M.set_max m_sessions_peak active
-  end
+  t.ctrs.Control.peak_sessions <- max t.ctrs.Control.peak_sessions active
+
+let sync_metrics t =
+  if M.enabled () then
+    Control.sync ~registry:t.reg ~counters:t.ctrs
+      ~pending:(List.length t.pending)
+      ~now:(t.cfg.session.Session.now ())
 
 (* A session left the registry's live set (finished); roll its event
    count into the daemon totals so throughput survives the idle sweep. *)
@@ -166,7 +175,7 @@ let note_finished t s =
 
 let polite_reject t fd reason =
   t.ctrs.Control.rejects <- t.ctrs.Control.rejects + 1;
-  if M.enabled () then M.incr m_rejects;
+  L.warn ~event:"reject" reason;
   let line = Bytes.of_string (Printf.sprintf "reject %s\n" reason) in
   (try ignore (Unix.write fd line 0 (Bytes.length line))
    with Unix.Unix_error _ -> ());
@@ -186,7 +195,9 @@ let accept_sessions t =
               then polite_reject t fd "server full"
               else begin
                 t.ctrs.Control.accepts <- t.ctrs.Control.accepts + 1;
-                if M.enabled () then M.incr m_accepts;
+                L.info ~event:"accept"
+                  ~fields:[ ("addr", t.bound) ]
+                  "connection accepted";
                 t.pending <- Session.create t.cfg.session fd :: t.pending;
                 update_session_gauges t
               end;
@@ -218,35 +229,31 @@ let try_resume_from_disk t s ~sid ~rest =
       else begin
         match Jmpax.Checkpoint.read path with
         | Error e ->
-            t.cfg.log
-              (Printf.sprintf
-                 "jmpax serve: session %s: unreadable checkpoint %s (%s); \
-                  starting fresh"
-                 sid path
+            L.warn ~sid ~event:"checkpoint_invalid"
+              ~fields:[ ("path", path) ]
+              (Printf.sprintf "unreadable (%s); starting fresh"
                  (Jmpax.Checkpoint.error_to_string e));
             Session.start_fresh s ~id:sid ~rest
         | Ok ck -> (
             match Jmpax.Checkpoint.validate ~spec:t.cfg.session.Session.spec ck with
             | Error e ->
-                t.cfg.log
-                  (Printf.sprintf
-                     "jmpax serve: session %s: checkpoint %s rejected (%s); \
-                      starting fresh"
-                     sid path
+                L.warn ~sid ~event:"checkpoint_invalid"
+                  ~fields:[ ("path", path) ]
+                  (Printf.sprintf "rejected (%s); starting fresh"
                      (Jmpax.Checkpoint.error_to_string e));
                 Session.start_fresh s ~id:sid ~rest
             | Ok () -> (
                 match Session.start_resume_checkpoint s ~id:sid ~ck ~rest with
                 | outcome ->
                     t.ctrs.Control.resumes <- t.ctrs.Control.resumes + 1;
-                    if M.enabled () then M.incr m_resumes;
+                    L.info ~sid ~event:"resume"
+                      ~fields:[ ("from", "checkpoint"); ("path", path) ]
+                      "";
                     outcome
                 | exception Invalid_argument msg ->
-                    t.cfg.log
-                      (Printf.sprintf
-                         "jmpax serve: session %s: checkpoint restore failed \
-                          (%s)"
-                         sid msg);
+                    L.warn ~sid ~event:"checkpoint_invalid"
+                      ~fields:[ ("path", path) ]
+                      (Printf.sprintf "restore failed (%s)" msg);
                     Session.reject s "checkpoint restore failed";
                     Finished))
       end
@@ -257,7 +264,6 @@ let try_resume_from_disk t s ~sid ~rest =
 let complete_handshake t s ~sid ~fp ~rest =
   let refuse reason =
     t.ctrs.Control.rejects <- t.ctrs.Control.rejects + 1;
-    if M.enabled () then M.incr m_rejects;
     Session.reject s reason;
     (None, Session.Finished)
   in
@@ -274,7 +280,7 @@ let complete_handshake t s ~sid ~fp ~rest =
     | Some parked when Session.state parked = Session.Disconnected ->
         let outcome = Session.adopt parked ~from:s ~rest in
         t.ctrs.Control.resumes <- t.ctrs.Control.resumes + 1;
-        if M.enabled () then M.incr m_resumes;
+        L.info ~sid ~event:"resume" ~fields:[ ("from", "memory") ] "";
         (Some parked, outcome)
     | Some _finished -> refuse "session already completed"
     | None -> (
@@ -320,7 +326,9 @@ let service_session t s =
             | Session.Continue ->
                 if Session.state s = Session.Disconnected then begin
                   t.ctrs.Control.disconnects <- t.ctrs.Control.disconnects + 1;
-                  if M.enabled () then M.incr m_disconnects
+                  L.info ~sid:(Session.id s) ~event:"disconnect"
+                    ~fields:[ ("events", string_of_int (Session.events s)) ]
+                    "writer vanished mid-stream"
                 end
             | Session.Finished -> note_finished t s
             | Session.Hello _ -> ());
@@ -374,11 +382,7 @@ let service_control t c =
         end
     | Some nl ->
         let line = String.sub text 0 nl in
-        let uptime = t.cfg.session.Session.now () -. t.started in
-        let reply =
-          Control.handle_request ~registry:t.reg ~counters:t.ctrs ~uptime
-            ~draining:(Atomic.get t.drain_flag) line
-        in
+        let reply = Control.handle_request (view t) line in
         let data = Bytes.of_string reply in
         let rec send pos =
           if pos < Bytes.length data then
@@ -402,24 +406,24 @@ let service_control t c =
 
 let do_drain t =
   if not t.is_finished then begin
-    t.cfg.log
-      (Printf.sprintf "jmpax serve: drain: %d session(s) live"
-         (Registry.connected_count t.reg));
+    L.info ~event:"drain"
+      ~fields:
+        [ ("live", string_of_int (Registry.connected_count t.reg)) ]
+      "drain requested";
     (* Stop accepting first: the drain must not race new tenants. *)
     close t;
-    let res =
-      Drain.run ~log:t.cfg.log ~registry:t.reg ~now:t.cfg.session.Session.now ()
-    in
+    let res = Drain.run ~registry:t.reg ~now:t.cfg.session.Session.now () in
     t.drain_res <- Some res;
     t.code <- Drain.exit_code res;
     t.is_finished <- true;
-    t.cfg.log
-      (Printf.sprintf
-         "jmpax serve: drained %d session(s), %d checkpointed, %d failed \
-          (%.0f ms)"
-         res.Drain.dr_sessions res.Drain.dr_checkpointed
-         (List.length res.Drain.dr_failed)
-         (res.Drain.dr_duration *. 1000.0))
+    sync_metrics t;
+    L.info ~event:"drain"
+      ~fields:
+        [ ("sessions", string_of_int res.Drain.dr_sessions);
+          ("checkpointed", string_of_int res.Drain.dr_checkpointed);
+          ("failed", string_of_int (List.length res.Drain.dr_failed));
+          ("ms", Printf.sprintf "%.0f" (res.Drain.dr_duration *. 1000.0)) ]
+      "drain complete"
   end
 
 (* {1 The tick} *)
@@ -493,6 +497,10 @@ let tick ?(timeout = 0.25) t =
             evicted;
           update_session_gauges t
         end;
+        (* Mirror the control counters into the registry every tick, so
+           a scrape between ticks never sees a stale window or a
+           counter behind the stats rollup. *)
+        sync_metrics t;
         if Atomic.get t.drain_flag then do_drain t
   end
 

@@ -37,7 +37,12 @@ type config = {
   max_sessions : int;
   idle_timeout : float;  (** seconds; [0.] = never evict *)
   read_budget : int;  (** bytes per session per tick *)
-  log : string -> unit;
+  health_max_lag : int;
+      (** [health] reports [degraded] when a session's undecoded bytes
+          exceed this; [0] disables the check *)
+  health_max_buffered : int;
+      (** [health] reports [degraded] when a session's out-of-order
+          buffer exceeds this; [0] disables the check *)
 }
 
 val default_read_budget : int

@@ -1,6 +1,4 @@
-module M = Telemetry.Metrics
-
-let m_evictions = M.counter "serve.evictions"
+module L = Telemetry.Log
 
 type t = {
   sessions : (string, Session.t) Hashtbl.t;
@@ -64,7 +62,11 @@ let sweep_idle t ~now =
         | Session.Handshaking | Session.Done | Session.Failed -> ());
         Session.close s;
         Hashtbl.remove t.sessions (Session.id s);
-        if M.enabled () then M.incr m_evictions)
+        (* The loop counts evictions in Control.counters; the mirror
+           carries them into the registry, so no direct incr here. *)
+        L.info ~sid:(Session.id s) ~event:"evict"
+          ~fields:[ ("idle_s", Printf.sprintf "%.1f" (now -. Session.last_activity s)) ]
+          "idle timeout")
       stale;
     stale
   end

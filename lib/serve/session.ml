@@ -1,4 +1,5 @@
 module M = Telemetry.Metrics
+module L = Telemetry.Log
 module Wire = Jmpax.Wire
 module Checkpoint = Jmpax.Checkpoint
 
@@ -6,6 +7,12 @@ let m_checkpoints = M.counter "serve.checkpoints"
 let m_verdicts = M.counter "serve.verdicts"
 let m_violations = M.counter "serve.violations"
 let m_session_failures = M.counter "serve.session_failures"
+
+(* Ingest -> verdict-state-updated latency: how long one batch of
+   socket bytes takes to flow through the reader and analyzer.  Fed
+   from the loop's injected clock, so tests stepping that clock see
+   deterministic observations. *)
+let verdict_latency = M.histogram "serve.verdict_latency_us"
 
 type config = {
   spec : Pastltl.Formula.t;
@@ -102,6 +109,10 @@ let level t =
 let buffered t =
   match t.online with Some o -> Predict.Online.out_of_order o | None -> 0
 
+(* Bytes received but not yet turned into events: the session's lag. *)
+let lag t =
+  match t.reader with Some r -> Wire.Reader.pending_bytes r | None -> 0
+
 let close t =
   match t.s_fd with
   | None -> ()
@@ -151,6 +162,9 @@ let finish_failed t code reason =
   ignore (write_line t (Printf.sprintf "error %s\n" reason));
   close t;
   if M.enabled () then M.incr m_session_failures;
+  L.warn ~sid:t.s_id ~event:"session_failed"
+    ~fields:[ ("code", string_of_int code) ]
+    reason;
   Finished
 
 let finish_done t violated_ =
@@ -162,6 +176,11 @@ let finish_done t violated_ =
     M.incr m_verdicts;
     if violated_ then M.incr m_violations
   end;
+  L.info ~sid:t.s_id ~event:"verdict"
+    ~fields:
+      [ ("verdict", if violated_ then "violation" else "ok");
+        ("events", string_of_int t.s_events) ]
+    "session complete";
   Finished
 
 (* {1 Checkpointing} *)
@@ -194,6 +213,11 @@ let write_checkpoint t =
               t.s_checkpoints <- t.s_checkpoints + 1;
               t.last_ck_level <- Predict.Online.level online;
               if M.enabled () then M.incr m_checkpoints;
+              L.info ~sid:t.s_id ~event:"checkpoint"
+                ~fields:
+                  [ ("position", string_of_int ck.Checkpoint.ck_position);
+                    ("level", string_of_int t.last_ck_level) ]
+                "";
               Ok ()
           | Error e -> Error (Checkpoint.error_to_string e)))
 
@@ -333,7 +357,15 @@ let stream_bytes t data =
 let on_bytes t data =
   t.s_last_activity <- t.cfg.now ();
   match t.s_state with
-  | Streaming -> stream_bytes t data
+  | Streaming ->
+      if M.enabled () then begin
+        let t0 = t.cfg.now () in
+        let outcome = stream_bytes t data in
+        M.observe verdict_latency
+          (int_of_float ((t.cfg.now () -. t0) *. 1e6));
+        outcome
+      end
+      else stream_bytes t data
   | Handshaking ->
       if Buffer.length t.hello + String.length data > hello_limit then begin
         ignore (write_line t "reject hello line too long\n");
@@ -440,4 +472,5 @@ let reject t reason =
   close t;
   t.s_state <- Failed;
   t.s_code <- 2;
-  t.s_reason <- reason
+  t.s_reason <- reason;
+  L.warn ?sid:(if t.s_id = "" then None else Some t.s_id) ~event:"reject" reason

@@ -88,6 +88,10 @@ val level : t -> int
 val buffered : t -> int
 (** Out-of-order buffered messages (the [max_buffered] quantity). *)
 
+val lag : t -> int
+(** Bytes received from the writer but not yet decoded into events —
+    the session's ingest backlog (the [--health-max-lag] quantity). *)
+
 val skipped : t -> int
 (** Malformed frames skipped under [Skip]/[Quarantine]. *)
 
@@ -156,3 +160,9 @@ val mark_drain_failed : t -> string -> unit
 val close : t -> unit
 (** Close the socket if still open (idempotent); does not change
     [state]. *)
+
+val verdict_latency : Telemetry.Metrics.histogram
+(** Ingest-to-verdict-state-updated latency in microseconds, one
+    observation per batch of socket bytes pushed through the reader and
+    analyzer.  Fed from the config's injectable clock; exposed so the
+    control socket can render p50/p90/p99. *)

@@ -27,16 +27,48 @@ type series = {
   mutable s_dropped : int;
 }
 
+(* A fixed ring of time slots, each [w_width] seconds wide and holding
+   the sum of the deltas recorded during it.  Slots are keyed by their
+   epoch (floor (t / width)) so a stale slot is recognized and zeroed
+   lazily on the next write that lands in it — advancing time costs
+   nothing.  Rolling sums read the last [k] epochs back from [now]. *)
+type window = {
+  w_name : string;
+  w_width : float;
+  w_mutex : Mutex.t;
+  w_epochs : int array;
+  w_sums : int array;
+  mutable w_last : float;  (** largest time ever passed to [window_add] *)
+}
+
 type metric =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
   | Series of series
+  | Window of window
 
 let on = Atomic.make false
 let enabled () = Atomic.get on
 let enable () = Atomic.set on true
-let disable () = Atomic.set on false
+
+(* The deep tier: per-level / per-intern diagnostics inside the lattice
+   engine (frontier sharding, interning probe stats, level series).
+   They cost real time on the per-event hot path, so the always-on
+   operational registry (a serving daemon's [--live-metrics]) leaves
+   them off; [--metrics] — an explicit profiling request — turns both
+   tiers on.  [deep] is only ever true while [on] is, so a single load
+   of [deep] is the whole hot-path branch. *)
+let deep = Atomic.make false
+let deep_enabled () = Atomic.get deep
+
+let enable_deep () =
+  Atomic.set on true;
+  Atomic.set deep true
+
+let disable () =
+  Atomic.set deep false;
+  Atomic.set on false
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let registry_mutex = Mutex.create ()
@@ -46,6 +78,7 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
   | Series _ -> "series"
+  | Window _ -> "window"
 
 (* Get-or-create under the registry mutex; [project] rejects a name
    already bound to a different kind. *)
@@ -142,6 +175,120 @@ let hist_bucket h k =
   if k < 0 || k >= nbuckets then invalid_arg "Metrics.hist_bucket: bad bucket";
   Atomic.get h.buckets.(k)
 
+(* Mirror support: overwrite a counter with an externally-maintained
+   value (e.g. the serve control-plane counters synced every tick). *)
+let set_counter c v = Atomic.set c.c v
+
+(* Estimate the [q]-quantile (0 <= q <= 1) of the observations by
+   walking the cumulative bucket counts and interpolating linearly
+   inside the log2 bucket that contains the target rank.  Bucket 0
+   (v <= 0) estimates as 0; the top nonempty bucket's upper edge is
+   clamped to the observed max so p99 never exceeds it.  Monotone in
+   [q] by construction: the target rank is monotone, cumulative counts
+   are non-decreasing, and within a bucket the interpolation is linear. *)
+let hist_quantile h q =
+  let count = Atomic.get h.h_count in
+  if count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let target = q *. float_of_int count in
+    (* Highest nonempty bucket, for max-clamping its upper edge. *)
+    let top = ref 0 in
+    for k = 0 to nbuckets - 1 do
+      if Atomic.get h.buckets.(k) > 0 then top := k
+    done;
+    let rec walk k cum =
+      if k >= nbuckets then float_of_int (Atomic.get h.h_max)
+      else
+        let n = Atomic.get h.buckets.(k) in
+        let cum' = cum + n in
+        if n > 0 && float_of_int cum' >= target then
+          if k = 0 then 0.0
+          else begin
+            let lo = float_of_int (1 lsl (k - 1)) in
+            let hi =
+              if k = !top then
+                Float.max lo (float_of_int (Atomic.get h.h_max))
+              else float_of_int (1 lsl k)
+            in
+            let frac = (target -. float_of_int cum) /. float_of_int n in
+            lo +. ((hi -. lo) *. frac)
+          end
+        else walk (k + 1) cum'
+    in
+    walk 0 0
+  end
+
+let default_window_slots = 64
+
+let window ?(slots = default_window_slots) ?(width = 1.0) name =
+  if slots < 1 then invalid_arg "Metrics.window: slots < 1";
+  if width <= 0.0 then invalid_arg "Metrics.window: width <= 0";
+  intern name
+    (fun () ->
+      Window
+        { w_name = name;
+          w_width = width;
+          w_mutex = Mutex.create ();
+          w_epochs = Array.make slots min_int;
+          w_sums = Array.make slots 0;
+          w_last = 0.0 })
+    (function Window w -> Some w | _ -> None)
+
+let window_epoch w now =
+  let now = if now < 0.0 then 0.0 else now in
+  int_of_float (now /. w.w_width)
+
+let window_add w ~now n =
+  Mutex.lock w.w_mutex;
+  let e = window_epoch w now in
+  let i = e mod Array.length w.w_sums in
+  if w.w_epochs.(i) <> e then begin
+    w.w_epochs.(i) <- e;
+    w.w_sums.(i) <- 0
+  end;
+  w.w_sums.(i) <- w.w_sums.(i) + n;
+  if now > w.w_last then w.w_last <- now;
+  Mutex.unlock w.w_mutex
+
+(* Sum of deltas recorded in the last [ceil (span / width)] slots up to
+   and including the slot containing [now].  Aligned to slot
+   boundaries, so with span = slots * width and all pushes within that
+   range the sum is exact (the qcheck law in the test suite). *)
+let window_sum w ~now ~span =
+  Mutex.lock w.w_mutex;
+  let e_now = window_epoch w now in
+  let k =
+    let raw = int_of_float (Float.ceil (span /. w.w_width)) in
+    max 1 (min raw (Array.length w.w_sums))
+  in
+  let total = ref 0 in
+  let slots = Array.length w.w_sums in
+  for d = 0 to k - 1 do
+    let e = e_now - d in
+    if e >= 0 then begin
+      let i = e mod slots in
+      if w.w_epochs.(i) = e then total := !total + w.w_sums.(i)
+    end
+  done;
+  Mutex.unlock w.w_mutex;
+  !total
+
+let window_rate w ~now ~span =
+  if span <= 0.0 then 0.0
+  else
+    let k =
+      let raw = int_of_float (Float.ceil (span /. w.w_width)) in
+      max 1 (min raw (Array.length w.w_sums))
+    in
+    float_of_int (window_sum w ~now ~span) /. (float_of_int k *. w.w_width)
+
+let window_last w =
+  Mutex.lock w.w_mutex;
+  let t = w.w_last in
+  Mutex.unlock w.w_mutex;
+  t
+
 let push s v =
   Mutex.lock s.s_mutex;
   if s.s_len >= s.s_cap then s.s_dropped <- s.s_dropped + 1
@@ -171,6 +318,7 @@ let all_metrics () =
     | Gauge g -> g.g_name
     | Histogram h -> h.h_name
     | Series s -> s.s_name
+    | Window w -> w.w_name
   in
   List.sort (fun a b -> String.compare (name a) (name b)) l
 
@@ -188,7 +336,13 @@ let reset () =
           Mutex.lock s.s_mutex;
           s.s_len <- 0;
           s.s_dropped <- 0;
-          Mutex.unlock s.s_mutex)
+          Mutex.unlock s.s_mutex
+      | Window w ->
+          Mutex.lock w.w_mutex;
+          Array.fill w.w_epochs 0 (Array.length w.w_epochs) min_int;
+          Array.fill w.w_sums 0 (Array.length w.w_sums) 0;
+          w.w_last <- 0.0;
+          Mutex.unlock w.w_mutex)
     (all_metrics ())
 
 (* Bucket [k]'s value range, for printing. *)
@@ -207,6 +361,26 @@ let metric_name = function
   | Gauge g -> g.g_name
   | Histogram h -> h.h_name
   | Series s -> s.s_name
+  | Window w -> w.w_name
+
+type any =
+  | Any_counter of counter
+  | Any_gauge of gauge
+  | Any_histogram of histogram
+  | Any_series of series
+  | Any_window of window
+
+let all () =
+  List.map
+    (fun m ->
+      ( metric_name m,
+        match m with
+        | Counter c -> Any_counter c
+        | Gauge g -> Any_gauge g
+        | Histogram h -> Any_histogram h
+        | Series s -> Any_series s
+        | Window w -> Any_window w ))
+    (all_metrics ())
 
 let to_text_filtered keep =
   let buf = Buffer.create 1024 in
@@ -254,7 +428,15 @@ let to_text_filtered keep =
               Buffer.add_string buf
                 (Printf.sprintf " ... (%d more)" (List.length vs - shown));
             Buffer.add_char buf '\n'
-          end)
+          end
+      | Window w ->
+          let now = window_last w in
+          if now > 0.0 then
+            Buffer.add_string buf
+              (Printf.sprintf "window %s 1s=%.1f 10s=%.1f 60s=%.1f\n" w.w_name
+                 (window_rate w ~now ~span:1.0)
+                 (window_rate w ~now ~span:10.0)
+                 (window_rate w ~now ~span:60.0)))
     (all_metrics ());
   Buffer.contents buf
 
@@ -321,6 +503,19 @@ let to_json () =
                  "\"%s\": {\"kind\": \"series\", \"dropped\": %d, \"values\": [%s]}"
                  (json_escape s.s_name) s.s_dropped
                  (String.concat ", " (List.map string_of_int (series_values s))))
+          end
+      | Window w ->
+          let now = window_last w in
+          if now > 0.0 then begin
+            sep ();
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "\"%s\": {\"kind\": \"window\", \"rate_1s\": %.3f, \
+                  \"rate_10s\": %.3f, \"rate_60s\": %.3f}"
+                 (json_escape w.w_name)
+                 (window_rate w ~now ~span:1.0)
+                 (window_rate w ~now ~span:10.0)
+                 (window_rate w ~now ~span:60.0))
           end)
     (all_metrics ());
   Buffer.add_string buf "\n}\n";

@@ -1,0 +1,171 @@
+(* Structural lint for Prometheus text exposition, read from stdin.
+   Run by CI against a live `metrics` scrape:
+
+     echo metrics | nc -U ctl.sock | dune exec test/expo_lint.exe
+
+   Checks (exit 1 with one diagnostic per violation):
+   - every sample line belongs to the family most recently declared by
+     a `# TYPE` line (histogram samples may carry the `_bucket`,
+     `_sum`, `_count` suffixes);
+   - a family is TYPEd at most once;
+   - histogram buckets are cumulative in `le` order and end with a
+     `+Inf` bucket whose value equals the family's `_count` sample;
+   - no series (name + label set) appears twice;
+   - sample values parse as floats. *)
+
+let errors = ref 0
+
+let err fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr errors;
+      prerr_endline ("expo_lint: " ^ m))
+    fmt
+
+let strip_suffix suffix name =
+  let ns = String.length suffix and nn = String.length name in
+  if nn >= ns && String.sub name (nn - ns) ns = suffix then
+    Some (String.sub name 0 (nn - ns))
+  else None
+
+let base_of name =
+  match strip_suffix "_bucket" name with
+  | Some b -> b
+  | None -> (
+      match strip_suffix "_sum" name with
+      | Some b -> b
+      | None -> (
+          match strip_suffix "_count" name with Some b -> b | None -> name))
+
+(* [name{labels} value] -> (name, labels-or-empty, value). *)
+let parse_sample line =
+  let name_end =
+    match (String.index_opt line '{', String.index_opt line ' ') with
+    | Some b, Some s -> min b s
+    | Some b, None -> b
+    | None, Some s -> s
+    | None, None -> String.length line
+  in
+  let name = String.sub line 0 name_end in
+  let labels, rest_start =
+    if name_end < String.length line && line.[name_end] = '{' then
+      match String.index_from_opt line name_end '}' with
+      | Some close ->
+          (String.sub line (name_end + 1) (close - name_end - 1), close + 1)
+      | None -> ("", name_end)
+    else ("", name_end)
+  in
+  let value = String.trim (String.sub line rest_start (String.length line - rest_start)) in
+  (name, labels, value)
+
+let label_value labels key =
+  (* key="value" somewhere in the label string *)
+  let pat = key ^ "=\"" in
+  let ll = String.length labels and pl = String.length pat in
+  let rec find i =
+    if i + pl > ll then None
+    else if String.sub labels i pl = pat then
+      match String.index_from_opt labels (i + pl) '"' with
+      | Some close -> Some (String.sub labels (i + pl) (close - i - pl))
+      | None -> None
+    else find (i + 1)
+  in
+  find 0
+
+(* Everything in the label string except the le pair: buckets of the
+   same histogram series must share it. *)
+let labels_sans_le labels =
+  String.split_on_char ',' labels
+  |> List.filter (fun kv -> label_value kv "le" = None)
+  |> String.concat ","
+
+let () =
+  let typed : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let current = ref "" in
+  let current_type = ref "" in
+  (* (series-labels-sans-le) -> (prev cumulative count, saw +Inf, last le) *)
+  let buckets : (string, int * bool) Hashtbl.t = Hashtbl.create 8 in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let flush_family fam =
+    if fam <> "" && !current_type = "histogram" then begin
+      Hashtbl.iter
+        (fun series (last, saw_inf) ->
+          if not saw_inf then
+            err "family %s series {%s}: no +Inf bucket" fam series
+          else
+            match Hashtbl.find_opt counts series with
+            | Some c when c <> last ->
+                err "family %s series {%s}: +Inf bucket %d <> _count %d" fam
+                  series last c
+            | None -> err "family %s series {%s}: no _count sample" fam series
+            | Some _ -> ())
+        buckets;
+      Hashtbl.reset buckets;
+      Hashtbl.reset counts
+    end
+  in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line stdin in
+       incr lineno;
+       if line = "" then ()
+       else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+         match String.split_on_char ' ' line with
+         | _ :: _ :: fam :: ty :: _ ->
+             flush_family !current;
+             if Hashtbl.mem typed fam then
+               err "line %d: family %s TYPEd twice" !lineno fam;
+             Hashtbl.replace typed fam ty;
+             current := fam;
+             current_type := ty
+         | _ -> err "line %d: malformed TYPE line: %s" !lineno line
+       end
+       else if line.[0] = '#' then ()
+       else begin
+         let name, labels, value = parse_sample line in
+         if float_of_string_opt value = None then
+           err "line %d: unparseable value %S" !lineno value;
+         let series_key = name ^ "{" ^ labels ^ "}" in
+         if Hashtbl.mem seen series_key then
+           err "line %d: duplicate series %s" !lineno series_key
+         else Hashtbl.replace seen series_key ();
+         let family_of_sample =
+           if !current_type = "histogram" then base_of name else name
+         in
+         if !current = "" then err "line %d: sample before any TYPE" !lineno
+         else if family_of_sample <> !current then
+           err "line %d: sample %s under family %s" !lineno name !current
+         else if !current_type = "histogram" then begin
+           let series = labels_sans_le labels in
+           if strip_suffix "_bucket" name <> None then begin
+             match label_value labels "le" with
+             | None -> err "line %d: bucket without le label" !lineno
+             | Some le -> (
+                 match int_of_string_opt (String.trim value) with
+                 | None -> err "line %d: non-integer bucket count" !lineno
+                 | Some n ->
+                     (match Hashtbl.find_opt buckets series with
+                     | Some (prev, _) when n < prev ->
+                         err "line %d: bucket le=%s count %d below previous %d"
+                           !lineno le n prev
+                     | Some (_, true) ->
+                         err "line %d: bucket after +Inf" !lineno
+                     | _ -> ());
+                     Hashtbl.replace buckets series (n, le = "+Inf"))
+           end
+           else if strip_suffix "_count" name <> None then
+             match int_of_string_opt (String.trim value) with
+             | Some n -> Hashtbl.replace counts series n
+             | None -> err "line %d: non-integer _count" !lineno
+         end
+       end
+     done
+   with End_of_file -> ());
+  flush_family !current;
+  if !errors > 0 then begin
+    Printf.eprintf "expo_lint: %d violation(s)\n" !errors;
+    exit 1
+  end
+  else print_endline "expo_lint: ok"

@@ -84,8 +84,10 @@ let default_session ?(spec = Pastltl.Formula.True) ?max_buffered
 
 let with_server ?spec ?max_buffered ?checkpoint_dir ?recovery
     ?(max_sessions = 16) ?(idle_timeout = 0.0) ?(read_budget = L.default_read_budget)
+    ?(health_max_lag = 0) ?(health_max_buffered = 0)
     f =
   clock := 0.0;
+  Telemetry.Log.set_sink ignore;
   let dir = temp_dir () in
   let sock = Filename.concat dir "serve.sock" in
   let config =
@@ -95,7 +97,8 @@ let with_server ?spec ?max_buffered ?checkpoint_dir ?recovery
       max_sessions;
       idle_timeout;
       read_budget;
-      log = ignore }
+      health_max_lag;
+      health_max_buffered }
   in
   match L.create config with
   | Error msg -> Alcotest.failf "server: %s" msg
@@ -525,40 +528,117 @@ let test_idle_eviction_checkpoints () =
 
 (* {1 Control socket} *)
 
+(* One control request driven through the nonblocking test harness:
+   write the request line, tick the loop until the reply closes. *)
+let query t sock request =
+  let ctl = connect (sock ^ ".ctl") in
+  Fun.protect ~finally:(fun () -> Unix.close ctl) @@ fun () ->
+  send t ctl (request ^ "\n");
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 256 in
+  let rec drain tries =
+    if tries = 0 then Alcotest.fail "control reply never completed"
+    else
+      match Unix.read ctl chunk 0 256 with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain tries
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          tick t;
+          drain (tries - 1)
+  in
+  drain 2000;
+  Buffer.contents buf
+
+let has hay needle =
+  let nl = String.length needle and rl = String.length hay in
+  let rec go i = i + nl <= rl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let test_control_stats () =
   with_server ~spec:landing_spec (fun t sock ->
       let c = open_session t sock ~id:"w" ~fp:landing_fp in
       send t c landing_doc;
       ignore (recv_line t c);
-      let ctl = connect (sock ^ ".ctl") in
-      send t ctl "stats\n";
-      let buf = Buffer.create 256 in
-      let chunk = Bytes.create 256 in
-      let rec drain tries =
-        if tries = 0 then Alcotest.fail "control reply never completed"
-        else
-          match Unix.read ctl chunk 0 256 with
-          | 0 -> ()
-          | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              drain tries
-          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-            ->
-              tick t;
-              drain (tries - 1)
-      in
-      drain 2000;
-      let reply = Buffer.contents buf in
-      let has needle =
+      let reply = query t sock "stats" in
+      Alcotest.(check bool) "preamble" true (has reply "jmpax-serve 1");
+      Alcotest.(check bool) "accepts counter" true (has reply "serve.accepts 1");
+      Alcotest.(check bool) "per-session line" true
+        (has reply "session id=w state=done");
+      Alcotest.(check bool) "events rollup" true (has reply "serve.events_total");
+      Alcotest.(check bool) "health line" true (has reply "health ok");
+      Unix.close c)
+
+let with_metrics_on f =
+  Telemetry.Metrics.enable ();
+  Telemetry.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Metrics.reset ();
+      Telemetry.Metrics.disable ())
+    f
+
+let test_control_metrics_exposition () =
+  with_metrics_on @@ fun () ->
+  with_server ~spec:landing_spec (fun t sock ->
+      let c = open_session t sock ~id:"w" ~fp:landing_fp in
+      send t c landing_doc;
+      ignore (recv_line t c);
+      let reply = query t sock "metrics" in
+      (* The tentpole families from the acceptance bar. *)
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("exposition carries " ^ needle) true
+            (has reply needle))
+        [ "jmpax_serve_verdict_latency_seconds_bucket";
+          "jmpax_serve_events_per_second";
+          "jmpax_serve_accepts_total 1";
+          "jmpax_serve_session_events_total{sid=\"w\"}";
+          "le=\"+Inf\"" ];
+      (* TYPE precedes its samples, and each family is TYPEd once. *)
+      let idx needle =
         let nl = String.length needle and rl = String.length reply in
-        let rec go i = i + nl <= rl && (String.sub reply i nl = needle || go (i + 1)) in
+        let rec go i =
+          if i + nl > rl then None
+          else if String.sub reply i nl = needle then Some i
+          else go (i + 1)
+        in
         go 0
       in
-      Alcotest.(check bool) "preamble" true (has "jmpax-serve 1");
-      Alcotest.(check bool) "accepts counter" true (has "serve.accepts 1");
-      Alcotest.(check bool) "per-session line" true (has "session id=w state=done");
-      Alcotest.(check bool) "events rollup" true (has "serve.events_total");
-      Unix.close ctl;
+      (match
+         ( idx "# TYPE jmpax_serve_accepts_total counter",
+           idx "jmpax_serve_accepts_total 1" )
+       with
+      | Some ty, Some sample ->
+          Alcotest.(check bool) "TYPE precedes its samples" true (ty < sample)
+      | _ -> Alcotest.fail "accepts family incomplete");
+      (* The mirror: the registry copy and the exposition agree with the
+         plain counters even though both rendered the same scrape. *)
+      Alcotest.(check bool) "no duplicate accepts family" false
+        (has
+           (String.concat "+"
+              (String.split_on_char '\n' reply
+              |> List.filter (fun l -> has l "# TYPE jmpax_serve_accepts_total")))
+           "+#");
+      Unix.close c)
+
+let test_control_health_thresholds () =
+  with_server ~max_buffered:64 ~health_max_buffered:2 (fun t sock ->
+      Alcotest.(check string) "idle daemon is ok" "ok\n" (query t sock "health");
+      (* Messages 2..5 without message 1: all four buffer out of order,
+         crossing the threshold of 2. *)
+      let c = open_session t sock ~id:"w" ~fp:true_fp in
+      let header = { W.nthreads = 1; init = [ ("x", 0) ] } in
+      send t c (W.Framed.encode_header header);
+      List.iter
+        (fun i -> send t c (W.Framed.encode_message (msg 0 "x" i [ i ])))
+        [ 2; 3; 4; 5 ];
+      ticks t;
+      let reply = query t sock "health" in
+      Alcotest.(check bool) "degraded under buffering" true
+        (has reply "degraded");
+      Alcotest.(check bool) "offender named" true (has reply "sid=w");
       Unix.close c)
 
 (* {1 The single-accept listener (regression)} *)
@@ -636,7 +716,11 @@ let () =
           Alcotest.test_case "idle eviction checkpoints first" `Quick
             test_idle_eviction_checkpoints ] );
       ( "control",
-        [ Alcotest.test_case "stats rollup" `Quick test_control_stats ] );
+        [ Alcotest.test_case "stats rollup" `Quick test_control_stats;
+          Alcotest.test_case "metrics exposition" `Quick
+            test_control_metrics_exposition;
+          Alcotest.test_case "health thresholds" `Quick
+            test_control_health_thresholds ] );
       ( "transport",
         [ Alcotest.test_case "listen-once closes the listener" `Quick
             test_listen_once_closes_listener ] ) ]

@@ -567,7 +567,9 @@ let test_stream_backpressure_enforced () =
 
 let with_metrics f =
   Telemetry.Metrics.reset ();
-  Telemetry.Metrics.enable ();
+  (* Both tiers, as [--metrics] would: the GC test below asserts the
+     deep [online.gc_removed] counter. *)
+  Telemetry.Metrics.enable_deep ();
   Fun.protect ~finally:Telemetry.Metrics.disable f
 
 let test_stream_max_buffered_gauge () =
