@@ -10,7 +10,7 @@
 
    Usage:
      dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- E5      # one experiment (E1..E20)
+     dune exec bench/main.exe -- E5      # one experiment (E1..E22)
      dune exec bench/main.exe -- perf    # only the Bechamel timing runs
 
    Add [--json FILE] to also write every recorded (experiment, metric,
@@ -1210,6 +1210,133 @@ let e20 ?(smoke = false) () =
     bytes_ratio nthreads speedup;
   bytes_ratio >= 3.0 && speedup >= 2.0
 
+(* {1 E22: streaming race & atomicity engines — O(n) gate + offline parity} *)
+
+(* A mixed million-event workload for the streaming engines: round-robin
+   threads interleave sync(m)/sync(n) counter transactions (lock traffic
+   plus in-block read/write) with unprotected read/write pairs on x and
+   y (real races), and an occasional unprotected counter write that
+   breaks serializability of the transactions.  Everything the two
+   engines track — per-variable summaries, open blocks, closed-pair
+   clocks, remote frontiers — stays bounded on this shape, which is
+   exactly the O(n) claim the quartile gate below checks. *)
+let e22_exec ~nthreads ~n =
+  let b =
+    Trace.Exec.builder ~nthreads
+      ~init:[ ("x", 0); ("y", 0); ("counter", 0) ]
+  in
+  let count = ref 0 in
+  let tid = ref 0 in
+  while !count < n do
+    let t = !tid in
+    tid := (!tid + 1) mod nthreads;
+    if !count mod 101 = 100 then begin
+      ignore (Trace.Exec.add_write b t "counter" !count);
+      incr count
+    end
+    else if !count mod 7 < 3 then begin
+      let l = if !count mod 2 = 0 then "m" else "n" in
+      ignore (Trace.Exec.add_write b t (Trace.Types.lock_var l) 1);
+      ignore (Trace.Exec.add_read b t "counter" !count);
+      ignore (Trace.Exec.add_write b t "counter" (!count + 1));
+      ignore (Trace.Exec.add_write b t (Trace.Types.lock_var l) 0);
+      count := !count + 4
+    end
+    else begin
+      let v = if !count mod 2 = 0 then "x" else "y" in
+      ignore (Trace.Exec.add_read b t v !count);
+      ignore (Trace.Exec.add_write b t v !count);
+      count := !count + 2
+    end
+  done;
+  Trace.Exec.freeze b
+
+let e22 ?(smoke = false) () =
+  section "E22" "Streaming race & atomicity engines: offline parity and O(n) throughput";
+  let nthreads = 4 and n = if smoke then 80_000 else 1_000_000 in
+  let exec = e22_exec ~nthreads ~n in
+  let events = Trace.Exec.length exec in
+  (* Ground truth: the offline passes over the full recorded execution. *)
+  let race_off = Predict.Race.verdict_of_report (Predict.Race.detect exec) in
+  let atom_off =
+    Predict.Atomicity.verdict_of_report (Predict.Atomicity.analyze exec)
+  in
+  let msgs = Array.of_list (Predict.Engine.messages_of_exec exec) in
+  let total = Array.length msgs in
+  let fresh_bundle () =
+    Predict.Engines.create
+      ~kinds:[ Predict.Engine.Race; Predict.Engine.Atomicity ]
+      ~nthreads ~init:(Trace.Exec.init exec) ~spec:None ()
+  in
+  (* Warm-up pass on a throwaway bundle: grows the major heap and the
+     hashtables once, so the timed quartiles below measure the engines,
+     not allocator ramp-up. *)
+  (let w = fresh_bundle () in
+   Array.iter (Predict.Engines.feed w) msgs;
+   Predict.Engines.finish w);
+  (* Stream the messages through the engine bundle in four equal
+     quartiles, timing each: a quadratic engine gets slower per message
+     as its summaries grow, so the last quartile falls behind the
+     first.  A streaming O(n) engine holds throughput flat.  Best of
+     three runs per quartile (with a compacted heap before each run)
+     so GC scheduling noise cannot masquerade as drift. *)
+  let qn = total / 4 in
+  let counts = Array.make 4 0 in
+  let eps = Array.make 4 0.0 in
+  let reps = if smoke then 2 else 3 in
+  let last_bundle = ref None in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let bundle = fresh_bundle () in
+    last_bundle := Some bundle;
+    let idx = ref 0 in
+    for q = 0 to 3 do
+      let hi = if q = 3 then total else (q + 1) * qn in
+      counts.(q) <- hi - !idx;
+      let t0 = Unix.gettimeofday () in
+      while !idx < hi do
+        Predict.Engines.feed bundle msgs.(!idx);
+        incr idx
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      eps.(q) <- max eps.(q) (float_of_int counts.(q) /. dt)
+    done
+  done;
+  let bundle = Option.get !last_bundle in
+  Predict.Engines.finish bundle;
+  let lines = Predict.Engines.verdict_lines bundle in
+  let race_on = List.assoc "race" lines in
+  let atom_on = List.assoc "atomicity" lines in
+  if race_on <> race_off then
+    failwith "E22: streaming race verdict differs from the offline pass";
+  if atom_on <> atom_off then
+    failwith "E22: streaming atomicity verdict differs from the offline pass";
+  Printf.printf "trace: %d events (%d messages) across %d threads\n" events
+    total nthreads;
+  Printf.printf "  %s\n  %s\n" race_on atom_on;
+  Printf.printf "%-10s %12s %14s\n" "quartile" "messages" "events/s";
+  for q = 0 to 3 do
+    Printf.printf "Q%-9d %12d %14.0f\n" (q + 1) counts.(q) eps.(q);
+    record ~experiment:"E22"
+      ~metric:(Printf.sprintf "q%d_events_per_s" (q + 1))
+      eps.(q)
+  done;
+  let slowest = Array.fold_left min eps.(0) eps in
+  let fastest = Array.fold_left max eps.(0) eps in
+  let ratio = fastest /. slowest in
+  record ~experiment:"E22" ~metric:"events" (float_of_int events);
+  record ~experiment:"E22" ~metric:"messages" (float_of_int total);
+  record ~experiment:"E22" ~metric:"throughput_ratio_max_over_min" ratio;
+  record ~experiment:"E22" ~metric:"verdict_parity" 1.0;
+  (* Smoke quartiles are a few milliseconds each; allow more jitter
+     there, keep the real gate at the documented 1.5x. *)
+  let limit = if smoke then 3.0 else 1.5 in
+  Printf.printf
+    "verdict: quartile throughput ratio %.2fx (gate: <= %.1fx), verdicts match \
+     offline passes\n"
+    ratio limit;
+  ratio <= limit
+
 (* {1 Driver} *)
 
 let gate_failed = ref false
@@ -1235,11 +1362,20 @@ let run_e20 ?smoke () =
     gate_failed := true
   end
 
+let run_e22 ?smoke () =
+  if not (e22 ?smoke ()) then begin
+    prerr_endline
+      "bench: E22 streaming engine gate FAILED (quartile throughput drifted past \
+       the limit)";
+    gate_failed := true
+  end
+
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
     ("E14", e14); ("E15", fun () -> e15 ()); ("E16", fun () -> run_e16 ());
-    ("E17", e17); ("E18", fun () -> run_e18 ()); ("E20", fun () -> run_e20 ()) ]
+    ("E17", e17); ("E18", fun () -> run_e18 ()); ("E20", fun () -> run_e20 ());
+    ("E22", fun () -> run_e22 ()) ]
 
 let dump_metrics dest =
   let text = Telemetry.Metrics.to_text () in
@@ -1286,7 +1422,8 @@ let () =
       e15 ~smoke:true ();
       run_e16 ~smoke:true ();
       run_e18 ~smoke:true ();
-      run_e20 ~smoke:true ()
+      run_e20 ~smoke:true ();
+      run_e22 ~smoke:true ()
   | ([] | [ "all" ]), false -> List.iter (fun (_, f) -> f ()) experiments
   | [ "perf" ], _ ->
       e3 ();
@@ -1299,7 +1436,7 @@ let () =
           match List.assoc_opt (String.uppercase_ascii id) experiments with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (known: E1..E20, all, perf, --smoke)\n" id;
+              Printf.eprintf "unknown experiment %s (known: E1..E22, all, perf, --smoke)\n" id;
               exit 2)
         ids);
   Option.iter write_json !json_path;

@@ -304,6 +304,7 @@ let spawn_daemon ?control ?(telemetry = false) ~sock_path () =
       let session =
         { Serve.Session.spec;
           spec_fp = Jmpax.Checkpoint.fingerprint spec;
+          engines = Predict.Engine.default_kinds;
           max_buffered = None;
           jobs = 1;
           recovery = Jmpax.Config.Fail;

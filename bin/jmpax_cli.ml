@@ -50,6 +50,16 @@ let seed_arg =
   let doc = "Seed of the random scheduler for the monitored run." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
 
+let engine_arg =
+  let doc =
+    "Analysis engines to run, comma-separated and repeatable: \
+     $(b,lattice) (the predictive past-time LTL analysis over the \
+     computation lattice; default), $(b,race) (streaming happens-before \
+     data-race prediction) and $(b,atomicity) (streaming sync-block \
+     serializability).  E.g. $(b,--engine race,atomicity)."
+  in
+  Arg.(value & opt_all string [] & info [ "engine" ] ~docv:"ENGINES" ~doc)
+
 let fuel_arg =
   let doc = "Maximum observable steps before the run is cut off." in
   Arg.(value & opt int 100_000 & info [ "fuel" ] ~docv:"N" ~doc)
@@ -156,11 +166,22 @@ let parse_spec = function
           prerr_endline ("jmpax: bad specification: " ^ msg);
           exit 2)
 
+(* Each [--engine] occurrence is a comma-separated list; the whole
+   selection is the concatenation, deduplicated in order. *)
+let parse_engines = function
+  | [] -> Predict.Engine.default_kinds
+  | names -> (
+      match Predict.Engine.kinds_of_string (String.concat "," names) with
+      | Ok kinds -> kinds
+      | Error msg ->
+          prerr_endline ("jmpax: " ^ msg);
+          exit 2)
+
 (* {1 check} *)
 
 let check_cmd =
-  let run example file spec seed fuel channel clock jobs counterexamples replay
-      metrics trace =
+  let run example file spec seed fuel channel clock jobs engine counterexamples
+      replay metrics trace =
     let program = or_die (load_program ~example ~file) in
     let spec = parse_spec spec in
     let channel = or_die (parse_channel channel) in
@@ -172,6 +193,7 @@ let check_cmd =
         channel;
         clock;
         jobs;
+        engines = parse_engines engine;
         metrics;
         trace }
     in
@@ -202,7 +224,11 @@ let check_cmd =
                       Format.printf "replay failed: %a@." Predict.Replay.pp_failure f)
               report.Predict.Counterexample.violating
           end;
-          if Jmpax.Pipeline.predicted_violation output then 1 else 0)
+          if
+            Jmpax.Pipeline.predicted_violation output
+            || output.Jmpax.Pipeline.engines_violated
+          then 1
+          else 0)
     in
     if code <> 0 then exit code
   in
@@ -217,22 +243,35 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run a program once and predict violations over all causally consistent runs.")
     Term.(const run $ example_arg $ file_arg $ spec_arg $ seed_arg $ fuel_arg
-          $ channel_arg $ clock_arg $ jobs_arg $ counterexamples $ replay
-          $ metrics_arg $ trace_arg)
+          $ channel_arg $ clock_arg $ jobs_arg $ engine_arg $ counterexamples
+          $ replay $ metrics_arg $ trace_arg)
 
 (* {1 run} *)
 
 let run_cmd =
-  let run example file seed fuel output format spec clock metrics trace =
+  let run example file seed fuel output format spec clock engine metrics trace =
     let program = or_die (load_program ~example ~file) in
     let clock = or_die (parse_clock clock) in
+    (* The race/atomicity engines consume reads as well as writes, so a
+       trace recorded for them must carry every event; the mangled
+       [#read:] messages pass through check/stream/serve transparently. *)
+    let needs_all_events =
+      List.exists
+        (fun k -> k <> Predict.Engine.Lattice)
+        (parse_engines engine)
+    in
     let relevance, relevant_vars =
       match spec with
-      | None -> (Mvc.Relevance.all_writes, List.map fst program.Tml.Ast.shared)
+      | None ->
+          ( (if needs_all_events then Mvc.Relevance.all_events
+             else Mvc.Relevance.all_writes),
+            List.map fst program.Tml.Ast.shared )
       | Some _ ->
           let f = parse_spec spec in
           let vars = Pastltl.Formula.vars f in
-          (Mvc.Relevance.writes_of_vars vars, vars)
+          ( (if needs_all_events then Mvc.Relevance.all_events
+             else Mvc.Relevance.writes_of_vars vars),
+            vars )
     in
     let tconfig =
       Jmpax.Config.default () |> Jmpax.Config.with_metrics metrics
@@ -289,7 +328,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute an instrumented program once and dump its messages.")
     Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg $ output $ format
-          $ spec_arg $ clock_arg $ metrics_arg $ trace_arg)
+          $ spec_arg $ clock_arg $ engine_arg $ metrics_arg $ trace_arg)
 
 (* {1 observe} *)
 
@@ -430,12 +469,13 @@ let with_transport ?reconnect ?(skip = 0) target f =
         (fun () -> skipped (Jmpax.Transport.of_channel ic))
 
 let stream_cmd =
-  let run target spec jobs max_buffered recovery quarantine_file checkpoint
-      checkpoint_every resume reconnect backoff_min backoff_max max_retries
-      deadline metrics span_trace log_level log_format =
+  let run target spec jobs engine max_buffered recovery quarantine_file
+      checkpoint checkpoint_every resume reconnect backoff_min backoff_max
+      max_retries deadline metrics span_trace log_level log_format =
     Telemetry.Log.set_level log_level;
     Telemetry.Log.set_format log_format;
     let spec = parse_spec spec in
+    let engines = parse_engines engine in
     let resume =
       match resume with
       | None -> None
@@ -497,7 +537,7 @@ let stream_cmd =
                   let r =
                     with_quarantine (fun quarantine ->
                         Jmpax.Stream.run ?max_buffered ~recovery ?quarantine
-                          ~jobs ?checkpoint ?resume ~spec
+                          ~jobs ?checkpoint ?resume ~engines ~spec
                           ~read:(Jmpax.Transport.read transport) ())
                   in
                   lost := Jmpax.Transport.lost transport;
@@ -578,8 +618,9 @@ let stream_cmd =
   let checkpoint_every =
     Arg.(value & opt int 1
          & info [ "checkpoint-every" ] ~docv:"N"
-             ~doc:"Checkpoint each time the lattice frontier has advanced by \
-                   $(docv) levels (default 1).")
+             ~doc:"Checkpoint each time the analysis has advanced by $(docv) \
+                   progress units — lattice levels, or consumed messages for \
+                   a non-lattice $(b,--engine) set (default 1).")
   in
   let resume =
     Arg.(value & opt (some string) None
@@ -641,8 +682,8 @@ let stream_cmd =
              $(b,jmpax check).  With $(b,--checkpoint) and $(b,--resume) a \
              killed observer continues where it stopped; with \
              $(b,--reconnect) it survives connection loss.")
-    Term.(const run $ target $ spec_arg $ jobs_arg $ max_buffered $ recovery
-          $ quarantine_file $ checkpoint $ checkpoint_every $ resume
+    Term.(const run $ target $ spec_arg $ jobs_arg $ engine_arg $ max_buffered
+          $ recovery $ quarantine_file $ checkpoint $ checkpoint_every $ resume
           $ reconnect $ backoff_min $ backoff_max $ max_retries $ deadline
           $ metrics_arg $ trace_arg $ log_level_arg $ log_format_arg)
 
@@ -650,8 +691,9 @@ let stream_cmd =
 
 let serve_cmd =
   let run address control spec max_sessions idle_timeout max_buffered jobs
-      recovery checkpoint_dir checkpoint_every read_budget metrics span_trace
-      log_level log_format live_metrics health_max_lag health_max_buffered =
+      engine recovery checkpoint_dir checkpoint_every read_budget metrics
+      span_trace log_level log_format live_metrics health_max_lag
+      health_max_buffered =
     Telemetry.Log.set_level log_level;
     Telemetry.Log.set_format log_format;
     (* A daemon whose [metrics] control request always answers "empty"
@@ -685,6 +727,7 @@ let serve_cmd =
     let session =
       { Serve.Session.spec;
         spec_fp = Jmpax.Checkpoint.fingerprint spec;
+        engines = parse_engines engine;
         max_buffered;
         jobs;
         recovery;
@@ -830,7 +873,7 @@ let serve_cmd =
              file.  Scheduling is round-robin with a per-tick read budget, so \
              no writer can starve the others; SIGTERM drains gracefully.")
     Term.(const run $ address $ control $ spec_arg $ max_sessions $ idle_timeout
-          $ max_buffered $ jobs_arg $ recovery $ checkpoint_dir
+          $ max_buffered $ jobs_arg $ engine_arg $ recovery $ checkpoint_dir
           $ checkpoint_every $ read_budget $ metrics_arg $ trace_arg
           $ log_level_arg $ log_format_arg $ live_metrics $ health_max_lag
           $ health_max_buffered)
@@ -879,54 +922,83 @@ let lattice_cmd =
 (* {1 race} *)
 
 let race_cmd =
-  let run example file seed fuel =
+  let run example file seed fuel metrics trace =
     let program = or_die (load_program ~example ~file) in
-    let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
-    match r.Tml.Vm.exec with
-    | None -> or_die (Error "no execution recorded")
-    | Some exec ->
-        let report = Predict.Race.detect exec in
-        Format.printf "%a@." Predict.Race.pp_report report;
-        if not (Predict.Race.race_free report) then exit 1
+    let tconfig =
+      Jmpax.Config.default () |> Jmpax.Config.with_metrics metrics
+      |> Jmpax.Config.with_trace trace
+    in
+    (* The exit code leaves the telemetry scope first, so --metrics and
+       --trace still dump when a violation exits non-zero. *)
+    let code =
+      Jmpax.Pipeline.with_telemetry tconfig (fun () ->
+          let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
+          match r.Tml.Vm.exec with
+          | None -> or_die (Error "no execution recorded")
+          | Some exec ->
+              let report = Predict.Race.detect exec in
+              Format.printf "%a@." Predict.Race.pp_report report;
+              if Predict.Race.race_free report then 0 else 1)
+    in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "race" ~doc:"Predict data races from one run (sync-only happens-before).")
-    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg)
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg
+          $ metrics_arg $ trace_arg)
 
 (* {1 deadlock} *)
 
 let deadlock_cmd =
-  let run example file seed fuel =
+  let run example file seed fuel metrics trace =
     let program = or_die (load_program ~example ~file) in
-    let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
-    match r.Tml.Vm.exec with
-    | None -> or_die (Error "no execution recorded")
-    | Some exec ->
-        let report = Predict.Lockgraph.analyze exec in
-        Format.printf "%a@." Predict.Lockgraph.pp_report report;
-        if not (Predict.Lockgraph.deadlock_free report) then exit 1
+    let tconfig =
+      Jmpax.Config.default () |> Jmpax.Config.with_metrics metrics
+      |> Jmpax.Config.with_trace trace
+    in
+    let code =
+      Jmpax.Pipeline.with_telemetry tconfig (fun () ->
+          let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
+          match r.Tml.Vm.exec with
+          | None -> or_die (Error "no execution recorded")
+          | Some exec ->
+              let report = Predict.Lockgraph.analyze exec in
+              Format.printf "%a@." Predict.Lockgraph.pp_report report;
+              if Predict.Lockgraph.deadlock_free report then 0 else 1)
+    in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Predict deadlocks from one run via the lock-order graph.")
-    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg)
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg
+          $ metrics_arg $ trace_arg)
 
 (* {1 atomicity} *)
 
 let atomicity_cmd =
-  let run example file seed fuel =
+  let run example file seed fuel metrics trace =
     let program = or_die (load_program ~example ~file) in
-    let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
-    match r.Tml.Vm.exec with
-    | None -> or_die (Error "no execution recorded")
-    | Some exec ->
-        let report = Predict.Atomicity.analyze exec in
-        Format.printf "%a@." Predict.Atomicity.pp_report report;
-        if not (Predict.Atomicity.serializable report) then exit 1
+    let tconfig =
+      Jmpax.Config.default () |> Jmpax.Config.with_metrics metrics
+      |> Jmpax.Config.with_trace trace
+    in
+    let code =
+      Jmpax.Pipeline.with_telemetry tconfig (fun () ->
+          let r = Tml.Vm.run_program ~fuel ~sched:(sched_of_seed seed) program in
+          match r.Tml.Vm.exec with
+          | None -> or_die (Error "no execution recorded")
+          | Some exec ->
+              let report = Predict.Atomicity.analyze exec in
+              Format.printf "%a@." Predict.Atomicity.pp_report report;
+              if Predict.Atomicity.serializable report then 0 else 1)
+    in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "atomicity"
        ~doc:"Predict sync-block atomicity violations from one run.")
-    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg)
+    Term.(const run $ example_arg $ file_arg $ seed_arg $ fuel_arg
+          $ metrics_arg $ trace_arg)
 
 (* {1 compare} *)
 

@@ -18,7 +18,8 @@ type t = {
   ck_ends : int;
   ck_quarantined : int;
   ck_peak_buffered : int;
-  ck_online : Predict.Online.snapshot;
+  ck_engines : (string * string list) list;
+  ck_online : Predict.Online.snapshot option;
 }
 
 type error =
@@ -93,7 +94,6 @@ let encode_bindings buf bindings =
     bindings
 
 let encode_body t =
-  let s = t.ck_online in
   let r = t.ck_reader_stats in
   let buf = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
@@ -117,42 +117,60 @@ let encode_body t =
         (fun b -> p "v3-base %s" (ints_of_array b))
         v3.Wire.Reader.v3_baselines);
   p "stream-stats %d %d %d" t.ck_ends t.ck_quarantined t.ck_peak_buffered;
-  p "online %d %d %d %d %d %d" s.Predict.Online.snap_level
-    (if s.Predict.Online.snap_done then 1 else 0)
-    s.Predict.Online.snap_retired_cuts s.Predict.Online.snap_peak_frontier_cuts
-    s.Predict.Online.snap_peak_frontier_entries s.Predict.Online.snap_monitor_steps;
-  p "prefix %s" (ints_of_array s.Predict.Online.snap_prefix);
-  p "beyond %s" (ints_of_array s.Predict.Online.snap_beyond);
-  p "gc-floor %s" (ints_of_array s.Predict.Online.snap_gc_floor);
-  p "ended %s" (bits_of_bools s.Predict.Online.snap_ended);
+  (* Versioned engine sub-blocks: the payload lines are opaque to the
+     checkpoint format (each engine versions its own first line) and are
+     framed by an exact line count, so they can never be confused with a
+     checkpoint keyword. *)
   List.iter
-    (fun m -> p "bmsg %d %s" m.Message.eid (Wire.encode_message m))
-    s.Predict.Online.snap_store;
-  List.iter
-    (fun (cut, bindings, msets) ->
-      Buffer.add_string buf "front ";
-      Buffer.add_string buf (ints_of_array cut);
-      Buffer.add_char buf ' ';
-      encode_bindings buf bindings;
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (string_of_int (List.length msets));
+    (fun (name, lines) ->
       List.iter
-        (fun bits ->
+        (fun l ->
+          if String.contains l '\n' then
+            invalid_arg "Checkpoint.encode: engine snapshot line contains newline")
+        lines;
+      p "engine %s %d" name (List.length lines);
+      List.iter (fun l -> p "%s" l) lines)
+    t.ck_engines;
+  (match t.ck_online with
+  | None -> ()
+  | Some s ->
+      p "online %d %d %d %d %d %d" s.Predict.Online.snap_level
+        (if s.Predict.Online.snap_done then 1 else 0)
+        s.Predict.Online.snap_retired_cuts s.Predict.Online.snap_peak_frontier_cuts
+        s.Predict.Online.snap_peak_frontier_entries
+        s.Predict.Online.snap_monitor_steps;
+      p "prefix %s" (ints_of_array s.Predict.Online.snap_prefix);
+      p "beyond %s" (ints_of_array s.Predict.Online.snap_beyond);
+      p "gc-floor %s" (ints_of_array s.Predict.Online.snap_gc_floor);
+      p "ended %s" (bits_of_bools s.Predict.Online.snap_ended);
+      List.iter
+        (fun m -> p "bmsg %d %s" m.Message.eid (Wire.encode_message m))
+        s.Predict.Online.snap_store;
+      List.iter
+        (fun (cut, bindings, msets) ->
+          Buffer.add_string buf "front ";
+          Buffer.add_string buf (ints_of_array cut);
           Buffer.add_char buf ' ';
-          Buffer.add_string buf bits)
-        msets;
-      Buffer.add_char buf '\n')
-    s.Predict.Online.snap_frontier;
-  List.iter
-    (fun (cut, level, bindings, bits) ->
-      Buffer.add_string buf "viol ";
-      Buffer.add_string buf (ints_of_array cut);
-      Buffer.add_string buf (Printf.sprintf " %d " level);
-      encode_bindings buf bindings;
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf bits;
-      Buffer.add_char buf '\n')
-    s.Predict.Online.snap_violations;
+          encode_bindings buf bindings;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int (List.length msets));
+          List.iter
+            (fun bits ->
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf bits)
+            msets;
+          Buffer.add_char buf '\n')
+        s.Predict.Online.snap_frontier;
+      List.iter
+        (fun (cut, level, bindings, bits) ->
+          Buffer.add_string buf "viol ";
+          Buffer.add_string buf (ints_of_array cut);
+          Buffer.add_string buf (Printf.sprintf " %d " level);
+          encode_bindings buf bindings;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf bits;
+          Buffer.add_char buf '\n')
+        s.Predict.Online.snap_violations);
   Buffer.contents buf
 
 let encode t =
@@ -340,6 +358,55 @@ let decode_body body =
           Ok (ends, quarantined, peak)
       | _ -> malformed "bad stream-stats line %S" ss
     in
+    (* Engine sub-blocks (absent in files written before the registry,
+       which always carry the online group instead). *)
+    let rec take_engines acc lines =
+      match lines with
+      | line :: rest when String.length line >= 7 && String.sub line 0 7 = "engine "
+        -> (
+          match String.split_on_char ' ' line with
+          | [ "engine"; name; n ] ->
+              let* n = nat_field "engine" n in
+              if name = "" then malformed "empty engine name"
+              else if List.mem_assoc name acc then
+                malformed "duplicate engine block %S" name
+              else
+                let rec take k payload lines =
+                  if k = 0 then Ok (List.rev payload, lines)
+                  else
+                    match lines with
+                    | [] -> malformed "truncated engine block %S" name
+                    | l :: rest -> take (k - 1) (l :: payload) rest
+                in
+                let* payload, lines = take n [] rest in
+                take_engines ((name, payload) :: acc) lines
+          | _ -> malformed "bad engine line %S" line)
+      | _ -> Ok (List.rev acc, lines)
+    in
+    let* engines, lines = take_engines [] lines in
+    if Array.length reader_ended <> nthreads then
+      malformed "reader-ended bit width disagrees with %d threads" nthreads
+    else
+      let finish online =
+        Ok
+          { ck_header = { Wire.nthreads; init };
+            ck_spec_fp = spec_fp;
+            ck_position = position;
+            ck_next_eid = next_eid;
+            ck_reader_stats = reader_stats;
+            ck_reader_ended = reader_ended;
+            ck_v3 = v3;
+            ck_ends = ends;
+            ck_quarantined = quarantined;
+            ck_peak_buffered = peak_buffered;
+            ck_engines = engines;
+            ck_online = online }
+      in
+      match lines with
+      | [] ->
+          if engines = [] then malformed "checkpoint carries no engine state"
+          else finish None
+      | _ ->
     let* ol, lines = field "online" "online" lines in
     let* level, done_, retired, peak_cuts, peak_entries, steps =
       match String.split_on_char ' ' ol with
@@ -368,7 +435,7 @@ let decode_body body =
     let* gc_floor, lines = int_array "gc-floor" lines in
     let* en, lines = field "ended" "ended" lines in
     let* ended = bools_of_bits "ended" en in
-    if Array.length ended <> nthreads || Array.length reader_ended <> nthreads then
+    if Array.length ended <> nthreads then
       malformed "ended bit width disagrees with %d threads" nthreads
     else
       let rec take_msgs acc lines =
@@ -425,32 +492,22 @@ let decode_body body =
           | line :: _ -> malformed "unrecognized line %S" line
         in
         let* violations = take_viols [] lines in
-        Ok
-          { ck_header = { Wire.nthreads; init };
-            ck_spec_fp = spec_fp;
-            ck_position = position;
-            ck_next_eid = next_eid;
-            ck_reader_stats = reader_stats;
-            ck_reader_ended = reader_ended;
-            ck_v3 = v3;
-            ck_ends = ends;
-            ck_quarantined = quarantined;
-            ck_peak_buffered = peak_buffered;
-            ck_online =
-              { Predict.Online.snap_nthreads = nthreads;
-                snap_level = level;
-                snap_done = done_;
-                snap_prefix = prefix;
-                snap_beyond = beyond;
-                snap_gc_floor = gc_floor;
-                snap_ended = ended;
-                snap_store = store;
-                snap_frontier = frontier;
-                snap_violations = violations;
-                snap_retired_cuts = retired;
-                snap_peak_frontier_cuts = peak_cuts;
-                snap_peak_frontier_entries = peak_entries;
-                snap_monitor_steps = steps } }
+        finish
+          (Some
+             { Predict.Online.snap_nthreads = nthreads;
+               snap_level = level;
+               snap_done = done_;
+               snap_prefix = prefix;
+               snap_beyond = beyond;
+               snap_gc_floor = gc_floor;
+               snap_ended = ended;
+               snap_store = store;
+               snap_frontier = frontier;
+               snap_violations = violations;
+               snap_retired_cuts = retired;
+               snap_peak_frontier_cuts = peak_cuts;
+               snap_peak_frontier_entries = peak_entries;
+               snap_monitor_steps = steps })
 
 let decode text =
   match String.index_opt text '\n' with
@@ -499,7 +556,9 @@ let write path t =
       if M.enabled () then begin
         M.incr m_writes;
         M.add m_bytes (String.length doc);
-        M.set m_level t.ck_online.Predict.Online.snap_level
+        match t.ck_online with
+        | Some s -> M.set m_level s.Predict.Online.snap_level
+        | None -> ()
       end;
       Ok ()
   | exception Sys_error e -> Error (Io e)

@@ -44,7 +44,14 @@ type t = {
   ck_ends : int;  (** end-of-stream frames consumed by the driver *)
   ck_quarantined : int;
   ck_peak_buffered : int;
-  ck_online : Predict.Online.snapshot;
+  ck_engines : (string * string list) list;
+      (** versioned opaque sub-blocks of the non-lattice engines
+          ({!Predict.Engines.snapshots}); each engine validates its own
+          version line on restore.  Empty for pre-registry files. *)
+  ck_online : Predict.Online.snapshot option;
+      (** the lattice engine's state; [None] when the session ran
+          without the lattice engine ([--engine race,...]).  At least
+          one of [ck_engines] / [ck_online] is always present. *)
 }
 
 type error =

@@ -24,6 +24,7 @@ type t = {
   on_decode_error : recovery;
   checkpoint : (string * int) option;
   reconnect : Transport.backoff option;
+  engines : Predict.Engine.kind list;
 }
 
 let default () =
@@ -41,7 +42,8 @@ let default () =
     max_buffered = None;
     on_decode_error = Fail;
     checkpoint = None;
-    reconnect = None }
+    reconnect = None;
+    engines = Predict.Engine.default_kinds }
 
 let with_sched sched t = { t with sched }
 let with_seed seed t = { t with sched = Tml.Sched.random ~seed }
@@ -71,6 +73,15 @@ let with_checkpoint checkpoint t =
   { t with checkpoint }
 
 let with_reconnect reconnect t = { t with reconnect }
+
+let with_engines engines t =
+  if engines = [] then invalid_arg "Config.with_engines: no engine selected";
+  { t with engines }
+
+let with_engine_names names t =
+  match Predict.Engine.kinds_of_string names with
+  | Ok engines -> { t with engines }
+  | Error msg -> invalid_arg ("Config.with_engine_names: " ^ msg)
 
 let recovery_of_string = function
   | "fail" -> Some Fail

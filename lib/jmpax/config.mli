@@ -44,6 +44,9 @@ type t = {
   reconnect : Transport.backoff option;
   (** reconnection policy for socket transports; [None] (default) =
       a dropped connection ends the stream *)
+  engines : Predict.Engine.kind list;
+  (** prediction engines the observer side runs ([--engine]); default
+      [[Lattice]], the historical behaviour *)
 }
 
 val default : unit -> t
@@ -73,6 +76,13 @@ val with_checkpoint : (string * int) option -> t -> t
 (** @raise Invalid_argument when the level interval is below 1. *)
 
 val with_reconnect : Transport.backoff option -> t -> t
+
+val with_engines : Predict.Engine.kind list -> t -> t
+(** @raise Invalid_argument on an empty selection. *)
+
+val with_engine_names : string -> t -> t
+(** Parses [--engine] syntax (comma-separated, duplicates dropped).
+    @raise Invalid_argument on an unknown engine name. *)
 
 val recovery_of_string : string -> recovery option
 (** Accepts ["fail"], ["skip"], ["quarantine"]. *)

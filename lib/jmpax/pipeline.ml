@@ -11,6 +11,8 @@ type output = {
   races : Predict.Race.report option;
   deadlocks : Predict.Lockgraph.report option;
   atomicity : Predict.Atomicity.report option;
+  engines : (string * string) list;
+  engines_violated : bool;
 }
 
 (* {1 Telemetry} *)
@@ -131,8 +133,27 @@ let check ?(config = Config.default ()) ~spec program =
       Option.map Predict.Atomicity.analyze run.Tml.Vm.exec
     else None
   in
+  (* The streaming engines ([--engine race,atomicity]) replay the
+     recorded execution through Algorithm A with the all-events
+     relevance, so their verdict lines are byte-identical to what
+     [jmpax run]/[stream] produce on the same execution. *)
+  let engine_kinds =
+    List.filter (fun k -> k <> Predict.Engine.Lattice) config.Config.engines
+  in
+  let engines, engines_violated =
+    match (engine_kinds, run.Tml.Vm.exec) with
+    | [], _ | _, None -> ([], false)
+    | kinds, Some exec ->
+        let bundle =
+          Predict.Engines.create ?max_buffered:config.Config.max_buffered ~kinds
+            ~nthreads:(Exec.nthreads exec) ~init:(Exec.init exec) ~spec:None ()
+        in
+        List.iter (Predict.Engines.feed bundle) (Predict.Engine.messages_of_exec exec);
+        Predict.Engines.finish bundle;
+        (Predict.Engines.verdict_lines bundle, Predict.Engines.violated bundle)
+  in
   { spec; relevant_vars; run; delivered; computation; predictive; observed_ok;
-    races; deadlocks; atomicity }
+    races; deadlocks; atomicity; engines; engines_violated }
 
 let check_source ?config ~spec source =
   check ?config ~spec:(Pastltl.Fparser.parse spec) (Tml.Parser.parse_program source)
@@ -201,4 +222,5 @@ let pp_output ppf o =
     o.deadlocks;
   Format.fprintf ppf "@,%a"
     (Format.pp_print_option Predict.Atomicity.pp_report)
-    o.atomicity
+    o.atomicity;
+  List.iter (fun (_, line) -> Format.fprintf ppf "@,%s" line) o.engines

@@ -24,6 +24,13 @@ type output = {
   races : Predict.Race.report option;
   deadlocks : Predict.Lockgraph.report option;
   atomicity : Predict.Atomicity.report option;
+  engines : (string * string) list;
+      (** canonical [(engine, verdict)] lines of the selected streaming
+          engines ([config.engines] minus the lattice), produced by
+          replaying the recorded execution through the message-driven
+          path — byte-identical to [jmpax run]/[stream] on the same
+          execution *)
+  engines_violated : bool;  (** any selected streaming engine violated *)
 }
 
 val with_telemetry : Config.t -> (unit -> 'a) -> 'a

@@ -30,8 +30,12 @@ let stream_summary (o : Stream.outcome) =
   let s = o.Stream.s_stats in
   let buf = Buffer.create 256 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  p "stream: %d frames (%d messages, %d end-of-stream), final level %d\n"
-    s.Stream.frames s.Stream.messages s.Stream.ends o.Stream.s_level;
+  if o.Stream.s_lattice then
+    p "stream: %d frames (%d messages, %d end-of-stream), final level %d\n"
+      s.Stream.frames s.Stream.messages s.Stream.ends o.Stream.s_level
+  else
+    p "stream: %d frames (%d messages, %d end-of-stream)\n" s.Stream.frames
+      s.Stream.messages s.Stream.ends;
   if s.Stream.skipped_frames > 0 || s.Stream.skipped_bytes > 0 then
     p "recovered: %d frames skipped, %d bytes dropped, %d resyncs%s\n"
       s.Stream.skipped_frames s.Stream.skipped_bytes s.Stream.resyncs
@@ -47,7 +51,11 @@ let stream_summary (o : Stream.outcome) =
     p "peak out-of-order buffer: %d messages\n" s.Stream.peak_buffered;
   if s.Stream.checkpoints > 0 then
     p "checkpoints written: %d\n" s.Stream.checkpoints;
-  p "%s\n" (Pipeline.verdict_line o.Stream.s_violated);
+  List.iter (fun (_, line) -> p "%s\n" line) o.Stream.s_engines;
+  (* The lattice line reports the lattice verdict alone, matching
+     [Pipeline.pp_output]; [s_violated] also covers the other engines. *)
+  if o.Stream.s_lattice then
+    p "%s\n" (Pipeline.verdict_line (o.Stream.s_violations <> []));
   Buffer.contents buf
 
 let detection_table ~spec ~program ~seeds =

@@ -28,35 +28,49 @@ type stats = {
 type outcome = {
   s_header : Wire.header;
   s_violated : bool;
+  s_lattice : bool;
   s_violations : Predict.Analyzer.violation list;
   s_level : int;
   s_gc : Predict.Online.gc_stats;
+  s_engines : (string * string) list;
   s_stats : stats;
 }
 
 let default_chunk_size = 64 * 1024
 
+let no_gc =
+  { Predict.Online.retired_cuts = 0;
+    peak_frontier_cuts = 0;
+    peak_frontier_entries = 0;
+    monitor_steps = 0 }
+
 (* The driver: pull chunks from [read], push them through an incremental
-   [Wire.Reader], and feed each decoded message to the online analyzer.
-   Malformed input surfaces as [Skip] events the [recovery] policy
-   decides about; only backpressure (a resource bound, not an input
-   defect) and a failing checkpoint write are unconditionally fatal. *)
+   [Wire.Reader], and feed each decoded message to the selected engine
+   bundle.  Malformed input surfaces as [Skip] events the [recovery]
+   policy decides about; only backpressure (a resource bound, not an
+   input defect) and a failing checkpoint write are unconditionally
+   fatal. *)
 let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
     ?(recovery = Config.Fail) ?quarantine ?jobs ?par_threshold ?checkpoint
-    ?resume ~spec ~read () =
+    ?resume ?(engines = Predict.Engine.default_kinds) ~spec ~read () =
   if chunk_size <= 0 then invalid_arg "Stream.run: chunk_size must be positive";
   (match checkpoint with
   | Some (_, every) when every < 1 ->
       invalid_arg "Stream.run: checkpoint interval must be >= 1"
   | _ -> ());
-  let* reader, online0, ends0, quarantined0, peak0 =
+  if engines = [] then invalid_arg "Stream.run: no engine selected";
+  let* reader, bundle0, ends0, quarantined0, peak0 =
     match resume with
     | None -> Ok (Wire.Reader.create ?max_frame (), None, 0, 0, 0)
     | Some ck -> (
         match
-          let o =
-            Predict.Online.restore ?jobs ?par_threshold ?max_buffered ~spec
-              ck.Checkpoint.ck_online
+          let b =
+            Predict.Engines.restore ?jobs ?par_threshold ?max_buffered
+              ~kinds:engines ~nthreads:ck.Checkpoint.ck_header.Wire.nthreads
+              ~init:ck.Checkpoint.ck_header.Wire.init ~spec:(Some spec)
+              ~online_snapshot:ck.Checkpoint.ck_online
+              ~blocks:ck.Checkpoint.ck_engines
+              ~events:ck.Checkpoint.ck_reader_stats.Wire.Reader.messages ()
           in
           let reader =
             Wire.Reader.resume ?max_frame ?v3:ck.Checkpoint.ck_v3
@@ -66,40 +80,39 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
               ~stats:ck.Checkpoint.ck_reader_stats
               ~consumed:ck.Checkpoint.ck_position ()
           in
-          (reader, o)
+          (reader, b)
         with
-        | reader, o ->
+        | reader, b ->
             Ok
               ( reader,
-                Some o,
+                Some b,
                 ck.Checkpoint.ck_ends,
                 ck.Checkpoint.ck_quarantined,
                 ck.Checkpoint.ck_peak_buffered )
         | exception Invalid_argument msg -> Error (Wire.Error.Checkpoint msg))
   in
   let buf = Bytes.create chunk_size in
-  let online = ref online0 in
+  let bundle = ref bundle0 in
   let ends = ref ends0 in
   let quarantined = ref quarantined0 in
   let peak = ref peak0 in
   let checkpoints = ref 0 in
   let spec_fp = lazy (Checkpoint.fingerprint spec) in
-  let last_ck_level =
-    ref
-      (match !online with
-      | Some o -> Predict.Online.level o
-      | None -> 0)
+  let last_ck_ticks =
+    ref (match !bundle with Some b -> Predict.Engines.ticks b | None -> 0)
   in
   (match (max_buffered, M.enabled ()) with
   | Some limit, true -> M.set m_max_buffered limit
   | _ -> ());
   (* A checkpoint is taken right after a decoded item was consumed: the
      reader's garbage buffer is empty there, so [consumed] is a clean
-     frame boundary a resumed transport can seek to. *)
+     frame boundary a resumed transport can seek to.  The cadence clock
+     is the lattice level when the lattice engine runs, otherwise the
+     message count ({!Predict.Engines.ticks}). *)
   let maybe_checkpoint () =
-    match (checkpoint, !online) with
-    | Some (path, every), Some o
-      when Predict.Online.level o - !last_ck_level >= every -> (
+    match (checkpoint, !bundle) with
+    | Some (path, every), Some b
+      when Predict.Engines.ticks b - !last_ck_ticks >= every -> (
         let header =
           match Wire.Reader.header reader with
           | Some h -> h
@@ -116,17 +129,19 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
             ck_ends = !ends;
             ck_quarantined = !quarantined;
             ck_peak_buffered = !peak;
-            ck_online = Predict.Online.snapshot o }
+            ck_engines = Predict.Engines.snapshots b;
+            ck_online =
+              Option.map Predict.Online.snapshot (Predict.Engines.online b) }
         in
         match Checkpoint.write path ck with
         | Ok () ->
-            last_ck_level := Predict.Online.level o;
+            last_ck_ticks := Predict.Engines.ticks b;
             incr checkpoints;
             Telemetry.Log.info ~event:"checkpoint"
               ~fields:
                 [ ("path", path);
                   ("position", string_of_int ck.Checkpoint.ck_position);
-                  ("level", string_of_int !last_ck_level) ]
+                  ("ticks", string_of_int !last_ck_ticks) ]
               "";
             Ok ()
         | Error e -> Error (Wire.Error.Checkpoint (Checkpoint.error_to_string e)))
@@ -142,14 +157,14 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
         Ok ()
   in
   let feed_message m =
-    match !online with
+    match !bundle with
     | None ->
         (* The reader only yields messages after a header frame. *)
         assert false
-    | Some o -> (
-        match Predict.Online.feed o m with
+    | Some b -> (
+        match Predict.Engines.feed b m with
         | () ->
-            peak := max !peak (Predict.Online.out_of_order o);
+            peak := max !peak (Predict.Engines.out_of_order b);
             Ok ()
         | exception Predict.Online.Backpressure { buffered; limit } ->
             Error (Wire.Error.Backpressure { buffered; limit })
@@ -191,10 +206,11 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
         end;
         loop ()
     | Wire.Reader.Item (Wire.Reader.Header h) ->
-        online :=
+        bundle :=
           Some
-            (Predict.Online.create ?jobs ?par_threshold ?max_buffered
-               ~nthreads:h.Wire.nthreads ~init:h.Wire.init ~spec ());
+            (Predict.Engines.create ?jobs ?par_threshold ?max_buffered
+               ~kinds:engines ~nthreads:h.Wire.nthreads ~init:h.Wire.init
+               ~spec:(Some spec) ());
         loop ()
     | Wire.Reader.Item (Wire.Reader.Msg m) -> (
         match feed_message m with
@@ -203,17 +219,17 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
         | Error _ as e -> e)
     | Wire.Reader.Item (Wire.Reader.End_of_thread tid) -> (
         incr ends;
-        Option.iter (fun o -> Predict.Online.end_of_thread o tid) !online;
+        Option.iter (fun b -> Predict.Engines.end_of_thread b tid) !bundle;
         match maybe_checkpoint () with Ok () -> loop () | Error _ as e -> e)
     | Wire.Reader.Skip { error; bytes } -> (
         match on_skip error bytes with Ok () -> loop () | Error _ as e -> e)
     | Wire.Reader.Eof -> Ok ()
   in
   let* () = loop () in
-  match !online with
+  match !bundle with
   | None -> Error Wire.Error.Missing_header_frame
-  | Some o ->
-      let incomplete = Predict.Online.missing o in
+  | Some b ->
+      let incomplete = Predict.Engines.missing b in
       let* () =
         match (incomplete, recovery) with
         | Some (tid, next), Config.Fail ->
@@ -222,10 +238,10 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
             (* Under skip/quarantine a gap is one more recoverable loss:
                analyze the prefix that did arrive. *)
             (match incomplete with
-            | None -> Predict.Online.finish o
+            | None -> Predict.Engines.finish b
             | Some _ ->
-                (* [finish] would raise on the gap; every thread has
-                   already been pumped as far as its prefix allows. *)
+                (* [finish] would raise on the gap; every engine has
+                   already consumed as much as its prefix allows. *)
                 ());
             Ok ()
       in
@@ -242,12 +258,20 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
       let header =
         match Wire.Reader.header reader with Some h -> h | None -> assert false
       in
+      let online = Predict.Engines.online b in
       Ok
         { s_header = header;
-          s_violated = Predict.Online.violated o;
-          s_violations = Predict.Online.violations o;
-          s_level = Predict.Online.level o;
-          s_gc = Predict.Online.gc_stats o;
+          s_violated = Predict.Engines.violated b;
+          s_lattice = online <> None;
+          s_violations =
+            (match online with
+            | Some o -> Predict.Online.violations o
+            | None -> []);
+          s_level =
+            (match online with Some o -> Predict.Online.level o | None -> 0);
+          s_gc =
+            (match online with Some o -> Predict.Online.gc_stats o | None -> no_gc);
+          s_engines = Predict.Engines.verdict_lines b;
           s_stats =
             { frames = r.Wire.Reader.frames;
               messages = r.Wire.Reader.messages;
@@ -261,7 +285,7 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
               incomplete } }
 
 let run_string ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
-    ?par_threshold ?checkpoint ?resume ~spec text =
+    ?par_threshold ?checkpoint ?resume ?engines ~spec text =
   (* On resume the transport must stand at the checkpointed offset; for
      an in-memory document that is a simple seek. *)
   let pos =
@@ -277,4 +301,4 @@ let run_string ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
     n
   in
   run ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
-    ?par_threshold ?checkpoint ?resume ~spec ~read ()
+    ?par_threshold ?checkpoint ?resume ?engines ~spec ~read ()

@@ -42,10 +42,15 @@ type stats = {
 
 type outcome = {
   s_header : Wire.header;
-  s_violated : bool;
+  s_violated : bool;  (** any selected engine reported a violation *)
+  s_lattice : bool;  (** the lattice engine was selected for this run *)
   s_violations : Predict.Analyzer.violation list;
-  s_level : int;
-  s_gc : Predict.Online.gc_stats;
+      (** lattice violations; [[]] when the lattice engine did not run *)
+  s_level : int;  (** final lattice level; [0] without the lattice engine *)
+  s_gc : Predict.Online.gc_stats;  (** all-zero without the lattice engine *)
+  s_engines : (string * string) list;
+      (** canonical [(engine, verdict)] lines of the selected non-lattice
+          engines ({!Predict.Engines.verdict_lines}), in selection order *)
   s_stats : stats;
 }
 
@@ -59,6 +64,7 @@ val run :
   ?par_threshold:int ->
   ?checkpoint:string * int ->
   ?resume:Checkpoint.t ->
+  ?engines:Predict.Engine.kind list ->
   spec:Pastltl.Formula.t ->
   read:(bytes -> int -> int -> int) ->
   unit ->
@@ -88,6 +94,13 @@ val run :
     indistinguishable from an uninterrupted run, which the differential
     test suite checks across random kill points.
 
+    [engines] selects the engine set ({!Predict.Engine.kind}, default
+    [\[Lattice\]]).  Without the lattice engine the checkpoint cadence
+    counts messages instead of lattice levels, and [s_level] / [s_gc] /
+    [s_violations] stay at their zero values.  A resume must select the
+    exact engine set the checkpoint was taken under; a mismatch is
+    refused with {!Wire.Error.Checkpoint}.
+
     Reading stops at the stream's logical end (every thread's
     end-of-stream frame decoded and no bytes pending), so a
     reconnecting transport is never asked to redial at a clean end of
@@ -103,6 +116,7 @@ val run_string :
   ?par_threshold:int ->
   ?checkpoint:string * int ->
   ?resume:Checkpoint.t ->
+  ?engines:Predict.Engine.kind list ->
   spec:Pastltl.Formula.t ->
   string ->
   (outcome, Wire.Error.t) result

@@ -51,7 +51,7 @@ let dispatch t (e : Event.t) =
       let var, value =
         match e.kind with
         | Event.Write (x, v) -> (x, v)
-        | Event.Read (x, v) -> (x, v)
+        | Event.Read (x, v) -> (Types.read_var x, v)
         | Event.Internal ->
             (* A relevance filter marking internal events relevant would
                yield a message with no state update; JMPaX never does

@@ -20,6 +20,14 @@ val all_accesses : t
 (** Every read or write of a data variable is relevant (used by the
     predictive race detector, which needs read events too). *)
 
+val all_events : t
+(** Every read or write is relevant, {e including} the dummy
+    synchronization variables — the relevance the streaming race and
+    atomicity engines need, since they reconstruct the sync-only
+    happens-before from the message stream itself.  The emitter mangles
+    read messages through {!Trace.Types.read_var} so the two access
+    kinds stay distinguishable on the wire. *)
+
 val nothing : t
 (** No event is relevant; Algorithm A still tracks causality. *)
 

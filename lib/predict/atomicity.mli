@@ -40,12 +40,52 @@ type violation = {
 type report = {
   transactions : int;  (** outermost sync blocks analyzed *)
   violations : violation list;
+      (** one representative per violation {e class}
+          [(thread, lock, variable, pattern)], sorted by
+          [(first, remote)] *)
 }
 
 val analyze : ?max_violations:int -> Exec.t -> report
-(** [max_violations] defaults to [1000]. *)
+(** Replays a recorded execution in O(events × threads) (plus a
+    logarithmic frontier search per in-block access): per-variable
+    bounded summaries — the latest in-block access per kind, the maximal
+    closed-pair clock per (thread, lock, kinds) and a pareto frontier of
+    past remote accesses — replace the historical all-pairs × all-remotes
+    enumeration.  Violations are reported once per class with a
+    representative [(a1, r, a2)] triple; [max_violations] (default
+    [1000]) caps the classes recorded. *)
 
 val serializable : report -> bool
 val pattern_name : access_kind * access_kind * access_kind -> string
+
+val pattern_code : access_kind * access_kind * access_kind -> string
+(** Compact ["R-W-R"]-style rendering, used in canonical verdicts. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Canonical verdict} *)
+
+val classes_of_report :
+  report -> (Types.tid * string * Types.var * (access_kind * access_kind * access_kind)) list
+(** Distinct violation classes, sorted. *)
+
+val verdict :
+  classes:
+    (Types.tid * string * Types.var * (access_kind * access_kind * access_kind)) list ->
+  transactions:int ->
+  string
+(** The canonical one-line verdict ([predict.atomicity: ...]) shared by
+    the offline pass and the streaming engine, byte-comparable across
+    [jmpax check], [stream] and the serve sessions. *)
+
+val verdict_of_report : report -> string
+
+(** {1 The streaming engine} *)
+
+val factory : Engine.factory
+(** The message-driven atomicity engine registered as ["atomicity"]: a
+    causal delivery buffer ({!Causal}) feeding sync-only clocks and the
+    same bounded summaries as {!analyze}.  Verdicts equal
+    {!verdict_of_report} of the offline pass on the same execution, for
+    any arrival order the transport permits. *)

@@ -1,0 +1,149 @@
+(* Register the streaming engines.  Living in the same module that every
+   front end uses to construct bundles guarantees the registrations are
+   linked in — side-effect-only modules can be dropped by the linker. *)
+let () =
+  Engine.register "race" Race.factory;
+  Engine.register "atomicity" Atomicity.factory
+
+type t = {
+  kinds : Engine.kind list;
+  online : Online.t option;
+  others : Engine.instance list;  (* non-lattice engines, in [kinds] order *)
+  mutable events : int;
+}
+
+let kinds t = t.kinds
+
+let require_factory kind =
+  let name = Engine.kind_to_string kind in
+  match Engine.find name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Engines: engine %S not registered" name)
+
+let validate_kinds kinds ~spec =
+  if kinds = [] then invalid_arg "Engines.create: no engine selected";
+  if List.mem Engine.Lattice kinds && spec = None then
+    invalid_arg "Engines.create: the lattice engine needs a specification"
+
+let ctx_of ?(jobs = 1) ?par_threshold ?max_buffered ~nthreads ~init ~spec () =
+  { Engine.nthreads; init; spec; jobs; par_threshold; max_buffered }
+
+let create ?jobs ?par_threshold ?max_buffered ~kinds ~nthreads ~init ~spec () =
+  validate_kinds kinds ~spec;
+  let ctx = ctx_of ?jobs ?par_threshold ?max_buffered ~nthreads ~init ~spec () in
+  let online =
+    if List.mem Engine.Lattice kinds then
+      Some
+        (Online.create ?jobs ?par_threshold ?max_buffered ~nthreads ~init
+           ~spec:(Option.get spec) ())
+    else None
+  in
+  let others =
+    List.filter_map
+      (fun kind ->
+        match kind with
+        | Engine.Lattice -> None
+        | kind -> Some ((require_factory kind).Engine.create ctx))
+      kinds
+  in
+  { kinds; online; others; events = 0 }
+
+let feed t m =
+  t.events <- t.events + 1;
+  Option.iter (fun o -> Online.feed o m) t.online;
+  List.iter (fun (e : Engine.instance) -> e.Engine.feed m) t.others
+
+let end_of_thread t tid =
+  Option.iter (fun o -> Online.end_of_thread o tid) t.online;
+  List.iter (fun (e : Engine.instance) -> e.Engine.end_of_thread tid) t.others
+
+let finish t =
+  Option.iter Online.finish t.online;
+  List.iter (fun (e : Engine.instance) -> e.Engine.finish ()) t.others
+
+let violated t =
+  (match t.online with Some o -> Online.violated o | None -> false)
+  || List.exists (fun (e : Engine.instance) -> e.Engine.violated ()) t.others
+
+let online t = t.online
+
+let events t = t.events
+
+let ticks t =
+  match t.online with Some o -> Online.level o | None -> t.events
+
+let buffered t =
+  List.fold_left
+    (fun acc (e : Engine.instance) -> max acc (e.Engine.buffered ()))
+    (match t.online with Some o -> Online.buffered o | None -> 0)
+    t.others
+
+let out_of_order t =
+  List.fold_left
+    (fun acc (e : Engine.instance) -> max acc (e.Engine.out_of_order ()))
+    (match t.online with Some o -> Online.out_of_order o | None -> 0)
+    t.others
+
+let missing t =
+  let first acc m = match acc with Some _ -> acc | None -> m in
+  List.fold_left
+    (fun acc (e : Engine.instance) -> first acc (e.Engine.missing ()))
+    (match t.online with Some o -> Online.missing o | None -> None)
+    t.others
+
+let verdict_lines t =
+  List.map
+    (fun (e : Engine.instance) -> (e.Engine.name, e.Engine.verdict ()))
+    t.others
+
+let snapshots t =
+  List.map
+    (fun (e : Engine.instance) -> (e.Engine.name, e.Engine.snapshot ()))
+    t.others
+
+let restore ?jobs ?par_threshold ?max_buffered ~kinds ~nthreads ~init ~spec
+    ~online_snapshot ~blocks ~events () =
+  validate_kinds kinds ~spec;
+  let ctx = ctx_of ?jobs ?par_threshold ?max_buffered ~nthreads ~init ~spec () in
+  let online =
+    match (List.mem Engine.Lattice kinds, online_snapshot) with
+    | true, Some snap ->
+        Some
+          (Online.restore ?jobs ?par_threshold ?max_buffered
+             ~spec:(Option.get spec) snap)
+    | true, None ->
+        invalid_arg "Engines.restore: checkpoint has no lattice engine state"
+    | false, Some _ ->
+        invalid_arg
+          "Engines.restore: checkpoint has lattice engine state but the lattice \
+           engine is not selected"
+    | false, None -> None
+  in
+  let consumed = ref [] in
+  let others =
+    List.filter_map
+      (fun kind ->
+        match kind with
+        | Engine.Lattice -> None
+        | kind ->
+            let name = Engine.kind_to_string kind in
+            let lines =
+              match List.assoc_opt name blocks with
+              | Some lines -> lines
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Engines.restore: checkpoint has no state for engine %S" name)
+            in
+            consumed := name :: !consumed;
+            Some ((require_factory kind).Engine.restore ctx lines))
+      kinds
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem name !consumed) then
+        invalid_arg
+          (Printf.sprintf
+             "Engines.restore: checkpoint has state for unselected engine %S" name))
+    blocks;
+  { kinds; online; others; events }

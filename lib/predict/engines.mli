@@ -1,0 +1,89 @@
+(** A bundle of prediction engines driven by one message stream.
+
+    The front ends ([jmpax check/run/stream] and the serve sessions)
+    select engines with [--engine lattice,race,atomicity]; this module
+    fans each observed message out to every selected engine and
+    aggregates their progress, verdicts and checkpoint state.
+
+    The lattice engine ({!Online}) keeps its first-class identity —
+    [online t] exposes it so the stream/serve checkpoint and telemetry
+    paths that predate the registry keep working unchanged; the
+    streaming race and atomicity engines ride the generic
+    {!Engine.instance} interface and are registered here (loading this
+    module is what links their registrations in). *)
+
+open Trace
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?par_threshold:int ->
+  ?max_buffered:int ->
+  kinds:Engine.kind list ->
+  nthreads:int ->
+  init:(Types.var * Types.value) list ->
+  spec:Pastltl.Formula.t option ->
+  unit ->
+  t
+(** @raise Invalid_argument when [kinds] is empty, or when the lattice
+    engine is selected without a specification. *)
+
+val kinds : t -> Engine.kind list
+
+val feed : t -> Message.t -> unit
+(** Fan one message out to every engine (lattice first).
+    @raise Invalid_argument on duplicates — every engine agrees on
+    duplicate detection, so the first engine's verdict stands for all.
+    @raise Online.Backpressure past an engine's out-of-order bound;
+    backpressure is fatal to the bundle. *)
+
+val end_of_thread : t -> Types.tid -> unit
+val finish : t -> unit
+val violated : t -> bool
+
+val online : t -> Online.t option
+(** The lattice engine, when selected. *)
+
+val events : t -> int
+(** Messages fed to the bundle. *)
+
+val ticks : t -> int
+(** Checkpoint-cadence clock: the lattice level when the lattice engine
+    runs, otherwise the message count. *)
+
+val buffered : t -> int
+(** Worst case over engines. *)
+
+val out_of_order : t -> int
+(** Worst case over engines. *)
+
+val missing : t -> (Types.tid * int) option
+
+val verdict_lines : t -> (string * string) list
+(** Canonical [(engine, verdict)] lines of the non-lattice engines, in
+    selection order (the lattice verdict keeps its historical
+    [Pipeline.verdict_line] rendering). *)
+
+val snapshots : t -> (string * string list) list
+(** Checkpointable [(engine, opaque lines)] blocks of the non-lattice
+    engines ({!Online.snapshot} carries the lattice state). *)
+
+val restore :
+  ?jobs:int ->
+  ?par_threshold:int ->
+  ?max_buffered:int ->
+  kinds:Engine.kind list ->
+  nthreads:int ->
+  init:(Types.var * Types.value) list ->
+  spec:Pastltl.Formula.t option ->
+  online_snapshot:Online.snapshot option ->
+  blocks:(string * string list) list ->
+  events:int ->
+  unit ->
+  t
+(** Rebuild a bundle from checkpoint state.
+    @raise Invalid_argument when the selected engines and the
+    checkpointed state disagree (missing or unselected engine blocks,
+    lattice state without the lattice engine or vice versa), or on a
+    malformed block. *)

@@ -24,15 +24,40 @@ type race = { first : access; second : access }
 (** Ordered by observed position; clocks are concurrent. *)
 
 type report = {
-  races : race list;
+  races : race list;  (** representative pairs, capped at [max_races] *)
+  pairs_found : int;  (** every pair detected, including unrecorded ones *)
   racy_vars : Types.var list;  (** distinct data variables involved, sorted *)
   accesses : int;  (** data accesses examined *)
 }
 
 val detect : ?max_races:int -> Exec.t -> report
-(** Replays a recorded execution; [max_races] (default [10_000]) caps the
-    pair list (detection still fills [racy_vars]). *)
+(** Replays a recorded execution in O(accesses × threads): per-variable
+    bounded clock summaries (latest write/read per thread) replace the
+    historical per-variable rescan.  [max_races] (default [10_000]) caps
+    the recorded pair list; [pairs_found] and [racy_vars] keep counting
+    past the cap. *)
 
 val race_free : report -> bool
 val pp_race : Format.formatter -> race -> unit
+
 val pp_report : Format.formatter -> report -> unit
+(** Renders ["N racy pairs (M shown)"] when the recorded list was
+    truncated at [max_races], so capped reports no longer under-count. *)
+
+(** {1 Canonical verdict} *)
+
+val verdict : racy_vars:Types.var list -> accesses:int -> string
+(** The canonical one-line verdict ([predict.race: ...]) shared by the
+    offline pass and the streaming engine, byte-comparable across
+    [jmpax check], [stream] and the serve sessions. *)
+
+val verdict_of_report : report -> string
+
+(** {1 The streaming engine} *)
+
+val factory : Engine.factory
+(** The message-driven race engine registered as ["race"]: a causal
+    delivery buffer ({!Causal}) feeding sync-only clocks and the same
+    bounded summaries as {!detect}.  Verdicts equal
+    {!verdict_of_report} of the offline pass on the same execution, for
+    any arrival order the transport permits. *)

@@ -19,3 +19,27 @@ val observe : t -> Event.t -> Vclock.t option
     compare), [None] for internal events and synchronization traffic. *)
 
 val clock : t -> Types.tid -> Vclock.t
+
+val observe_access : t -> Types.tid -> var:Types.var -> is_read:bool -> Vclock.t option
+(** {!observe} for the message-driven engines: one delivered access,
+    already split into its thread, {e demangled} variable (see
+    {!Trace.Types.as_read}) and direction.  Sync-variable traffic
+    advances the clocks and returns [None]; data accesses return the
+    thread's clock.  Feeding accesses in {e any} linearization
+    consistent with the full (all-events) message causality yields the
+    same per-access clocks as {!observe} over the original execution:
+    writes of one sync variable are totally ordered by their
+    absorb-and-update cycle, so every causal linearization replays them
+    in the same order. *)
+
+(** {1 Checkpointing} *)
+
+type snapshot = {
+  snap_vi : Vclock.t array;
+  snap_va : (Types.var * Vclock.t) list;  (** sorted by variable *)
+  snap_vw : (Types.var * Vclock.t) list;
+}
+
+val snapshot : t -> snapshot
+val restore : snapshot -> t
+(** @raise Invalid_argument on an empty clock array. *)

@@ -17,6 +17,7 @@ let verdict_latency = M.histogram "serve.verdict_latency_us"
 type config = {
   spec : Pastltl.Formula.t;
   spec_fp : string;
+  engines : Predict.Engine.kind list;
   max_buffered : int option;
   jobs : int;
   recovery : Jmpax.Config.recovery;
@@ -39,7 +40,7 @@ type t = {
   mutable s_state : state;
   hello : Buffer.t;
   mutable reader : Wire.Reader.t option;
-  mutable online : Predict.Online.t option;
+  mutable bundle : Predict.Engines.t option;
   mutable discard : int;  (** replayed-prefix bytes still to drop *)
   mutable offset : int;  (** absolute stream offset fed to the reader *)
   mutable s_events : int;
@@ -47,7 +48,7 @@ type t = {
   mutable s_skipped : int;
   mutable peak_buffered : int;
   mutable s_checkpoints : int;
-  mutable last_ck_level : int;
+  mutable last_ck_ticks : int;
   mutable s_violated : bool option;
   mutable s_code : int;
   mutable s_reason : string;
@@ -75,7 +76,7 @@ let create cfg fd =
     s_state = Handshaking;
     hello = Buffer.create 64;
     reader = None;
-    online = None;
+    bundle = None;
     discard = 0;
     offset = 0;
     s_events = 0;
@@ -83,7 +84,7 @@ let create cfg fd =
     s_skipped = 0;
     peak_buffered = 0;
     s_checkpoints = 0;
-    last_ck_level = 0;
+    last_ck_ticks = 0;
     s_violated = None;
     s_code = 0;
     s_reason = "";
@@ -103,11 +104,14 @@ let violated t = t.s_violated
 let exit_code t = t.s_code
 let fail_reason t = t.s_reason
 
+(* With the lattice engine this is the lattice level; for a race/
+   atomicity-only session it is the message count — either way a
+   monotone progress measure ({!Predict.Engines.ticks}). *)
 let level t =
-  match t.online with Some o -> Predict.Online.level o | None -> 0
+  match t.bundle with Some b -> Predict.Engines.ticks b | None -> 0
 
 let buffered t =
-  match t.online with Some o -> Predict.Online.out_of_order o | None -> 0
+  match t.bundle with Some b -> Predict.Engines.out_of_order b | None -> 0
 
 (* Bytes received but not yet turned into events: the session's lag. *)
 let lag t =
@@ -167,15 +171,33 @@ let finish_failed t code reason =
     reason;
   Finished
 
-let finish_done t violated_ =
+let finish_done t b =
+  let violated_ = Predict.Engines.violated b in
   t.s_violated <- Some violated_;
   t.s_state <- Done;
-  ignore (write_line t (Jmpax.Pipeline.verdict_line violated_ ^ "\n"));
+  (* One canonical verdict line per selected engine, byte-identical to
+     the standalone front ends; the lattice line last, when present. *)
+  let engine_lines = Predict.Engines.verdict_lines b in
+  let lines =
+    List.map snd engine_lines
+    @
+    match Predict.Engines.online b with
+    | Some o ->
+        [ Jmpax.Pipeline.verdict_line (Predict.Online.violated o) ]
+    | None -> []
+  in
+  ignore (write_line t (String.concat "" (List.map (fun l -> l ^ "\n") lines)));
   close t;
   if M.enabled () then begin
     M.incr m_verdicts;
     if violated_ then M.incr m_violations
   end;
+  List.iter
+    (fun (name, line) ->
+      L.info ~sid:t.s_id ~event:"engine_verdict"
+        ~fields:[ ("engine", name) ]
+        line)
+    engine_lines;
   L.info ~sid:t.s_id ~event:"verdict"
     ~fields:
       [ ("verdict", if violated_ then "violation" else "ok");
@@ -189,9 +211,9 @@ let finish_done t violated_ =
    the first byte the reader has not turned into an event — a position a
    replaying writer can be fast-forwarded to. *)
 let write_checkpoint t =
-  match (checkpoint_path t.cfg t.s_id, t.reader, t.online) with
+  match (checkpoint_path t.cfg t.s_id, t.reader, t.bundle) with
   | None, _, _ | _, None, _ | _, _, None -> Ok ()
-  | Some path, Some reader, Some online -> (
+  | Some path, Some reader, Some bundle -> (
       match Wire.Reader.header reader with
       | None -> Ok ()
       | Some header -> (
@@ -206,17 +228,20 @@ let write_checkpoint t =
               ck_ends = t.s_ends;
               ck_quarantined = 0;
               ck_peak_buffered = t.peak_buffered;
-              ck_online = Predict.Online.snapshot online }
+              ck_engines = Predict.Engines.snapshots bundle;
+              ck_online =
+                Option.map Predict.Online.snapshot
+                  (Predict.Engines.online bundle) }
           in
           match Checkpoint.write path ck with
           | Ok () ->
               t.s_checkpoints <- t.s_checkpoints + 1;
-              t.last_ck_level <- Predict.Online.level online;
+              t.last_ck_ticks <- Predict.Engines.ticks bundle;
               if M.enabled () then M.incr m_checkpoints;
               L.info ~sid:t.s_id ~event:"checkpoint"
                 ~fields:
                   [ ("position", string_of_int ck.Checkpoint.ck_position);
-                    ("level", string_of_int t.last_ck_level) ]
+                    ("ticks", string_of_int t.last_ck_ticks) ]
                 "";
               Ok ()
           | Error e -> Error (Checkpoint.error_to_string e)))
@@ -239,10 +264,10 @@ let logically_ended reader =
   | None -> false
 
 let complete t =
-  match t.online with
+  match t.bundle with
   | None -> finish_failed t 3 "stream ended before the header frame"
-  | Some o -> (
-      match Predict.Online.missing o with
+  | Some b -> (
+      match Predict.Engines.missing b with
       | Some (tid, next) when t.cfg.recovery = Jmpax.Config.Fail ->
           finish_failed t 3
             (Printf.sprintf "thread %d never delivered message %d" tid next)
@@ -251,17 +276,17 @@ let complete t =
              the verdict covers the prefix that did arrive. *)
           (match missing with
           | None -> (
-              match Predict.Online.finish o with
+              match Predict.Engines.finish b with
               | () -> ()
               | exception Invalid_argument _ -> ())
           | Some _ -> ());
-          finish_done t (Predict.Online.violated o))
+          finish_done t b)
 
-let feed_message t o m =
-  match Predict.Online.feed o m with
+let feed_message t b m =
+  match Predict.Engines.feed b m with
   | () ->
       t.s_events <- t.s_events + 1;
-      t.peak_buffered <- max t.peak_buffered (Predict.Online.out_of_order o);
+      t.peak_buffered <- max t.peak_buffered (Predict.Engines.out_of_order b);
       Ok ()
   | exception Predict.Online.Backpressure { buffered; limit } ->
       Error
@@ -292,17 +317,18 @@ let on_skip t error =
 let rec pump t reader =
   match Wire.Reader.next reader with
   | Wire.Reader.Item (Wire.Reader.Header h) ->
-      t.online <-
+      t.bundle <-
         Some
-          (Predict.Online.create ~jobs:t.cfg.jobs
-             ?max_buffered:t.cfg.max_buffered ~nthreads:h.Wire.nthreads
-             ~init:h.Wire.init ~spec:t.cfg.spec ());
+          (Predict.Engines.create ~jobs:t.cfg.jobs
+             ?max_buffered:t.cfg.max_buffered ~kinds:t.cfg.engines
+             ~nthreads:h.Wire.nthreads ~init:h.Wire.init
+             ~spec:(Some t.cfg.spec) ());
       pump t reader
   | Wire.Reader.Item (Wire.Reader.Msg m) -> (
-      match t.online with
+      match t.bundle with
       | None -> finish_failed t 3 "message frame before the header frame"
-      | Some o -> (
-          match feed_message t o m with
+      | Some b -> (
+          match feed_message t b m with
           | Ok () -> pump t reader
           | Error (`Fatal (code, reason)) -> finish_failed t code reason
           | Error (`Skip error) -> (
@@ -311,7 +337,7 @@ let rec pump t reader =
               | Error (code, reason) -> finish_failed t code reason)))
   | Wire.Reader.Item (Wire.Reader.End_of_thread tid) ->
       t.s_ends <- t.s_ends + 1;
-      Option.iter (fun o -> Predict.Online.end_of_thread o tid) t.online;
+      Option.iter (fun b -> Predict.Engines.end_of_thread b tid) t.bundle;
       pump t reader
   | Wire.Reader.Skip { error; bytes = _ } -> (
       match on_skip t error with
@@ -320,9 +346,9 @@ let rec pump t reader =
   | Wire.Reader.Await ->
       if logically_ended reader then complete t
       else begin
-        match (t.online, t.cfg.checkpoint_dir) with
-        | Some o, Some _
-          when Predict.Online.level o - t.last_ck_level
+        match (t.bundle, t.cfg.checkpoint_dir) with
+        | Some b, Some _
+          when Predict.Engines.ticks b - t.last_ck_ticks
                >= t.cfg.checkpoint_every -> (
             match write_checkpoint t with
             | Ok () -> Continue
@@ -432,9 +458,13 @@ let start_fresh t ~id ~rest =
   else on_eof t
 
 let start_resume_checkpoint t ~id ~ck ~rest =
-  let online =
-    Predict.Online.restore ~jobs:t.cfg.jobs ?max_buffered:t.cfg.max_buffered
-      ~spec:t.cfg.spec ck.Checkpoint.ck_online
+  let bundle =
+    Predict.Engines.restore ~jobs:t.cfg.jobs ?max_buffered:t.cfg.max_buffered
+      ~kinds:t.cfg.engines ~nthreads:ck.Checkpoint.ck_header.Wire.nthreads
+      ~init:ck.Checkpoint.ck_header.Wire.init ~spec:(Some t.cfg.spec)
+      ~online_snapshot:ck.Checkpoint.ck_online
+      ~blocks:ck.Checkpoint.ck_engines
+      ~events:ck.Checkpoint.ck_reader_stats.Wire.Reader.messages ()
   in
   let reader =
     Wire.Reader.resume ?v3:ck.Checkpoint.ck_v3 ~header:ck.Checkpoint.ck_header
@@ -444,12 +474,13 @@ let start_resume_checkpoint t ~id ~ck ~rest =
   in
   t.s_id <- id;
   t.reader <- Some reader;
-  t.online <- Some online;
+  t.bundle <- Some bundle;
   t.discard <- ck.Checkpoint.ck_position;
   t.offset <- ck.Checkpoint.ck_position;
   t.s_ends <- ck.Checkpoint.ck_ends;
+  t.s_events <- ck.Checkpoint.ck_reader_stats.Wire.Reader.messages;
   t.peak_buffered <- ck.Checkpoint.ck_peak_buffered;
-  t.last_ck_level <- Predict.Online.level online;
+  t.last_ck_ticks <- Predict.Engines.ticks bundle;
   t.s_state <- Streaming;
   if write_line t (Printf.sprintf "ok %d\n" ck.Checkpoint.ck_position) then
     stream_bytes t rest

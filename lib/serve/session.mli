@@ -44,6 +44,10 @@
 type config = {
   spec : Pastltl.Formula.t;
   spec_fp : string;  (** {!Jmpax.Checkpoint.fingerprint} of [spec] *)
+  engines : Predict.Engine.kind list;
+      (** the engine set every session runs ({!Predict.Engine.kind});
+          checkpoints written by a session carry exactly this set, and a
+          resume from disk refuses a checkpoint taken under another *)
   max_buffered : int option;
       (** per-session out-of-order bound; exceeding it disconnects
           {e only} the offending session *)
@@ -85,6 +89,10 @@ val events : t -> int
 (** Messages consumed so far. *)
 
 val level : t -> int
+(** The session's progress measure: the lattice level when the lattice
+    engine is selected, the message count otherwise
+    ({!Predict.Engines.ticks}). *)
+
 val buffered : t -> int
 (** Out-of-order buffered messages (the [max_buffered] quantity). *)
 

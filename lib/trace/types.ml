@@ -4,12 +4,19 @@ type value = int
 
 let lock_prefix = "#lock:"
 let notify_prefix = "#notify:"
+let read_prefix = "#read:"
 let lock_var l = lock_prefix ^ l
 let notify_var c = notify_prefix ^ c
+let read_var x = read_prefix ^ x
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
+
+let as_read x =
+  if has_prefix ~prefix:read_prefix x then
+    Some (String.sub x (String.length read_prefix) (String.length x - String.length read_prefix))
+  else None
 
 let is_sync_var x = has_prefix ~prefix:lock_prefix x || has_prefix ~prefix:notify_prefix x
 let is_data_var x = not (is_sync_var x)

@@ -24,6 +24,17 @@ val notify_var : string -> var
 (** Dummy variable written by notifier and woken waiter of a condition
     variable, creating the expected happens-before edge. *)
 
+val read_var : string -> var
+(** [read_var x] is the dummy variable name carrying a {e read} of [x]
+    on the wire.  Messages only have one variable slot; when a relevance
+    filter reports read events (the streaming race and atomicity engines
+    need them), the emitter mangles the variable so consumers can tell a
+    read of [x] from a write of [x].  Same reserved-namespace idiom as
+    {!lock_var} (paper, Section 3.1). *)
+
+val as_read : var -> string option
+(** [as_read v] is [Some x] when [v] is [read_var x], [None] otherwise. *)
+
 val is_sync_var : var -> bool
 (** True for variables created by {!lock_var} or {!notify_var}. *)
 

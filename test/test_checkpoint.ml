@@ -123,6 +123,17 @@ let gen_checkpoint =
     int_range 0 9 >>= fun ends ->
     int_range 0 99 >>= fun quarantined ->
     int_range 0 9 >>= fun peak_buffered ->
+    (* Engine sub-blocks are opaque counted lines; exercise none, one
+       and two, and (when at least one is present) the lattice-less
+       variant of the format. *)
+    oneofl
+      [ [];
+        [ ("race", [ "race 1"; "counts 1 2 3 4" ]) ];
+        [ ("race", [ "race 1" ]); ("atomicity", [ "atomicity 1"; "depth 0 0" ]) ]
+      ]
+    >>= fun engines ->
+    bool >>= fun drop_online ->
+    let with_online = engines = [] || not drop_online in
     return
       { C.ck_header = { W.nthreads; init };
         ck_spec_fp = Printf.sprintf "%08x" (position * 2654435761);
@@ -135,21 +146,25 @@ let gen_checkpoint =
         ck_ends = ends;
         ck_quarantined = quarantined;
         ck_peak_buffered = peak_buffered;
+        ck_engines = engines;
         ck_online =
-          { Predict.Online.snap_nthreads = nthreads;
-            snap_level = level;
-            snap_done = done_;
-            snap_prefix = prefix;
-            snap_beyond = beyond;
-            snap_gc_floor = gc_floor;
-            snap_ended = ended;
-            snap_store = store;
-            snap_frontier = frontier;
-            snap_violations = violations;
-            snap_retired_cuts = level * 2;
-            snap_peak_frontier_cuts = level + 1;
-            snap_peak_frontier_entries = level + 2;
-            snap_monitor_steps = level * 3 } })
+          (if not with_online then None
+           else
+             Some
+               { Predict.Online.snap_nthreads = nthreads;
+                 snap_level = level;
+                 snap_done = done_;
+                 snap_prefix = prefix;
+                 snap_beyond = beyond;
+                 snap_gc_floor = gc_floor;
+                 snap_ended = ended;
+                 snap_store = store;
+                 snap_frontier = frontier;
+                 snap_violations = violations;
+                 snap_retired_cuts = level * 2;
+                 snap_peak_frontier_cuts = level + 1;
+                 snap_peak_frontier_entries = level + 2;
+                 snap_monitor_steps = level * 3 }) })
 
 (* [encode] is injective on the value domain, so decode-then-re-encode
    matching the original encoding is a faithful round-trip law without

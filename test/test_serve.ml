@@ -75,6 +75,7 @@ let default_session ?(spec = Pastltl.Formula.True) ?max_buffered
     ?checkpoint_dir ?(recovery = Jmpax.Config.Fail) () =
   { S.spec;
     spec_fp = Jmpax.Checkpoint.fingerprint spec;
+    engines = Predict.Engine.default_kinds;
     max_buffered;
     jobs = 1;
     recovery;
