@@ -289,7 +289,9 @@ let write_json ?(experiment = "E19") path =
 (* [telemetry] turns the full observability stack on in the daemon
    child: live metrics registry plus info-level structured logs — the
    exact configuration E21 bills against the all-off baseline. *)
-let spawn_daemon ?control ?(telemetry = false) ~sock_path () =
+let spawn_daemon ?control ?(telemetry = false)
+    ?(budget = Jmpax.Budget.unlimited) ?(on_overload = Jmpax.Budget.Fail)
+    ?memory_budget ~sock_path () =
   (* The child inherits stdio buffers; flush so it doesn't replay the
      parent's pending output on exit. *)
   flush stdout;
@@ -310,6 +312,8 @@ let spawn_daemon ?control ?(telemetry = false) ~sock_path () =
           recovery = Jmpax.Config.Fail;
           checkpoint_dir = None;
           checkpoint_every = 1;
+          budget;
+          on_overload;
           now = Unix.gettimeofday }
       in
       let config =
@@ -320,7 +324,8 @@ let spawn_daemon ?control ?(telemetry = false) ~sock_path () =
           idle_timeout = 0.0;
           read_budget = Serve.Loop.default_read_budget;
           health_max_lag = 0;
-          health_max_buffered = 0 }
+          health_max_buffered = 0;
+          memory_budget }
       in
       match Serve.Loop.create config with
       | Error msg ->
@@ -587,12 +592,329 @@ let e21 argv =
     exit 1
   end
 
+(* {1 E23 mode} *)
+
+(* The adversarial payload: [nthreads] fully concurrent threads (every
+   message carries only its own vector-clock component), so the
+   frontier holds C(level+nthreads-1, nthreads-1) cuts per level and an
+   unbudgeted lattice sweep is exponential-in-practice.  Mirrors the
+   exploding fixture of test_serve. *)
+let exploding_trace ~nthreads ~per_thread =
+  let header = { Jmpax.Wire.nthreads; init = [ ("x", 1) ] } in
+  let ms = ref [] in
+  for i = per_thread - 1 downto 0 do
+    for t = nthreads - 1 downto 0 do
+      let mvc = Array.make nthreads 0 in
+      mvc.(t) <- i + 1;
+      ms :=
+        Trace.Message.make ~eid:((i * nthreads) + t) ~tid:t ~var:"x" ~value:1
+          ~mvc:(Vclock.of_array mvc)
+        :: !ms
+    done
+  done;
+  Jmpax.Wire.Framed.encode header !ms
+
+(* The exploding writer: a degraded session prints its linear-engine
+   lines before the marked verdict, so read until the [predictive] one. *)
+let run_exploding_session ~addr ~sid ~fp ~payload =
+  let sock = connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all sock (Printf.sprintf "jmpax-serve 1 %s %s\n" sid fp);
+      match read_line_blocking sock with
+      | None -> Error "connection closed before ack"
+      | Some ack when String.length ack >= 6 && String.sub ack 0 6 = "reject"
+        ->
+          Error ack
+      | Some _ack ->
+          write_all sock payload;
+          let rec verdict () =
+            match read_line_blocking sock with
+            | Some line when contains ~needle:"predictive verdict" line ->
+                Ok line
+            | Some _ -> verdict ()
+            | None -> Error "connection closed before the verdict line"
+          in
+          verdict ())
+
+(* The daemon child's high-water RSS, from the kernel's own accounting;
+   monotonic, so one read just before SIGTERM covers the whole run. *)
+let vm_hwm_bytes pid =
+  let ic = open_in (Printf.sprintf "/proc/%d/status" pid) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec scan () =
+        match input_line ic with
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf
+                (String.sub line 6 (String.length line - 6))
+                " %d kB"
+                (fun kb -> kb * 1024)
+            else scan ()
+        | exception End_of_file -> failwith "no VmHWM in /proc status"
+      in
+      scan ())
+
+(* Experiment E23: overload protection.  A baseline arm (8 well-behaved
+   tenants, no budgets) against an attack arm (the same 8 plus an
+   exploding tenant, frontier budget + degrade).  Gates: every normal
+   verdict identical across arms, the exploding tenant comes back with
+   the marked degraded verdict, the attack arm's normal throughput
+   stays within 0.8x of baseline, the daemon's peak RSS stays under the
+   bench's RSS budget, and both drains exit 0. *)
+let e23 argv =
+  let json = ref None and events = ref events_default in
+  let sessions = ref 8 and per_thread = ref 100 in
+  let rss_budget = ref (512 * 1024 * 1024) in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | "--events" :: n :: rest ->
+        events := int_of_string n;
+        parse rest
+    | "--sessions" :: n :: rest ->
+        sessions := int_of_string n;
+        parse rest
+    | "--per-thread" :: n :: rest ->
+        per_thread := int_of_string n;
+        parse rest
+    | "--rss-budget" :: n :: rest ->
+        rss_budget := int_of_string n;
+        parse rest
+    | a :: _ -> failwith ("unexpected argument " ^ a)
+  in
+  parse argv;
+  let payload = synth_trace !events in
+  let expected = expected_verdict payload in
+  let exploding = exploding_trace ~nthreads:6 ~per_thread:!per_thread in
+  let fp = Jmpax.Checkpoint.fingerprint spec in
+  Printf.printf
+    "E23: overload protection (%d normal sessions x %d events + exploding \
+     tenant, %d-byte attack stream)\n\n"
+    !sessions !events (String.length exploding);
+  let measure_arm ~name ~attack =
+    let dir = Filename.temp_file "jmpax_e23" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let sock_path = Filename.concat dir "serve.sock" in
+    let budget =
+      if attack then Jmpax.Budget.limits ~max_frontier_cuts:256 ()
+      else Jmpax.Budget.unlimited
+    in
+    let pid =
+      spawn_daemon ~budget ~on_overload:Jmpax.Budget.Degrade ~sock_path ()
+    in
+    let addr = Unix_sock sock_path in
+    (match run_session ~addr ~sid:(name ^ ".warmup") ~fp ~payload with
+    | Ok v when v = expected -> ()
+    | Ok v -> failwith ("warmup: wrong verdict: " ^ v)
+    | Error e -> failwith ("warmup session failed: " ^ e));
+    (* The attack rides alongside the measured sessions. *)
+    let hog_result = ref (Error "not run") in
+    let hog =
+      if attack then
+        Some
+          (Thread.create
+             (fun () ->
+               hog_result :=
+                 try
+                   run_exploding_session ~addr ~sid:(name ^ ".hog") ~fp
+                     ~payload:exploding
+                 with e -> Error (Printexc.to_string e))
+             ())
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      run_sessions ~addr
+        ~prefix:(name ^ ".w")
+        ~sessions:!sessions ~fp ~payload
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Array.iter
+      (function
+        | Ok v when v = expected -> ()
+        | Ok v -> failwith (name ^ ": wrong verdict: " ^ v)
+        | Error e -> failwith (name ^ ": session failed: " ^ e))
+      results;
+    Option.iter Thread.join hog;
+    if attack then begin
+      match !hog_result with
+      | Ok v
+        when contains
+               ~needle:"degraded(from=lattice,reason=frontier_budget" v ->
+          Printf.printf "  exploding tenant: %s\n" v
+      | Ok v -> failwith ("exploding tenant: unmarked verdict: " ^ v)
+      | Error e -> failwith ("exploding tenant: " ^ e)
+    end;
+    let rss = vm_hwm_bytes pid in
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    let code = match status with Unix.WEXITED c -> c | _ -> 255 in
+    (try Sys.remove sock_path with Sys_error _ -> ());
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    if code <> 0 then failwith (Printf.sprintf "%s arm: drain exit %d" name code);
+    let eps = float_of_int (!sessions * !events) /. dt in
+    Printf.printf "  %-8s arm: %.0f events/s aggregate, peak RSS %.1f MiB\n%!"
+      name eps
+      (float_of_int rss /. 1048576.0);
+    (eps, rss)
+  in
+  let baseline_eps, baseline_rss = measure_arm ~name:"baseline" ~attack:false in
+  let attack_eps, attack_rss = measure_arm ~name:"attack" ~attack:true in
+  let ratio = attack_eps /. baseline_eps in
+  Printf.printf
+    "  normal throughput under attack: %.2fx of baseline (gate >= 0.8x)\n"
+    ratio;
+  record "events_per_session" (float_of_int !events);
+  record "sessions" (float_of_int !sessions);
+  record "baseline_eps" baseline_eps;
+  record "attack_eps" attack_eps;
+  record "throughput_ratio" ratio;
+  record "baseline_peak_rss_bytes" (float_of_int baseline_rss);
+  record "attack_peak_rss_bytes" (float_of_int attack_rss);
+  record "rss_budget_bytes" (float_of_int !rss_budget);
+  (match !json with
+  | Some path -> write_json ~experiment:"E23" path
+  | None -> ());
+  if attack_rss > !rss_budget then begin
+    Printf.printf "FAIL: attack-arm peak RSS above the budget\n";
+    exit 1
+  end;
+  if ratio < 0.8 then begin
+    Printf.printf "FAIL: normal throughput under attack below the 0.8x gate\n";
+    exit 1
+  end
+
+(* {1 chaos-soak mode}
+
+   The CI robustness gate.  Phase 1 drives the budgeted stream path
+   through {!Jmpax.Transport.Faulty} — seeded short reads plus periodic
+   EINTR / EAGAIN injection over the exploding trace — and requires a
+   marked degraded verdict from every seed.  Phase 2 soaks the daemon:
+   several rounds of an exploding tenant riding alongside well-behaved
+   sessions, every normal verdict checked, then a SIGTERM that must
+   drain cleanly with no verdict lost. *)
+let soak argv =
+  let rounds = ref 3 and seed = ref 1234 and sessions = ref 4 in
+  let events = ref 500 in
+  let rec parse = function
+    | [] -> ()
+    | "--rounds" :: n :: rest ->
+        rounds := int_of_string n;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        parse rest
+    | "--sessions" :: n :: rest ->
+        sessions := int_of_string n;
+        parse rest
+    | "--events" :: n :: rest ->
+        events := int_of_string n;
+        parse rest
+    | a :: _ -> failwith ("unexpected argument " ^ a)
+  in
+  parse argv;
+  let exploding = exploding_trace ~nthreads:6 ~per_thread:40 in
+  let budget = Jmpax.Budget.limits ~max_frontier_cuts:64 () in
+  Printf.printf "chaos soak: %d faulty-stream seeds, %d daemon rounds\n\n"
+    !rounds !rounds;
+  for r = 1 to !rounds do
+    let plan =
+      { Jmpax.Transport.Faulty.seed = !seed + r;
+        short_reads = true;
+        eintr_every = 7;
+        stall_every = 11;
+        reset_at = -1;
+        truncate_at = -1 }
+    in
+    let pos = ref 0 in
+    let raw buf off len =
+      let n = min len (String.length exploding - !pos) in
+      Bytes.blit_string exploding !pos buf off n;
+      pos := !pos + n;
+      n
+    in
+    let transport =
+      Jmpax.Transport.of_read (Jmpax.Transport.Faulty.wrap plan raw)
+    in
+    match
+      Jmpax.Stream.run ~spec ~budget ~on_overload:Jmpax.Budget.Degrade
+        ~read:(Jmpax.Transport.read transport) ()
+    with
+    | Ok o -> (
+        match o.Jmpax.Stream.s_degraded with
+        | Some d ->
+            Printf.printf "  seed %d: degraded at event %d, verdict kept\n"
+              (!seed + r) d.Predict.Engines.d_at_event
+        | None -> failwith "soak: faulty stream never hit its budget")
+    | Error e ->
+        failwith ("soak: faulty stream failed: " ^ Jmpax.Wire.Error.to_string e)
+  done;
+  let payload = synth_trace !events in
+  let expected = expected_verdict payload in
+  let fp = Jmpax.Checkpoint.fingerprint spec in
+  let dir = Filename.temp_file "jmpax_soak" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock_path = Filename.concat dir "serve.sock" in
+  let pid =
+    spawn_daemon ~budget ~on_overload:Jmpax.Budget.Degrade ~sock_path ()
+  in
+  let addr = Unix_sock sock_path in
+  for round = 1 to !rounds do
+    let hog_result = ref (Error "not run") in
+    let hog =
+      Thread.create
+        (fun () ->
+          hog_result :=
+            try
+              run_exploding_session ~addr
+                ~sid:(Printf.sprintf "soak.r%d.hog" round)
+                ~fp ~payload:exploding
+            with e -> Error (Printexc.to_string e))
+        ()
+    in
+    let results =
+      run_sessions ~addr
+        ~prefix:(Printf.sprintf "soak.r%d.w" round)
+        ~sessions:!sessions ~fp ~payload
+    in
+    Array.iter
+      (function
+        | Ok v when v = expected -> ()
+        | Ok v -> failwith ("soak: wrong verdict: " ^ v)
+        | Error e -> failwith ("soak: verdict lost: " ^ e))
+      results;
+    Thread.join hog;
+    (match !hog_result with
+    | Ok v when contains ~needle:"degraded(" v -> ()
+    | Ok v -> failwith ("soak: exploding tenant unmarked: " ^ v)
+    | Error e -> failwith ("soak: exploding tenant: " ^ e));
+    Printf.printf "  round %d: %d verdicts + marked hog verdict, none lost\n%!"
+      round !sessions
+  done;
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  let code = match status with Unix.WEXITED c -> c | _ -> 255 in
+  (try Sys.remove sock_path with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if code <> 0 then failwith (Printf.sprintf "soak: drain exit %d" code);
+  Printf.printf "  SIGTERM drain: clean exit 0\n"
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "connect" :: rest -> connect_mode rest
   | _ :: "hold" :: rest -> hold_mode rest
   | _ :: "e19" :: rest -> e19 rest
   | _ :: "e21" :: rest -> e21 rest
+  | _ :: "e23" :: rest -> e23 rest
+  | _ :: "soak" :: rest -> soak rest
   | _ ->
       prerr_endline
         "usage: serve_load connect ADDR [--sessions N] [--events M] [--spec S]\n\
@@ -600,5 +922,8 @@ let () =
         \       serve_load hold ADDR [--sid S] [--trace FILE] [--spec S]\n\
         \                          [--events M] [--cut BYTES]\n\
         \       serve_load e19 [--json FILE] [--events M]\n\
-        \       serve_load e21 [--json FILE] [--events M] [--sessions N] [--reps R]";
+        \       serve_load e21 [--json FILE] [--events M] [--sessions N] [--reps R]\n\
+        \       serve_load e23 [--json FILE] [--events M] [--sessions N]\n\
+        \                          [--per-thread N] [--rss-budget BYTES]\n\
+        \       serve_load soak [--rounds R] [--seed S] [--sessions N] [--events M]";
       exit 2

@@ -376,6 +376,7 @@ let exit_decode = 3
 let exit_backpressure = 4
 let exit_transport_lost = 5
 let exit_checkpoint = 6
+let exit_budget = 8
 
 let die code msg =
   prerr_endline ("jmpax: " ^ msg);
@@ -468,14 +469,57 @@ let with_transport ?reconnect ?(skip = 0) target f =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> skipped (Jmpax.Transport.of_channel ic))
 
+(* {2 Resource budgets (stream and serve)} *)
+
+let max_frontier_cuts_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-frontier-cuts" ] ~docv:"N"
+           ~doc:"Resource budget on the lattice frontier width: once more \
+                 than $(docv) cuts are live, the $(b,--on-overload) policy \
+                 applies (the lattice sweep is worst-case exponential in \
+                 cuts per level).")
+
+let max_causal_buffered_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-causal-buffered" ] ~docv:"N"
+           ~doc:"Resource budget on the linear engines' causal-delivery \
+                 buffer: once more than $(docv) messages are held for \
+                 vector-clock delivery, the $(b,--on-overload) policy \
+                 applies.")
+
+let on_overload_arg =
+  Arg.(value
+       & opt (enum [ ("degrade", Jmpax.Budget.Degrade);
+                     ("evict", Jmpax.Budget.Evict);
+                     ("fail", Jmpax.Budget.Fail) ])
+           Jmpax.Budget.Fail
+       & info [ "on-overload" ] ~docv:"POLICY"
+           ~doc:"What a crossed budget does: $(b,degrade) swaps the lattice \
+                 engine for the linear-time race/atomicity engines at a \
+                 clean causal boundary and keeps going (the verdict and any \
+                 checkpoint carry an explicit $(b,degraded\\(...\\)) marker); \
+                 $(b,evict) checkpoints the state, then stops (drops only \
+                 the offending session under $(b,serve)); $(b,fail) \
+                 (default) stops with exit code 8.")
+
+let make_budget ?memory_budget ~max_frontier_cuts ~max_causal_buffered () =
+  match
+    Jmpax.Budget.limits ?max_frontier_cuts ?max_causal_buffered ?memory_budget
+      ()
+  with
+  | limits -> limits
+  | exception Invalid_argument msg -> die 2 msg
+
 let stream_cmd =
   let run target spec jobs engine max_buffered recovery quarantine_file
       checkpoint checkpoint_every resume reconnect backoff_min backoff_max
-      max_retries deadline metrics span_trace log_level log_format =
+      max_retries deadline max_frontier_cuts max_causal_buffered on_overload
+      metrics span_trace log_level log_format =
     Telemetry.Log.set_level log_level;
     Telemetry.Log.set_format log_format;
     let spec = parse_spec spec in
     let engines = parse_engines engine in
+    let budget = make_budget ~max_frontier_cuts ~max_causal_buffered () in
     let resume =
       match resume with
       | None -> None
@@ -520,6 +564,11 @@ let stream_cmd =
       |> Jmpax.Config.with_trace span_trace
     in
     let code =
+      (* [Budget.Exceeded] is caught {e outside} [with_telemetry]: the
+         exception propagates through its [Fun.protect], so the final
+         metrics dump and trace flush still happen — a plain [exit]
+         inside the closure would skip them. *)
+      try
       Jmpax.Pipeline.with_telemetry tconfig (fun () ->
           let lost = ref None in
           let result =
@@ -537,7 +586,8 @@ let stream_cmd =
                   let r =
                     with_quarantine (fun quarantine ->
                         Jmpax.Stream.run ?max_buffered ~recovery ?quarantine
-                          ~jobs ?checkpoint ?resume ~engines ~spec
+                          ~jobs ?checkpoint ?resume ~engines ~budget
+                          ~on_overload ~spec
                           ~read:(Jmpax.Transport.read transport) ())
                   in
                   lost := Jmpax.Transport.lost transport;
@@ -573,6 +623,18 @@ let stream_cmd =
           | None, Ok outcome ->
               print_string (Jmpax.Report.stream_summary outcome);
               if outcome.Jmpax.Stream.s_violated then exit_violation else 0)
+      with Jmpax.Budget.Exceeded breach ->
+        prerr_endline ("jmpax: " ^ Jmpax.Budget.breach_message breach);
+        (match (on_overload, checkpoint) with
+        | Jmpax.Budget.Evict, Some (path, _) ->
+            prerr_endline
+              (Printf.sprintf
+                 "jmpax: state checkpointed; resume later with --resume %s" path)
+        | _ ->
+            prerr_endline
+              "jmpax: hint: raise the budget, or use --on-overload degrade to \
+               continue on the linear-time engines");
+        exit_budget
     in
     if code <> 0 then exit code
   in
@@ -673,7 +735,11 @@ let stream_cmd =
         ~doc:"the connection was lost and the $(b,--reconnect) retry budget \
               exhausted.";
       Cmd.Exit.info exit_checkpoint
-        ~doc:"a checkpoint could not be written, read or validated." ]
+        ~doc:"a checkpoint could not be written, read or validated.";
+      Cmd.Exit.info exit_budget
+        ~doc:"a resource budget ($(b,--max-frontier-cuts), \
+              $(b,--max-causal-buffered)) was exceeded under \
+              $(b,--on-overload fail) or $(b,evict)." ]
   in
   Cmd.v
     (Cmd.info "stream" ~exits
@@ -685,6 +751,7 @@ let stream_cmd =
     Term.(const run $ target $ spec_arg $ jobs_arg $ engine_arg $ max_buffered
           $ recovery $ quarantine_file $ checkpoint $ checkpoint_every $ resume
           $ reconnect $ backoff_min $ backoff_max $ max_retries $ deadline
+          $ max_frontier_cuts_arg $ max_causal_buffered_arg $ on_overload_arg
           $ metrics_arg $ trace_arg $ log_level_arg $ log_format_arg)
 
 (* {1 serve} *)
@@ -693,7 +760,8 @@ let serve_cmd =
   let run address control spec max_sessions idle_timeout max_buffered jobs
       engine recovery checkpoint_dir checkpoint_every read_budget metrics
       span_trace log_level log_format live_metrics health_max_lag
-      health_max_buffered =
+      health_max_buffered max_frontier_cuts max_causal_buffered on_overload
+      memory_budget =
     Telemetry.Log.set_level log_level;
     Telemetry.Log.set_format log_format;
     (* A daemon whose [metrics] control request always answers "empty"
@@ -724,6 +792,13 @@ let serve_cmd =
     if max_sessions < 1 then die 2 "--max-sessions must be at least 1";
     if checkpoint_every < 1 then die 2 "--checkpoint-every must be at least 1";
     if read_budget < 1 then die 2 "--read-budget must be at least 1";
+    (match memory_budget with
+    | Some b when b < 1 -> die 2 "--memory-budget must be at least 1"
+    | _ -> ());
+    (* --memory-budget is the daemon-global admission-control high-water
+       (Loop.config); the per-session limits go into every session's
+       budget. *)
+    let budget = make_budget ~max_frontier_cuts ~max_causal_buffered () in
     let session =
       { Serve.Session.spec;
         spec_fp = Jmpax.Checkpoint.fingerprint spec;
@@ -733,6 +808,8 @@ let serve_cmd =
         recovery;
         checkpoint_dir;
         checkpoint_every;
+        budget;
+        on_overload;
         now = Unix.gettimeofday }
     in
     let config =
@@ -743,7 +820,8 @@ let serve_cmd =
         idle_timeout;
         read_budget;
         health_max_lag;
-        health_max_buffered }
+        health_max_buffered;
+        memory_budget }
     in
     let tconfig =
       Jmpax.Config.default ()
@@ -855,6 +933,18 @@ let serve_cmd =
                    session buffers more than $(docv) out-of-order messages \
                    (default 0 = no buffering check).")
   in
+  let memory_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "memory-budget" ] ~docv:"BYTES"
+             ~doc:"Global admission-control high-water on the summed \
+                   per-session analysis state: while crossed, new writers are \
+                   rejected with $(b,reject server busy) and $(b,health) \
+                   reports $(b,degraded) naming the hungriest session.  \
+                   Resident sessions are governed by the per-session budgets \
+                   ($(b,--max-frontier-cuts), $(b,--max-causal-buffered)) and \
+                   $(b,--on-overload); a session dropped by a budget gets exit \
+                   class 8 without disturbing its siblings.")
+  in
   let exits =
     [ Cmd.Exit.info 0
         ~doc:"drained cleanly: every live session was checkpointed (or no \
@@ -863,7 +953,8 @@ let serve_cmd =
       Cmd.Exit.info exit_checkpoint
         ~doc:"at least one per-session checkpoint failed during the SIGTERM \
               drain; the other sessions were still drained.  Per-session \
-              verdicts never affect the daemon's exit code." ]
+              verdicts never affect the daemon's exit code (a session dropped \
+              by a resource budget reports exit class 8 to its writer only)." ]
   in
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -876,7 +967,8 @@ let serve_cmd =
           $ max_buffered $ jobs_arg $ engine_arg $ recovery $ checkpoint_dir
           $ checkpoint_every $ read_budget $ metrics_arg $ trace_arg
           $ log_level_arg $ log_format_arg $ live_metrics $ health_max_lag
-          $ health_max_buffered)
+          $ health_max_buffered $ max_frontier_cuts_arg $ max_causal_buffered_arg
+          $ on_overload_arg $ memory_budget_arg)
 
 (* {1 lattice} *)
 
@@ -1279,8 +1371,9 @@ let top_cmd =
         (h "serve.events_rate_1s") (h "serve.events_rate_10s")
         (h "serve.events_rate_60s") (h "serve.latency_p50_us")
         (h "serve.latency_p90_us") (h "serve.latency_p99_us");
-      p "\n%-12s %-12s %10s %8s %6s %8s %8s %8s %8s\n" "SID" "STATE" "EVENTS"
-        "EPS" "LEVEL" "BUFFERED" "LAG" "CKPTS" "VERDICT";
+      p "\n%-12s %-12s %10s %8s %6s %8s %8s %8s %8s %8s %-8s %8s\n" "SID"
+        "STATE" "EVENTS" "EPS" "LEVEL" "BUFFERED" "LAG" "CKPTS" "CUTS" "CAUSAL"
+        "DEG" "VERDICT";
       List.iter
         (fun kvs ->
           let sid = Option.value ~default:"-" (field kvs "id") in
@@ -1292,10 +1385,19 @@ let top_cmd =
             | _ -> "-"
           in
           Hashtbl.replace prev_events sid (events, now);
-          p "%-12s %-12s %10d %8s %6d %8d %8d %8d %8s\n" sid
+          (* [degraded] is absent from pre-budget daemons and reads "no"
+             on a healthy session; anything else is the breach-reason
+             token the session degraded under. *)
+          let deg =
+            match field kvs "degraded" with
+            | None | Some "no" -> "-"
+            | Some reason -> reason
+          in
+          p "%-12s %-12s %10d %8s %6d %8d %8d %8d %8d %8d %-8s %8s\n" sid
             (Option.value ~default:"-" (field kvs "state"))
             events eps (fieldi kvs "level") (fieldi kvs "buffered")
             (fieldi kvs "lag") (fieldi kvs "checkpoints")
+            (fieldi kvs "cuts") (fieldi kvs "causal") deg
             (Option.value ~default:"-" (field kvs "verdict")))
         sessions;
       if sessions = [] then p "(no sessions)\n";

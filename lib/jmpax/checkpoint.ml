@@ -20,6 +20,7 @@ type t = {
   ck_peak_buffered : int;
   ck_engines : (string * string list) list;
   ck_online : Predict.Online.snapshot option;
+  ck_degraded : Predict.Engines.degraded option;
 }
 
 type error =
@@ -117,6 +118,19 @@ let encode_body t =
         (fun b -> p "v3-base %s" (ints_of_array b))
         v3.Wire.Reader.v3_baselines);
   p "stream-stats %d %d %d" t.ck_ends t.ck_quarantined t.ck_peak_buffered;
+  (* Degraded marker: omitted entirely when the bundle never degraded so
+     pre-budget checkpoints stay byte-identical.  The from/reason tokens
+     never contain spaces (see {!Budget.breach_reason}). *)
+  (match t.ck_degraded with
+  | None -> ()
+  | Some d ->
+      if
+        String.exists (fun c -> c = ' ' || c = '\n') d.Predict.Engines.d_from
+        || String.exists (fun c -> c = ' ' || c = '\n') d.Predict.Engines.d_reason
+      then invalid_arg "Checkpoint.encode: degraded token contains whitespace";
+      p "degraded %s %s %d %d" d.Predict.Engines.d_from d.Predict.Engines.d_reason
+        d.Predict.Engines.d_at_event
+        (if d.Predict.Engines.d_violated then 1 else 0));
   (* Versioned engine sub-blocks: the payload lines are opaque to the
      checkpoint format (each engine versions its own first line) and are
      framed by an exact line count, so they can never be confused with a
@@ -358,6 +372,33 @@ let decode_body body =
           Ok (ends, quarantined, peak)
       | _ -> malformed "bad stream-stats line %S" ss
     in
+    (* The degraded marker is present iff the bundle shed its lattice
+       engine mid-stream; absent in every checkpoint written before
+       budgets existed, so old files decode unchanged. *)
+    let* degraded, lines =
+      match lines with
+      | line :: _
+        when String.length line >= 9 && String.sub line 0 9 = "degraded " ->
+          let* d, lines = field "degraded" "degraded" lines in
+          let* parsed =
+            match String.split_on_char ' ' d with
+            | [ from; reason; at_event; violated ] ->
+                let* at_event = nat_field "degraded at_event" at_event in
+                let* violated = nat_field "degraded violated" violated in
+                if violated > 1 then malformed "bad violated flag in degraded line"
+                else if from = "" || reason = "" then
+                  malformed "empty token in degraded line"
+                else
+                  Ok
+                    { Predict.Engines.d_from = from;
+                      d_reason = reason;
+                      d_at_event = at_event;
+                      d_violated = violated = 1 }
+            | _ -> malformed "bad degraded line %S" d
+          in
+          Ok (Some parsed, lines)
+      | _ -> Ok (None, lines)
+    in
     (* Engine sub-blocks (absent in files written before the registry,
        which always carry the online group instead). *)
     let rec take_engines acc lines =
@@ -400,12 +441,15 @@ let decode_body body =
             ck_quarantined = quarantined;
             ck_peak_buffered = peak_buffered;
             ck_engines = engines;
-            ck_online = online }
+            ck_online = online;
+            ck_degraded = degraded }
       in
       match lines with
       | [] ->
           if engines = [] then malformed "checkpoint carries no engine state"
           else finish None
+      | _ when degraded <> None ->
+          malformed "checkpoint is degraded yet carries lattice engine state"
       | _ ->
     let* ol, lines = field "online" "online" lines in
     let* level, done_, retired, peak_cuts, peak_entries, steps =

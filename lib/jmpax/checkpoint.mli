@@ -52,6 +52,13 @@ type t = {
       (** the lattice engine's state; [None] when the session ran
           without the lattice engine ([--engine race,...]).  At least
           one of [ck_engines] / [ck_online] is always present. *)
+  ck_degraded : Predict.Engines.degraded option;
+      (** [Some _] iff the bundle shed its lattice engine under an
+          overload budget ({!Predict.Engines.degrade}) before this
+          checkpoint was taken; the marker survives kill/resume so a
+          degraded verdict is never laundered into a full one.  A
+          degraded checkpoint never carries [ck_online], and the line is
+          omitted when [None] so pre-budget files are byte-identical. *)
 }
 
 type error =

@@ -25,6 +25,8 @@ type t = {
   checkpoint : (string * int) option;
   reconnect : Transport.backoff option;
   engines : Predict.Engine.kind list;
+  budget : Budget.limits;
+  on_overload : Budget.policy;
 }
 
 let default () =
@@ -43,7 +45,9 @@ let default () =
     on_decode_error = Fail;
     checkpoint = None;
     reconnect = None;
-    engines = Predict.Engine.default_kinds }
+    engines = Predict.Engine.default_kinds;
+    budget = Budget.unlimited;
+    on_overload = Budget.Fail }
 
 let with_sched sched t = { t with sched }
 let with_seed seed t = { t with sched = Tml.Sched.random ~seed }
@@ -82,6 +86,9 @@ let with_engine_names names t =
   match Predict.Engine.kinds_of_string names with
   | Ok engines -> { t with engines }
   | Error msg -> invalid_arg ("Config.with_engine_names: " ^ msg)
+
+let with_budget budget t = { t with budget }
+let with_on_overload on_overload t = { t with on_overload }
 
 let recovery_of_string = function
   | "fail" -> Some Fail

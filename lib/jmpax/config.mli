@@ -47,6 +47,13 @@ type t = {
   engines : Predict.Engine.kind list;
   (** prediction engines the observer side runs ([--engine]); default
       [[Lattice]], the historical behaviour *)
+  budget : Budget.limits;
+  (** resource budgets on live analysis state ([--max-frontier-cuts],
+      [--max-causal-buffered], [--memory-budget]); default
+      {!Budget.unlimited} *)
+  on_overload : Budget.policy;
+  (** what a crossed budget does ([--on-overload]); default
+      {!Budget.Fail}, today's stop-the-stream behaviour *)
 }
 
 val default : unit -> t
@@ -83,6 +90,9 @@ val with_engines : Predict.Engine.kind list -> t -> t
 val with_engine_names : string -> t -> t
 (** Parses [--engine] syntax (comma-separated, duplicates dropped).
     @raise Invalid_argument on an unknown engine name. *)
+
+val with_budget : Budget.limits -> t -> t
+val with_on_overload : Budget.policy -> t -> t
 
 val recovery_of_string : string -> recovery option
 (** Accepts ["fail"], ["skip"], ["quarantine"]. *)

@@ -205,6 +205,18 @@ let verdict_line violated =
   Printf.sprintf "predictive verdict (JMPaX): %s"
     (if violated then "VIOLATION PREDICTED" else "no violation in any run")
 
+(* A degraded bundle shed its lattice engine mid-stream under a resource
+   budget: the verdict only covers what the surviving linear-time
+   engines saw, so the line says so explicitly instead of claiming "no
+   violation in any run".  A violation found before (or after) the
+   degrade point is still reported — degradation loses coverage, never
+   an already-established verdict. *)
+let degraded_verdict_line d =
+  Printf.sprintf "predictive verdict (JMPaX): %sdegraded(from=%s,reason=%s,at_event=%d)"
+    (if d.Predict.Engines.d_violated then "VIOLATION PREDICTED " else "")
+    d.Predict.Engines.d_from d.Predict.Engines.d_reason
+    d.Predict.Engines.d_at_event
+
 let pp_output ppf o =
   Format.fprintf ppf
     "@[<v>spec: %a@,relevant variables: {%s}@,monitored run: %a, %d steps, %d messages@,\

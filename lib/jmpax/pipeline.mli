@@ -84,4 +84,13 @@ val verdict_line : bool -> string
     ([check], [check_online], [jmpax stream]) so their outputs are
     byte-comparable. *)
 
+val degraded_verdict_line : Predict.Engines.degraded -> string
+(** The verdict line of a bundle that shed its lattice engine under a
+    resource budget ([--on-overload degrade]):
+    [predictive verdict (JMPaX): degraded(from=lattice,reason=frontier_budget,at_event=N)],
+    prefixed with [VIOLATION PREDICTED ] when a violation was
+    established before the degrade point or by the surviving engines
+    after it.  A degraded verdict is deliberately never byte-equal to a
+    full one. *)
+
 val pp_output : Format.formatter -> output -> unit

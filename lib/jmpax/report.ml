@@ -53,9 +53,14 @@ let stream_summary (o : Stream.outcome) =
     p "checkpoints written: %d\n" s.Stream.checkpoints;
   List.iter (fun (_, line) -> p "%s\n" line) o.Stream.s_engines;
   (* The lattice line reports the lattice verdict alone, matching
-     [Pipeline.pp_output]; [s_violated] also covers the other engines. *)
-  if o.Stream.s_lattice then
-    p "%s\n" (Pipeline.verdict_line (o.Stream.s_violations <> []));
+     [Pipeline.pp_output]; [s_violated] also covers the other engines.
+     A run that shed its lattice engine under a budget prints the
+     marked degraded line instead — never a full-coverage verdict. *)
+  (match o.Stream.s_degraded with
+  | Some d -> p "%s\n" (Pipeline.degraded_verdict_line d)
+  | None ->
+      if o.Stream.s_lattice then
+        p "%s\n" (Pipeline.verdict_line (o.Stream.s_violations <> [])));
   Buffer.contents buf
 
 let detection_table ~spec ~program ~seeds =

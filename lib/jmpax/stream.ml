@@ -33,6 +33,7 @@ type outcome = {
   s_level : int;
   s_gc : Predict.Online.gc_stats;
   s_engines : (string * string) list;
+  s_degraded : Predict.Engines.degraded option;
   s_stats : stats;
 }
 
@@ -52,13 +53,15 @@ let no_gc =
    fatal. *)
 let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
     ?(recovery = Config.Fail) ?quarantine ?jobs ?par_threshold ?checkpoint
-    ?resume ?(engines = Predict.Engine.default_kinds) ~spec ~read () =
+    ?resume ?(engines = Predict.Engine.default_kinds)
+    ?(budget = Budget.unlimited) ?(on_overload = Budget.Fail) ~spec ~read () =
   if chunk_size <= 0 then invalid_arg "Stream.run: chunk_size must be positive";
   (match checkpoint with
   | Some (_, every) when every < 1 ->
       invalid_arg "Stream.run: checkpoint interval must be >= 1"
   | _ -> ());
   if engines = [] then invalid_arg "Stream.run: no engine selected";
+  let overflow_limit = budget.Budget.max_causal_buffered in
   let* reader, bundle0, ends0, quarantined0, peak0 =
     match resume with
     | None -> Ok (Wire.Reader.create ?max_frame (), None, 0, 0, 0)
@@ -66,6 +69,7 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
         match
           let b =
             Predict.Engines.restore ?jobs ?par_threshold ?max_buffered
+              ?overflow_limit ?degraded:ck.Checkpoint.ck_degraded
               ~kinds:engines ~nthreads:ck.Checkpoint.ck_header.Wire.nthreads
               ~init:ck.Checkpoint.ck_header.Wire.init ~spec:(Some spec)
               ~online_snapshot:ck.Checkpoint.ck_online
@@ -109,42 +113,83 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
      frame boundary a resumed transport can seek to.  The cadence clock
      is the lattice level when the lattice engine runs, otherwise the
      message count ({!Predict.Engines.ticks}). *)
+  let write_ck path b =
+    let header =
+      match Wire.Reader.header reader with
+      | Some h -> h
+      | None -> assert false
+    in
+    let ck =
+      { Checkpoint.ck_header = header;
+        ck_spec_fp = Lazy.force spec_fp;
+        ck_position = Wire.Reader.consumed reader;
+        ck_next_eid = Wire.Reader.next_eid reader;
+        ck_reader_stats = Wire.Reader.stats reader;
+        ck_reader_ended = Wire.Reader.ended_threads reader;
+        ck_v3 = Wire.Reader.v3_state reader;
+        ck_ends = !ends;
+        ck_quarantined = !quarantined;
+        ck_peak_buffered = !peak;
+        ck_engines = Predict.Engines.snapshots b;
+        ck_online =
+          Option.map Predict.Online.snapshot (Predict.Engines.online b);
+        ck_degraded = Predict.Engines.degraded b }
+    in
+    match Checkpoint.write path ck with
+    | Ok () ->
+        last_ck_ticks := Predict.Engines.ticks b;
+        incr checkpoints;
+        Telemetry.Log.info ~event:"checkpoint"
+          ~fields:
+            [ ("path", path);
+              ("position", string_of_int ck.Checkpoint.ck_position);
+              ("ticks", string_of_int !last_ck_ticks) ]
+          "";
+        Ok ()
+    | Error e -> Error (Wire.Error.Checkpoint (Checkpoint.error_to_string e))
+  in
   let maybe_checkpoint () =
     match (checkpoint, !bundle) with
     | Some (path, every), Some b
-      when Predict.Engines.ticks b - !last_ck_ticks >= every -> (
-        let header =
-          match Wire.Reader.header reader with
-          | Some h -> h
-          | None -> assert false
+      when Predict.Engines.ticks b - !last_ck_ticks >= every -> write_ck path b
+    | _ -> Ok ()
+  in
+  (* Budget policy routing.  [Degrade] relieves a frontier breach by
+     swapping the lattice engine for the linear-time ones at the current
+     (clean) causal boundary; any breach degradation cannot relieve —
+     and every breach under [Evict]/[Fail] — stops the stream with
+     {!Budget.Exceeded}, after persisting a final checkpoint under
+     [Evict] so the state survives the drop. *)
+  let apply_breach b breach =
+    match on_overload with
+    | Budget.Degrade
+      when Budget.degradable breach && Predict.Engines.online b <> None ->
+        let reason = Budget.breach_reason breach in
+        Predict.Engines.degrade b ~reason;
+        Telemetry.Log.warn ~event:"degrade"
+          ~fields:
+            [ ("reason", reason);
+              ("at_event", string_of_int (Predict.Engines.ticks b));
+              ("detail", Budget.breach_message breach) ]
+          "";
+        Ok ()
+    | Budget.Evict ->
+        let* () =
+          match checkpoint with
+          | Some (path, _) -> write_ck path b
+          | None -> Ok ()
         in
-        let ck =
-          { Checkpoint.ck_header = header;
-            ck_spec_fp = Lazy.force spec_fp;
-            ck_position = Wire.Reader.consumed reader;
-            ck_next_eid = Wire.Reader.next_eid reader;
-            ck_reader_stats = Wire.Reader.stats reader;
-            ck_reader_ended = Wire.Reader.ended_threads reader;
-            ck_v3 = Wire.Reader.v3_state reader;
-            ck_ends = !ends;
-            ck_quarantined = !quarantined;
-            ck_peak_buffered = !peak;
-            ck_engines = Predict.Engines.snapshots b;
-            ck_online =
-              Option.map Predict.Online.snapshot (Predict.Engines.online b) }
-        in
-        match Checkpoint.write path ck with
-        | Ok () ->
-            last_ck_ticks := Predict.Engines.ticks b;
-            incr checkpoints;
-            Telemetry.Log.info ~event:"checkpoint"
-              ~fields:
-                [ ("path", path);
-                  ("position", string_of_int ck.Checkpoint.ck_position);
-                  ("ticks", string_of_int !last_ck_ticks) ]
-              "";
-            Ok ()
-        | Error e -> Error (Wire.Error.Checkpoint (Checkpoint.error_to_string e)))
+        raise (Budget.Exceeded breach)
+    | Budget.Degrade | Budget.Fail -> raise (Budget.Exceeded breach)
+  in
+  let enforce_budget () =
+    match !bundle with
+    | Some b when not (Budget.is_unlimited budget) -> (
+        let u = Budget.usage b in
+        Budget.observe u;
+        match Budget.check budget u with
+        | None -> Ok ()
+        | Some breach -> apply_breach b breach)
     | _ -> Ok ()
   in
   let on_skip error bytes =
@@ -168,6 +213,11 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
             Ok ()
         | exception Predict.Online.Backpressure { buffered; limit } ->
             Error (Wire.Error.Backpressure { buffered; limit })
+        | exception Predict.Causal.Causal_buffer_overflow { buffered; limit } ->
+            (* The budget cap on the linear engines' delivery buffer:
+               routed through the overload policy rather than the hard
+               backpressure exit. *)
+            apply_breach b (Budget.Causal_buffered { buffered; limit })
         | exception Invalid_argument _ ->
             (* A well-formed frame carrying a (thread, index) pair we
                already consumed: an input defect, so the recovery policy
@@ -209,17 +259,19 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
         bundle :=
           Some
             (Predict.Engines.create ?jobs ?par_threshold ?max_buffered
-               ~kinds:engines ~nthreads:h.Wire.nthreads ~init:h.Wire.init
-               ~spec:(Some spec) ());
+               ?overflow_limit ~kinds:engines ~nthreads:h.Wire.nthreads
+               ~init:h.Wire.init ~spec:(Some spec) ());
         loop ()
     | Wire.Reader.Item (Wire.Reader.Msg m) -> (
         match feed_message m with
         | Ok () -> (
+            let* () = enforce_budget () in
             match maybe_checkpoint () with Ok () -> loop () | Error _ as e -> e)
         | Error _ as e -> e)
     | Wire.Reader.Item (Wire.Reader.End_of_thread tid) -> (
         incr ends;
         Option.iter (fun b -> Predict.Engines.end_of_thread b tid) !bundle;
+        let* () = enforce_budget () in
         match maybe_checkpoint () with Ok () -> loop () | Error _ as e -> e)
     | Wire.Reader.Skip { error; bytes } -> (
         match on_skip error bytes with Ok () -> loop () | Error _ as e -> e)
@@ -272,6 +324,7 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
           s_gc =
             (match online with Some o -> Predict.Online.gc_stats o | None -> no_gc);
           s_engines = Predict.Engines.verdict_lines b;
+          s_degraded = Predict.Engines.degraded b;
           s_stats =
             { frames = r.Wire.Reader.frames;
               messages = r.Wire.Reader.messages;
@@ -285,7 +338,7 @@ let run ?(chunk_size = default_chunk_size) ?max_frame ?max_buffered
               incomplete } }
 
 let run_string ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
-    ?par_threshold ?checkpoint ?resume ?engines ~spec text =
+    ?par_threshold ?checkpoint ?resume ?engines ?budget ?on_overload ~spec text =
   (* On resume the transport must stand at the checkpointed offset; for
      an in-memory document that is a simple seek. *)
   let pos =
@@ -301,4 +354,5 @@ let run_string ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
     n
   in
   run ?chunk_size ?max_frame ?max_buffered ?recovery ?quarantine ?jobs
-    ?par_threshold ?checkpoint ?resume ?engines ~spec ~read ()
+    ?par_threshold ?checkpoint ?resume ?engines ?budget ?on_overload ~spec ~read
+    ()

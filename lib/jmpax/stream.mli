@@ -51,6 +51,11 @@ type outcome = {
   s_engines : (string * string) list;
       (** canonical [(engine, verdict)] lines of the selected non-lattice
           engines ({!Predict.Engines.verdict_lines}), in selection order *)
+  s_degraded : Predict.Engines.degraded option;
+      (** [Some _] iff the run shed its lattice engine under a resource
+          budget ([--on-overload degrade]); render the verdict with
+          {!Pipeline.degraded_verdict_line} so the reduced coverage is
+          explicit *)
   s_stats : stats;
 }
 
@@ -65,6 +70,8 @@ val run :
   ?checkpoint:string * int ->
   ?resume:Checkpoint.t ->
   ?engines:Predict.Engine.kind list ->
+  ?budget:Budget.limits ->
+  ?on_overload:Budget.policy ->
   spec:Pastltl.Formula.t ->
   read:(bytes -> int -> int -> int) ->
   unit ->
@@ -104,7 +111,22 @@ val run :
     Reading stops at the stream's logical end (every thread's
     end-of-stream frame decoded and no bytes pending), so a
     reconnecting transport is never asked to redial at a clean end of
-    stream. *)
+    stream.
+
+    [budget] (default {!Budget.unlimited}) bounds the live analysis
+    state — frontier cuts, causal-delivery buffering, resident memory —
+    with the O(1) counters of {!Budget.usage}, checked after every
+    consumed item (a clean causal boundary, since a feed always pumps
+    to quiescence).  When a limit is crossed, [on_overload] decides:
+    [Degrade] relieves a frontier breach by swapping the lattice engine
+    for the linear-time engines ({!Predict.Engines.degrade}) and keeps
+    streaming with [s_degraded] set; [Evict] persists a final
+    checkpoint (when [checkpoint] is configured) and raises; [Fail] —
+    the default, today's behaviour — raises immediately.  The raise is
+    {!Budget.Exceeded}, the only exception this function deliberately
+    lets escape; front ends map it to the budget exit code.  With
+    [budget] unlimited, output is byte-identical to pre-budget
+    behaviour. *)
 
 val run_string :
   ?chunk_size:int ->
@@ -117,6 +139,8 @@ val run_string :
   ?checkpoint:string * int ->
   ?resume:Checkpoint.t ->
   ?engines:Predict.Engine.kind list ->
+  ?budget:Budget.limits ->
+  ?on_overload:Budget.policy ->
   spec:Pastltl.Formula.t ->
   string ->
   (outcome, Wire.Error.t) result

@@ -546,8 +546,16 @@ let engine_create (ctx : Engine.ctx) =
   instance_of
     { e_clocks = Syncclock.create ~nthreads:ctx.Engine.nthreads;
       e_causal =
-        Causal.create ?max_buffered:ctx.Engine.max_buffered
-          ~nthreads:ctx.Engine.nthreads ();
+        (* Same degrade-handoff seeding as the race engine: a [start]
+           cut resumes delivery mid-stream with empty summaries. *)
+        (match ctx.Engine.start with
+        | Some cut ->
+            Causal.restore ?max_buffered:ctx.Engine.max_buffered
+              ?overflow_limit:ctx.Engine.overflow_limit cut
+        | None ->
+            Causal.create ?max_buffered:ctx.Engine.max_buffered
+              ?overflow_limit:ctx.Engine.overflow_limit
+              ~nthreads:ctx.Engine.nthreads ());
       e_core = Core.create ~nthreads:ctx.Engine.nthreads;
       e_events = 0;
       e_ooo = 0 }
@@ -561,7 +569,10 @@ let engine_restore (ctx : Engine.ctx) lines =
     invalid_arg
       (Printf.sprintf "%s: unsupported snapshot version %S" what version);
   let clocks = read_syncclock ~what r in
-  let causal = read_causal ~what ?max_buffered:ctx.Engine.max_buffered r in
+  let causal =
+    read_causal ~what ?max_buffered:ctx.Engine.max_buffered
+      ?overflow_limit:ctx.Engine.overflow_limit r
+  in
   let nthreads = Causal.nthreads causal in
   let core = Core.create ~nthreads in
   let transactions, events, ooo =

@@ -61,6 +61,8 @@ type ctx = {
   jobs : int;
   par_threshold : int option;
   max_buffered : int option;
+  overflow_limit : int option;
+  start : Causal.snapshot option;
 }
 
 type factory = {
@@ -207,7 +209,7 @@ module Snapshot = struct
              (Vclock.to_string m.Message.mvc)))
       s.Causal.snap_pending
 
-  let read_causal ~what ?max_buffered r =
+  let read_causal ~what ?max_buffered ?overflow_limit r =
     let delivered =
       keyed ~what ~key:"delivered" r |> List.map (int ~what) |> Array.of_list
     in
@@ -232,7 +234,7 @@ module Snapshot = struct
               | _ -> invalid_arg (what ^ ": malformed msg line"))
       | _ -> invalid_arg (what ^ ": malformed pending line")
     in
-    Causal.restore ?max_buffered
+    Causal.restore ?max_buffered ?overflow_limit
       { Causal.snap_delivered = delivered;
         snap_ended = ended;
         snap_pending = pending;

@@ -61,6 +61,16 @@ type ctx = {
   jobs : int;
   par_threshold : int option;
   max_buffered : int option;
+  overflow_limit : int option;
+      (** budget cap on the causal delivery buffer; past it {!instance.feed}
+          raises {!Causal.Causal_buffer_overflow} (message-driven engines
+          only) *)
+  start : Causal.snapshot option;
+      (** start the engine mid-stream from this causal cut instead of the
+          empty beginning — the degrade path hands the lattice engine's
+          delivered/pending split over so the linear-time engines pick the
+          stream up at a clean causal boundary.  The engine's summaries
+          start empty: it soundly covers only the suffix. *)
 }
 
 type factory = {
@@ -110,5 +120,7 @@ module Snapshot : sig
   val add_syncclock : string list ref -> Syncclock.snapshot -> unit
   val read_syncclock : what:string -> reader -> Syncclock.t
   val add_causal : string list ref -> Causal.snapshot -> unit
-  val read_causal : what:string -> ?max_buffered:int -> reader -> Causal.t
+
+  val read_causal :
+    what:string -> ?max_buffered:int -> ?overflow_limit:int -> reader -> Causal.t
 end

@@ -16,17 +16,30 @@ open Trace
 
 type t
 
+(** Why and where a bundle shed its lattice engine. *)
+type degraded = {
+  d_from : string;  (** the engine that was shed (always ["lattice"]) *)
+  d_reason : string;  (** e.g. ["frontier_budget"] *)
+  d_at_event : int;  (** events fed when the swap happened *)
+  d_violated : bool;
+      (** the shed engine had already predicted a violation — never lost
+          to the swap *)
+}
+
 val create :
   ?jobs:int ->
   ?par_threshold:int ->
   ?max_buffered:int ->
+  ?overflow_limit:int ->
   kinds:Engine.kind list ->
   nthreads:int ->
   init:(Types.var * Types.value) list ->
   spec:Pastltl.Formula.t option ->
   unit ->
   t
-(** @raise Invalid_argument when [kinds] is empty, or when the lattice
+(** [overflow_limit] is the budget cap on the message-driven engines'
+    causal delivery buffers ({!Causal.Causal_buffer_overflow}).
+    @raise Invalid_argument when [kinds] is empty, or when the lattice
     engine is selected without a specification. *)
 
 val kinds : t -> Engine.kind list
@@ -43,7 +56,39 @@ val finish : t -> unit
 val violated : t -> bool
 
 val online : t -> Online.t option
-(** The lattice engine, when selected. *)
+(** The lattice engine, when selected (and not degraded away). *)
+
+val degraded : t -> degraded option
+(** [Some _] once {!degrade} ran (or the bundle was restored from a
+    degraded checkpoint): the bundle's verdict must carry the
+    [degraded(...)] marker so it is never mistaken for full lattice
+    coverage. *)
+
+val degrade : t -> reason:string -> unit
+(** Swap the lattice engine out for the linear-time race and atomicity
+    engines at the current clean causal boundary (between feeds): the
+    lattice's delivered/pending split seeds the replacement engines'
+    delivery buffers, the lattice state is dropped, and the bundle
+    records {!degraded}.  Engines the bundle already ran keep their
+    state; fresh ones cover only the stream suffix.  A violation the
+    lattice had already predicted is preserved in [d_violated].
+    @raise Invalid_argument when no lattice engine is live. *)
+
+(** {1 Resource accounting}
+
+    O(1) over maintained counters; the resource-budget layer evaluates
+    these after every feed. *)
+
+val frontier_cuts : t -> int
+(** Cuts in the lattice engine's current frontier level; [0] without a
+    (live) lattice engine. *)
+
+val causal_buffered : t -> int
+(** Worst case over the message-driven engines' delivery buffers. *)
+
+val mem_words : t -> int
+(** Approximate resident words of all live engine state (frontier arena,
+    message stores, delivery buffers). *)
 
 val events : t -> int
 (** Messages fed to the bundle. *)
@@ -73,6 +118,8 @@ val restore :
   ?jobs:int ->
   ?par_threshold:int ->
   ?max_buffered:int ->
+  ?overflow_limit:int ->
+  ?degraded:degraded ->
   kinds:Engine.kind list ->
   nthreads:int ->
   init:(Types.var * Types.value) list ->
@@ -82,8 +129,12 @@ val restore :
   events:int ->
   unit ->
   t
-(** Rebuild a bundle from checkpoint state.
+(** Rebuild a bundle from checkpoint state.  With [degraded] the
+    checkpoint was taken after a lattice→linear swap: no lattice state
+    is expected even when [Lattice] is selected, the race and atomicity
+    blocks are restored instead, and the degraded status is preserved —
+    kill/resume never upgrades a degraded verdict back to a full one.
     @raise Invalid_argument when the selected engines and the
     checkpointed state disagree (missing or unselected engine blocks,
-    lattice state without the lattice engine or vice versa), or on a
-    malformed block. *)
+    lattice state without the lattice engine or vice versa, degraded
+    with lattice state), or on a malformed block. *)

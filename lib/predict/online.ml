@@ -398,6 +398,23 @@ let violations t = List.rev t.rev_violations
 let level t = t.level
 let frontier_cuts t = F.size t.frontier
 
+(* ~16 words per stored message: hashtable slot, the message record and
+   its clock.  The frontier term is the dominant one under a wide
+   workload, and [F.mem_words] is O(1) arithmetic, so this is cheap
+   enough to evaluate after every feed. *)
+let mem_words t =
+  F.mem_words t.frontier + (16 * Hashtbl.length t.store) + (5 * t.nthreads)
+
+let handoff t =
+  let pending =
+    Hashtbl.fold
+      (fun (tid, seq) m acc -> if seq > t.prefix.(tid) then m :: acc else acc)
+      t.store []
+    |> List.sort (fun (a : Message.t) (b : Message.t) ->
+           compare (a.tid, Message.seq a) (b.tid, Message.seq b))
+  in
+  (Array.copy t.prefix, Array.copy t.ended, pending)
+
 let buffered t = Hashtbl.length t.store
 let out_of_order t = total_beyond t
 

@@ -75,6 +75,24 @@ val level : t -> int
 (** The frontier's current lattice level. *)
 
 val frontier_cuts : t -> int
+
+val mem_words : t -> int
+(** Approximate resident size of the analyzer's live state in words —
+    the frontier arena plus the undelivered message store.  O(1)
+    arithmetic over maintained counters, cheap enough to check after
+    every feed; the resource-budget layer compares it against
+    [--memory-budget]. *)
+
+val handoff : t -> int array * bool array * Trace.Message.t list
+(** The clean causal boundary at the current quiescent point, for
+    degrading onto the linear-time engines: per-thread contiguous
+    delivered prefix, per-thread ended flags, and the buffered
+    out-of-order messages still beyond the prefix (ascending
+    [(tid, seq)]).  Must be taken between {!feed} calls, like
+    {!snapshot}.  Engines seeded from this cut observe only the suffix
+    of the stream — the caller stamps the verdict with an explicit
+    [degraded] marker to say so. *)
+
 val buffered : t -> int
 (** Messages received but not yet consumed by the frontier. *)
 

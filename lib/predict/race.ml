@@ -247,8 +247,17 @@ let engine_create (ctx : Engine.ctx) =
   instance_of
     { e_clocks = Syncclock.create ~nthreads:ctx.Engine.nthreads;
       e_causal =
-        Causal.create ?max_buffered:ctx.Engine.max_buffered
-          ~nthreads:ctx.Engine.nthreads ();
+        (* A [start] cut (the degrade handoff) seeds the delivery buffer
+           mid-stream; summaries still start empty — suffix-only
+           coverage, flagged by the caller's degraded marker. *)
+        (match ctx.Engine.start with
+        | Some cut ->
+            Causal.restore ?max_buffered:ctx.Engine.max_buffered
+              ?overflow_limit:ctx.Engine.overflow_limit cut
+        | None ->
+            Causal.create ?max_buffered:ctx.Engine.max_buffered
+              ?overflow_limit:ctx.Engine.overflow_limit
+              ~nthreads:ctx.Engine.nthreads ());
       e_summary = summary_create ~nthreads:ctx.Engine.nthreads;
       e_racy = Sset.empty;
       e_accesses = 0;
@@ -265,7 +274,10 @@ let engine_restore (ctx : Engine.ctx) lines =
     invalid_arg
       (Printf.sprintf "%s: unsupported snapshot version %S" what version);
   let clocks = read_syncclock ~what r in
-  let causal = read_causal ~what ?max_buffered:ctx.Engine.max_buffered r in
+  let causal =
+    read_causal ~what ?max_buffered:ctx.Engine.max_buffered
+      ?overflow_limit:ctx.Engine.overflow_limit r
+  in
   let accesses, pairs, events, ooo =
     match keyed ~what ~key:"counts" r with
     | [ a; p; e; o ] -> (int ~what a, int ~what p, int ~what e, int ~what o)

@@ -28,6 +28,7 @@ type view = {
   v_draining : bool;
   v_max_lag : int;
   v_max_buffered : int;
+  v_memory_budget : int option;
 }
 
 let state_name = function
@@ -71,6 +72,17 @@ let mirrored = function
 let live_events registry =
   List.fold_left (fun acc s -> acc + Session.events s) 0 (Registry.all registry)
 
+(* Global resident analysis state: the O(1) per-session counters summed
+   over the registry — the quantity [--memory-budget] bounds. *)
+let mem_bytes registry =
+  List.fold_left (fun acc s -> acc + Session.mem_words s) 0 (Registry.all registry)
+  * (Sys.word_size / 8)
+
+let degraded_count registry =
+  List.fold_left
+    (fun acc s -> if Session.degraded s <> None then acc + 1 else acc)
+    0 (Registry.all registry)
+
 let events_total ~registry ~counters =
   counters.events_finished + live_events registry
 
@@ -103,19 +115,50 @@ let sync ~registry ~counters ~pending ~now =
 let health v =
   if v.v_draining then ("draining", "")
   else begin
-    let offender =
-      List.find_opt
-        (fun s ->
-          (v.v_max_lag > 0 && Session.lag s > v.v_max_lag)
-          || (v.v_max_buffered > 0 && Session.buffered s > v.v_max_buffered))
-        (Registry.all v.v_registry)
+    (* Global memory budget first: when the daemon as a whole is over
+       its high-water the offender is the hungriest session, whatever
+       its individual thresholds say. *)
+    let over_budget =
+      match v.v_memory_budget with
+      | Some budget when mem_bytes v.v_registry > budget -> Some budget
+      | _ -> None
     in
-    match offender with
-    | None -> ("ok", "")
-    | Some s ->
-        ( "degraded",
-          Printf.sprintf "sid=%s lag=%d buffered=%d" (Session.id s)
-            (Session.lag s) (Session.buffered s) )
+    match over_budget with
+    | Some budget -> (
+        let offender =
+          List.fold_left
+            (fun acc s ->
+              match acc with
+              | Some best when Session.mem_words best >= Session.mem_words s ->
+                  acc
+              | _ -> Some s)
+            None (Registry.all v.v_registry)
+        in
+        match offender with
+        | Some s ->
+            ( "degraded",
+              Printf.sprintf "reason=memory_budget sid=%s mem_bytes=%d budget=%d"
+                (Session.id s)
+                (Session.mem_words s * (Sys.word_size / 8))
+                budget )
+        | None ->
+            ( "degraded",
+              Printf.sprintf "reason=memory_budget mem_bytes=%d budget=%d"
+                (mem_bytes v.v_registry) budget ))
+    | None -> (
+        let offender =
+          List.find_opt
+            (fun s ->
+              (v.v_max_lag > 0 && Session.lag s > v.v_max_lag)
+              || (v.v_max_buffered > 0 && Session.buffered s > v.v_max_buffered))
+            (Registry.all v.v_registry)
+        in
+        match offender with
+        | None -> ("ok", "")
+        | Some s ->
+            ( "degraded",
+              Printf.sprintf "sid=%s lag=%d buffered=%d" (Session.id s)
+                (Session.lag s) (Session.buffered s) ))
   end
 
 let health_reply v =
@@ -157,6 +200,11 @@ let render v =
   p "serve.events_total %d\n" events_total;
   p "serve.verdicts %d\n" verdicts;
   p "serve.violations %d\n" violations;
+  p "serve.mem_bytes %d\n" (mem_bytes v.v_registry);
+  (match v.v_memory_budget with
+  | Some budget -> p "serve.memory_budget %d\n" budget
+  | None -> ());
+  p "serve.sessions_degraded %d\n" (degraded_count v.v_registry);
   p "serve.throughput_eps %.1f\n"
     (if v.v_uptime > 0.0 then float_of_int events_total /. v.v_uptime else 0.0);
   if M.enabled () then begin
@@ -177,7 +225,8 @@ let render v =
     (fun s ->
       p
         "session id=%s state=%s events=%d level=%d buffered=%d lag=%d \
-         skipped=%d checkpoints=%d age=%.1f verdict=%s code=%d\n"
+         skipped=%d checkpoints=%d age=%.1f verdict=%s code=%d cuts=%d \
+         causal=%d degraded=%s\n"
         (Session.id s)
         (state_name (Session.state s))
         (Session.events s) (Session.level s) (Session.buffered s)
@@ -188,7 +237,12 @@ let render v =
         | Some true -> "violation"
         | Some false -> "ok"
         | None -> "-")
-        (Session.exit_code s))
+        (Session.exit_code s)
+        (Session.frontier_cuts s)
+        (Session.causal_buffered s)
+        (match Session.degraded s with
+        | Some d -> d.Predict.Engines.d_reason
+        | None -> "no"))
     sessions;
   if M.enabled () then begin
     let keep name =
@@ -258,6 +312,17 @@ let prometheus v =
   in
   g "jmpax_serve_health"
     ~help:"0 = ok, 1 = degraded, 2 = draining" health_code;
+  g "jmpax_serve_mem_bytes"
+    ~help:"Resident analysis state across all sessions (estimated)"
+    (mem_bytes v.v_registry);
+  (match v.v_memory_budget with
+  | Some budget ->
+      g "jmpax_serve_memory_budget_bytes" ~help:"Configured global budget"
+        budget
+  | None -> ());
+  g "jmpax_serve_sessions_degraded"
+    ~help:"Sessions running on degraded (linear-time) engines"
+    (degraded_count v.v_registry);
   (* Per-session labeled families, capped. *)
   let shown = ref 0 in
   List.iter
@@ -272,7 +337,13 @@ let prometheus v =
         Expo.gauge e ~labels "jmpax_serve_session_lag_bytes"
           (float_of_int (Session.lag s));
         Expo.gauge e ~labels "jmpax_serve_session_level"
-          (float_of_int (Session.level s))
+          (float_of_int (Session.level s));
+        Expo.gauge e ~labels "jmpax_serve_session_frontier_cuts"
+          (float_of_int (Session.frontier_cuts s));
+        Expo.gauge e ~labels "jmpax_serve_session_causal_buffered"
+          (float_of_int (Session.causal_buffered s));
+        Expo.gauge e ~labels "jmpax_serve_session_degraded"
+          (if Session.degraded s <> None then 1.0 else 0.0)
       end)
     sessions;
   g "jmpax_serve_sessions_omitted"

@@ -46,6 +46,11 @@ type view = {
   v_max_buffered : int;
       (** [health] degrades when a session's out-of-order buffer
           exceeds this; [0] disables the check *)
+  v_memory_budget : int option;
+      (** the daemon's global [--memory-budget] in bytes; when the
+          summed per-session {!mem_bytes} crosses it, [health] reports
+          [degraded] naming the hungriest session and the loop rejects
+          new hellos with [reject server busy] *)
 }
 
 val sync :
@@ -56,9 +61,16 @@ val sync :
     Prometheus scrape and a [stats] rollup can never disagree
     mid-window.  No-op when telemetry is disabled. *)
 
+val mem_bytes : Registry.t -> int
+(** Estimated resident analysis state of every registered session
+    (O(sessions): each term is an O(1) counter read) — the quantity the
+    global [--memory-budget] bounds. *)
+
 val health : view -> string * string
 (** [(status, detail)] with status [ok], [degraded] or [draining];
-    [detail] names the first offending session when degraded. *)
+    [detail] names the first offending session when degraded.  A
+    crossed global memory budget wins over per-session thresholds and
+    names the hungriest session with [reason=memory_budget]. *)
 
 val render : view -> string
 (** The [stats] response body. *)

@@ -12,6 +12,7 @@ type config = {
   read_budget : int;
   health_max_lag : int;
   health_max_buffered : int;
+  memory_budget : int option;
 }
 
 let default_read_budget = 64 * 1024
@@ -148,7 +149,8 @@ let view t =
     v_now = t.cfg.session.Session.now ();
     v_draining = Atomic.get t.drain_flag;
     v_max_lag = t.cfg.health_max_lag;
-    v_max_buffered = t.cfg.health_max_buffered }
+    v_max_buffered = t.cfg.health_max_buffered;
+    v_memory_budget = t.cfg.memory_budget }
 
 (* {1 Bookkeeping} *)
 
@@ -181,6 +183,14 @@ let polite_reject t fd reason =
    with Unix.Unix_error _ -> ());
   close_fd fd
 
+(* Admission control: past the global memory high-water, new tenants
+   are turned away at the door — the resident sessions keep their
+   budgets and the daemon never grows toward the OOM killer. *)
+let over_memory_budget t =
+  match t.cfg.memory_budget with
+  | None -> false
+  | Some budget -> Control.mem_bytes t.reg > budget
+
 let accept_sessions t =
   match t.listener with
   | None -> ()
@@ -193,6 +203,8 @@ let accept_sessions t =
               Unix.set_nonblock fd;
               if not (Registry.has_capacity t.reg ~pending:(List.length t.pending))
               then polite_reject t fd "server full"
+              else if over_memory_budget t then
+                polite_reject t fd "server busy"
               else begin
                 t.ctrs.Control.accepts <- t.ctrs.Control.accepts + 1;
                 L.info ~event:"accept"

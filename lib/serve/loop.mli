@@ -43,6 +43,13 @@ type config = {
   health_max_buffered : int;
       (** [health] reports [degraded] when a session's out-of-order
           buffer exceeds this; [0] disables the check *)
+  memory_budget : int option;
+      (** global high-water on the summed per-session analysis state
+          ({!Control.mem_bytes}), in bytes.  While crossed, new
+          connections are rejected with [reject server busy] and
+          [health] reports [degraded] with the hungriest session;
+          resident sessions are governed by their own per-session
+          budgets.  [None] disables admission control. *)
 }
 
 val default_read_budget : int

@@ -7,6 +7,8 @@ let m_checkpoints = M.counter "serve.checkpoints"
 let m_verdicts = M.counter "serve.verdicts"
 let m_violations = M.counter "serve.violations"
 let m_session_failures = M.counter "serve.session_failures"
+let m_degrades = M.counter "serve.degrades"
+let m_budget_evictions = M.counter "serve.budget_evictions"
 
 (* Ingest -> verdict-state-updated latency: how long one batch of
    socket bytes takes to flow through the reader and analyzer.  Fed
@@ -23,6 +25,8 @@ type config = {
   recovery : Jmpax.Config.recovery;
   checkpoint_dir : string option;
   checkpoint_every : int;
+  budget : Jmpax.Budget.limits;
+  on_overload : Jmpax.Budget.policy;
   now : unit -> float;
 }
 
@@ -113,6 +117,20 @@ let level t =
 let buffered t =
   match t.bundle with Some b -> Predict.Engines.out_of_order b | None -> 0
 
+(* Budget accounting, all O(1) reads of maintained counters. *)
+
+let frontier_cuts t =
+  match t.bundle with Some b -> Predict.Engines.frontier_cuts b | None -> 0
+
+let causal_buffered t =
+  match t.bundle with Some b -> Predict.Engines.causal_buffered b | None -> 0
+
+let mem_words t =
+  match t.bundle with Some b -> Predict.Engines.mem_words b | None -> 0
+
+let degraded t =
+  match t.bundle with Some b -> Predict.Engines.degraded b | None -> None
+
 (* Bytes received but not yet turned into events: the session's lag. *)
 let lag t =
   match t.reader with Some r -> Wire.Reader.pending_bytes r | None -> 0
@@ -181,10 +199,14 @@ let finish_done t b =
   let lines =
     List.map snd engine_lines
     @
-    match Predict.Engines.online b with
-    | Some o ->
+    (* A degraded session's marker line stands where the lattice verdict
+       would have: reduced coverage is never presented as a full
+       verdict. *)
+    match (Predict.Engines.degraded b, Predict.Engines.online b) with
+    | Some d, _ -> [ Jmpax.Pipeline.degraded_verdict_line d ]
+    | None, Some o ->
         [ Jmpax.Pipeline.verdict_line (Predict.Online.violated o) ]
-    | None -> []
+    | None, None -> []
   in
   ignore (write_line t (String.concat "" (List.map (fun l -> l ^ "\n") lines)));
   close t;
@@ -231,7 +253,8 @@ let write_checkpoint t =
               ck_engines = Predict.Engines.snapshots bundle;
               ck_online =
                 Option.map Predict.Online.snapshot
-                  (Predict.Engines.online bundle) }
+                  (Predict.Engines.online bundle);
+              ck_degraded = Predict.Engines.degraded bundle }
           in
           match Checkpoint.write path ck with
           | Ok () ->
@@ -295,6 +318,10 @@ let feed_message t b m =
             Printf.sprintf
               "backpressure: %d messages buffered out of order (limit %d)"
               buffered limit ))
+  | exception Predict.Causal.Causal_buffer_overflow { buffered; limit } ->
+      (* The budget cap on the linear engines' delivery buffer: routed
+         through the overload policy, not the hard backpressure class. *)
+      Error (`Breach (Jmpax.Budget.Causal_buffered { buffered; limit }))
   | exception Invalid_argument _ ->
       (* A well-formed frame carrying a (thread, index) pair already
          consumed: an input defect, so the recovery policy applies. *)
@@ -310,6 +337,50 @@ let on_skip t error =
       t.s_skipped <- t.s_skipped + 1;
       Ok ()
 
+(* {1 Budget enforcement} *)
+
+(* Checkpoint-then-drop: only the offender pays, and its resumable
+   state survives on disk (when a checkpoint_dir is configured) so a
+   later reconnect can pick it back up. *)
+let finish_evicted t reason =
+  (match write_checkpoint t with
+  | Ok () -> ()
+  | Error e ->
+      L.warn ~sid:t.s_id ~event:"evict_checkpoint_failed" e);
+  if M.enabled () then M.incr m_budget_evictions;
+  L.warn ~sid:t.s_id ~event:"evict" ~fields:[ ("class", "budget") ] reason;
+  finish_failed t 8 ("budget: " ^ reason)
+
+(* In a multi-tenant daemon a breach degradation cannot relieve still
+   must not take the daemon down, so under [Degrade] it falls back to
+   evicting the offender; [Fail] fails only the offending session
+   (exit class 8), never its neighbours. *)
+let apply_breach t b breach =
+  match t.cfg.on_overload with
+  | Jmpax.Budget.Degrade
+    when Jmpax.Budget.degradable breach && Predict.Engines.online b <> None ->
+      let reason = Jmpax.Budget.breach_reason breach in
+      Predict.Engines.degrade b ~reason;
+      if M.enabled () then M.incr m_degrades;
+      L.warn ~sid:t.s_id ~event:"degrade"
+        ~fields:
+          [ ("reason", reason); ("at_event", string_of_int t.s_events) ]
+        (Jmpax.Budget.breach_message breach);
+      `Continue
+  | Jmpax.Budget.Fail -> `Fail (Jmpax.Budget.breach_message breach)
+  | Jmpax.Budget.Degrade | Jmpax.Budget.Evict ->
+      `Evict (Jmpax.Budget.breach_message breach)
+
+let budget_step t b =
+  if Jmpax.Budget.is_unlimited t.cfg.budget then `Continue
+  else begin
+    let u = Jmpax.Budget.usage b in
+    Jmpax.Budget.observe u;
+    match Jmpax.Budget.check t.cfg.budget u with
+    | None -> `Continue
+    | Some breach -> apply_breach t b breach
+  end
+
 (* Drain every decodable event out of the reader, then (at [Await])
    take a periodic checkpoint if the lattice advanced far enough.  The
    loop's read budget bounds how many bytes one pump can cover, so a
@@ -320,8 +391,9 @@ let rec pump t reader =
       t.bundle <-
         Some
           (Predict.Engines.create ~jobs:t.cfg.jobs
-             ?max_buffered:t.cfg.max_buffered ~kinds:t.cfg.engines
-             ~nthreads:h.Wire.nthreads ~init:h.Wire.init
+             ?max_buffered:t.cfg.max_buffered
+             ?overflow_limit:t.cfg.budget.Jmpax.Budget.max_causal_buffered
+             ~kinds:t.cfg.engines ~nthreads:h.Wire.nthreads ~init:h.Wire.init
              ~spec:(Some t.cfg.spec) ());
       pump t reader
   | Wire.Reader.Item (Wire.Reader.Msg m) -> (
@@ -329,16 +401,31 @@ let rec pump t reader =
       | None -> finish_failed t 3 "message frame before the header frame"
       | Some b -> (
           match feed_message t b m with
-          | Ok () -> pump t reader
+          | Ok () -> (
+              match budget_step t b with
+              | `Continue -> pump t reader
+              | `Fail reason -> finish_failed t 8 ("budget: " ^ reason)
+              | `Evict reason -> finish_evicted t reason)
           | Error (`Fatal (code, reason)) -> finish_failed t code reason
+          | Error (`Breach breach) -> (
+              match apply_breach t b breach with
+              | `Continue -> pump t reader
+              | `Fail reason -> finish_failed t 8 ("budget: " ^ reason)
+              | `Evict reason -> finish_evicted t reason)
           | Error (`Skip error) -> (
               match on_skip t error with
               | Ok () -> pump t reader
               | Error (code, reason) -> finish_failed t code reason)))
-  | Wire.Reader.Item (Wire.Reader.End_of_thread tid) ->
+  | Wire.Reader.Item (Wire.Reader.End_of_thread tid) -> (
       t.s_ends <- t.s_ends + 1;
       Option.iter (fun b -> Predict.Engines.end_of_thread b tid) t.bundle;
-      pump t reader
+      match t.bundle with
+      | Some b -> (
+          match budget_step t b with
+          | `Continue -> pump t reader
+          | `Fail reason -> finish_failed t 8 ("budget: " ^ reason)
+          | `Evict reason -> finish_evicted t reason)
+      | None -> pump t reader)
   | Wire.Reader.Skip { error; bytes = _ } -> (
       match on_skip t error with
       | Ok () -> pump t reader
@@ -460,6 +547,8 @@ let start_fresh t ~id ~rest =
 let start_resume_checkpoint t ~id ~ck ~rest =
   let bundle =
     Predict.Engines.restore ~jobs:t.cfg.jobs ?max_buffered:t.cfg.max_buffered
+      ?overflow_limit:t.cfg.budget.Jmpax.Budget.max_causal_buffered
+      ?degraded:ck.Checkpoint.ck_degraded
       ~kinds:t.cfg.engines ~nthreads:ck.Checkpoint.ck_header.Wire.nthreads
       ~init:ck.Checkpoint.ck_header.Wire.init ~spec:(Some t.cfg.spec)
       ~online_snapshot:ck.Checkpoint.ck_online

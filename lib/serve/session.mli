@@ -58,6 +58,16 @@ type config = {
   checkpoint_dir : string option;
       (** where [<id>.ckpt] files live; [None] = no crash safety *)
   checkpoint_every : int;  (** lattice levels between periodic writes *)
+  budget : Jmpax.Budget.limits;
+      (** per-session resource budgets ([--max-frontier-cuts],
+          [--max-causal-buffered]); {!Jmpax.Budget.unlimited} preserves
+          pre-budget behaviour byte-for-byte *)
+  on_overload : Jmpax.Budget.policy;
+      (** what a crossed budget does to the offending session:
+          [Degrade] swaps its lattice engine for the linear-time ones
+          in place (marked verdict), [Evict] checkpoints-then-drops it,
+          [Fail] fails it with exit class 8.  Neighbour sessions are
+          never touched. *)
   now : unit -> float;  (** injectable clock (idle timeout, tests) *)
 }
 
@@ -96,6 +106,22 @@ val level : t -> int
 val buffered : t -> int
 (** Out-of-order buffered messages (the [max_buffered] quantity). *)
 
+val frontier_cuts : t -> int
+(** Live lattice frontier width (the [--max-frontier-cuts] quantity);
+    [0] without the lattice engine — including after a degrade. *)
+
+val causal_buffered : t -> int
+(** Messages buffered in the linear engines' causal-delivery buffers
+    (the [--max-causal-buffered] quantity). *)
+
+val mem_words : t -> int
+(** O(1) estimate of the session's resident analysis state in words —
+    the per-session term of the daemon's [--memory-budget]. *)
+
+val degraded : t -> Predict.Engines.degraded option
+(** [Some _] once the session shed its lattice engine under
+    [--on-overload degrade]; survives checkpoint/resume. *)
+
 val lag : t -> int
 (** Bytes received from the writer but not yet decoded into events —
     the session's ingest backlog (the [--health-max-lag] quantity). *)
@@ -108,9 +134,10 @@ val violated : t -> bool option
 (** [Some] once the verdict is known ([Done]). *)
 
 val exit_code : t -> int
-(** The session's terminal class in the documented 0–6 vocabulary:
+(** The session's terminal class in the documented exit vocabulary:
     [0] clean / violation verdicts, [3] decode failure, [4]
-    backpressure, [6] checkpoint write failure.  [0] while live. *)
+    backpressure, [6] checkpoint write failure, [8] resource budget
+    (failed or evicted offender).  [0] while live. *)
 
 val fail_reason : t -> string
 (** Why the session [Failed]; [""] otherwise. *)

@@ -134,6 +134,22 @@ let gen_checkpoint =
     >>= fun engines ->
     bool >>= fun drop_online ->
     let with_online = engines = [] || not drop_online in
+    bool >>= fun degraded_flag ->
+    bool >>= fun degraded_violated ->
+    oneofl [ "frontier_budget"; "causal_budget"; "memory_budget" ]
+    >>= fun degraded_reason ->
+    (* A degraded checkpoint never carries lattice state (decode rejects
+       the combination), so the marker only appears on online-free
+       values. *)
+    let degraded =
+      if with_online || not degraded_flag then None
+      else
+        Some
+          { Predict.Engines.d_from = "lattice";
+            d_reason = degraded_reason;
+            d_at_event = position;
+            d_violated = degraded_violated }
+    in
     return
       { C.ck_header = { W.nthreads; init };
         ck_spec_fp = Printf.sprintf "%08x" (position * 2654435761);
@@ -147,6 +163,7 @@ let gen_checkpoint =
         ck_quarantined = quarantined;
         ck_peak_buffered = peak_buffered;
         ck_engines = engines;
+        ck_degraded = degraded;
         ck_online =
           (if not with_online then None
            else

@@ -45,6 +45,38 @@ let chain_doc n =
   let ms = List.init n (fun i -> msg ~eid:i 0 "x" 1 [ i + 1 ]) in
   W.Framed.encode header ms
 
+(* The adversarial tenant of the budget tests: six threads whose
+   messages carry only their own vector-clock component, so every
+   message is concurrent with every message of every other thread and
+   the frontier holds C(level+5,5) cuts per level — past any small
+   cut budget within a few delivered rounds. *)
+let exploding_nthreads = 6
+let exploding_per_thread = 10
+
+let exploding_messages () =
+  let ms = ref [] in
+  for i = exploding_per_thread - 1 downto 0 do
+    for t = exploding_nthreads - 1 downto 0 do
+      let cl =
+        List.init exploding_nthreads (fun k -> if k = t then i + 1 else 0)
+      in
+      ms := msg ~eid:((i * exploding_nthreads) + t) t "x" i cl :: !ms
+    done
+  done;
+  !ms
+
+let exploding_header = { W.nthreads = exploding_nthreads; init = [ ("x", 0) ] }
+let exploding_doc () = W.Framed.encode exploding_header (exploding_messages ())
+
+(* The same bytes minus the end-of-stream frames, for tests that need
+   the exploding session still live (e.g. to drain it mid-flight). *)
+let exploding_prefix () =
+  let full = exploding_doc () in
+  let ends =
+    String.concat "" (List.init exploding_nthreads W.Framed.encode_end)
+  in
+  String.sub full 0 (String.length full - String.length ends)
+
 (* A single-thread stream delivered in reverse: every message but the
    last is out of order, the backpressure worst case. *)
 let reversed_doc n =
@@ -55,6 +87,11 @@ let reversed_doc n =
 let true_fp = Jmpax.Checkpoint.fingerprint Pastltl.Formula.True
 
 (* {1 The in-process harness} *)
+
+(* The daemon drops a budget-breaching session mid-stream; without this
+   the writer's next [send] dies of SIGPIPE instead of seeing [EPIPE]
+   (the CLI front end ignores the signal the same way). *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
 let clock = ref 0.0
 
@@ -71,19 +108,24 @@ let rec rm_rf path =
   end
   else Sys.remove path
 
-let default_session ?(spec = Pastltl.Formula.True) ?max_buffered
-    ?checkpoint_dir ?(recovery = Jmpax.Config.Fail) () =
+let default_session ?(spec = Pastltl.Formula.True)
+    ?(engines = Predict.Engine.default_kinds) ?max_buffered
+    ?checkpoint_dir ?(recovery = Jmpax.Config.Fail)
+    ?(budget = Jmpax.Budget.unlimited) ?(on_overload = Jmpax.Budget.Fail) () =
   { S.spec;
     spec_fp = Jmpax.Checkpoint.fingerprint spec;
-    engines = Predict.Engine.default_kinds;
+    engines;
     max_buffered;
     jobs = 1;
     recovery;
     checkpoint_dir;
     checkpoint_every = 1;
+    budget;
+    on_overload;
     now = (fun () -> !clock) }
 
-let with_server ?spec ?max_buffered ?checkpoint_dir ?recovery
+let with_server ?spec ?engines ?max_buffered ?checkpoint_dir ?recovery ?budget
+    ?on_overload ?memory_budget
     ?(max_sessions = 16) ?(idle_timeout = 0.0) ?(read_budget = L.default_read_budget)
     ?(health_max_lag = 0) ?(health_max_buffered = 0)
     f =
@@ -94,12 +136,15 @@ let with_server ?spec ?max_buffered ?checkpoint_dir ?recovery
   let config =
     { L.address = L.Unix_path sock;
       control = Some (sock ^ ".ctl");
-      session = default_session ?spec ?max_buffered ?checkpoint_dir ?recovery ();
+      session =
+        default_session ?spec ?engines ?max_buffered ?checkpoint_dir ?recovery
+          ?budget ?on_overload ();
       max_sessions;
       idle_timeout;
       read_budget;
       health_max_lag;
-      health_max_buffered }
+      health_max_buffered;
+      memory_budget }
   in
   match L.create config with
   | Error msg -> Alcotest.failf "server: %s" msg
@@ -642,6 +687,196 @@ let test_control_health_thresholds () =
       Alcotest.(check bool) "offender named" true (has reply "sid=w");
       Unix.close c)
 
+(* {1 Resource budgets} *)
+
+let budget_64 = Jmpax.Budget.limits ~max_frontier_cuts:64 ()
+
+(* A degraded session prints its linear-engine verdict lines first; the
+   marked line stands where the lattice verdict would have.  Skip to
+   the [predictive verdict] line. *)
+let recv_verdict t sock =
+  let rec go n =
+    if n = 0 then Alcotest.fail "no predictive verdict line"
+    else
+      match recv_line t sock with
+      | Some line
+        when String.length line >= 10 && String.sub line 0 10 = "predictive" ->
+          line
+      | Some _ -> go (n - 1)
+      | None -> Alcotest.fail "eof before a verdict line"
+  in
+  go 10
+
+let test_budget_degrade_isolates_neighbor () =
+  with_server ~budget:budget_64 ~on_overload:Jmpax.Budget.Degrade
+    (fun t sock ->
+      let hog = open_session t sock ~id:"hog" ~fp:true_fp in
+      let good = open_session t sock ~id:"good" ~fp:true_fp in
+      send t hog (exploding_doc ());
+      ticks t ~n:50;
+      let hog_s = Option.get (Serve.Registry.find (L.registry t) "hog") in
+      (match S.degraded hog_s with
+      | Some d ->
+          Alcotest.(check string) "shed the lattice engine" "lattice"
+            d.Predict.Engines.d_from;
+          Alcotest.(check string) "breach reason stamped" "frontier_budget"
+            d.Predict.Engines.d_reason
+      | None -> Alcotest.fail "the exploding session never degraded");
+      (* The hog still completes — on the linear engines — and its
+         verdict is explicitly marked, never a full-coverage claim. *)
+      let v = recv_verdict t hog in
+      Alcotest.(check bool) (Printf.sprintf "marked verdict %S" v) true
+        (has v "degraded(from=lattice,reason=frontier_budget,at_event=");
+      (* The neighbour streams on, completely unaffected. *)
+      send t good (chain_doc 50);
+      Alcotest.(check string) "neighbour verdict"
+        (Jmpax.Pipeline.verdict_line false)
+        (recv_verdict t good);
+      (* The control socket surfaces the budget state per session. *)
+      let reply = query t sock "stats" in
+      Alcotest.(check bool) "stats names the degraded session" true
+        (has reply "degraded=frontier_budget");
+      Alcotest.(check bool) "stats carries cut counts" true (has reply "cuts=");
+      Unix.close hog;
+      Unix.close good)
+
+(* The acceptance bar: whatever happens to the exploding tenant under
+   each policy, a well-behaved neighbour's verdict is byte-identical to
+   a run on an unloaded daemon. *)
+let test_budget_policies_neighbor_parity () =
+  let baseline =
+    with_server (fun t sock ->
+        let c = open_session t sock ~id:"solo" ~fp:true_fp in
+        send t c (chain_doc 50);
+        let v = recv_verdict t c in
+        Unix.close c;
+        v)
+  in
+  List.iter
+    (fun (name, policy) ->
+      with_server ~budget:budget_64 ~on_overload:policy (fun t sock ->
+          let hog = open_session t sock ~id:"hog" ~fp:true_fp in
+          let good = open_session t sock ~id:"good" ~fp:true_fp in
+          send t hog (exploding_doc ());
+          ticks t ~n:50;
+          let hog_s = Option.get (Serve.Registry.find (L.registry t) "hog") in
+          (match policy with
+          | Jmpax.Budget.Degrade ->
+              Alcotest.(check bool) (name ^ ": hog degraded") true
+                (S.degraded hog_s <> None)
+          | Jmpax.Budget.Evict | Jmpax.Budget.Fail ->
+              Alcotest.(check bool) (name ^ ": hog dropped") true
+                (S.state hog_s = S.Failed);
+              Alcotest.(check int) (name ^ ": budget exit class") 8
+                (S.exit_code hog_s));
+          send t good (chain_doc 50);
+          Alcotest.(check string)
+            (name ^ ": neighbour verdict byte-identical to unloaded run")
+            baseline (recv_verdict t good);
+          Unix.close hog;
+          Unix.close good))
+    [ ("degrade", Jmpax.Budget.Degrade);
+      ("evict", Jmpax.Budget.Evict);
+      ("fail", Jmpax.Budget.Fail) ]
+
+(* Reduced coverage must survive the full crash-safety cycle: a marker
+   minted at degrade time reappears, bit for bit, in the verdict of a
+   drained, restarted and resumed daemon. *)
+let test_degraded_marker_survives_restart () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let at_event =
+    with_server ~checkpoint_dir:dir ~budget:budget_64
+      ~on_overload:Jmpax.Budget.Degrade (fun t sock ->
+        let c = open_session t sock ~id:"hog" ~fp:true_fp in
+        send t c (exploding_prefix ());
+        ticks t ~n:50;
+        let s = Option.get (Serve.Registry.find (L.registry t) "hog") in
+        let d =
+          match S.degraded s with
+          | Some d -> d
+          | None -> Alcotest.fail "never degraded before the drain"
+        in
+        L.request_drain t;
+        tick t;
+        Alcotest.(check int) "clean drain exit" 0 (L.exit_code t);
+        Alcotest.(check bool) "checkpoint on disk" true
+          (Sys.file_exists (Filename.concat dir "hog.ckpt"));
+        Unix.close c;
+        d.Predict.Engines.d_at_event)
+  in
+  with_server ~checkpoint_dir:dir ~budget:budget_64
+    ~on_overload:Jmpax.Budget.Degrade (fun t sock ->
+      let c = open_session t sock ~id:"hog" ~fp:true_fp in
+      (* The marker is already back before a single replayed byte: it
+         rode the checkpoint, not the stream. *)
+      let s = Option.get (Serve.Registry.find (L.registry t) "hog") in
+      (match S.degraded s with
+      | Some d ->
+          Alcotest.(check int) "marker at_event preserved" at_event
+            d.Predict.Engines.d_at_event
+      | None -> Alcotest.fail "resume lost the degraded marker");
+      send t c (exploding_doc ());
+      let v = recv_verdict t c in
+      Alcotest.(check bool) (Printf.sprintf "marked verdict %S" v) true
+        (has v
+           (Printf.sprintf "degraded(from=lattice,reason=frontier_budget,at_event=%d)"
+              at_event));
+      Unix.close c)
+
+(* Satellite of the causal engines: the bounded delivery buffer's typed
+   overflow is routed through the overload policy — exit class 8, not
+   the backpressure class 4 of the wire-order buffer. *)
+let test_causal_overflow_routed_through_policy () =
+  let budget = Jmpax.Budget.limits ~max_causal_buffered:3 () in
+  with_server
+    ~engines:[ Predict.Engine.Lattice; Predict.Engine.Race ]
+    ~budget ~on_overload:Jmpax.Budget.Fail (fun t sock ->
+      let c = open_session t sock ~id:"w" ~fp:true_fp in
+      let header = { W.nthreads = 2; init = [ ("x", 0) ] } in
+      send t c (W.Framed.encode_header header);
+      (* Thread 1's messages all wait on thread 0's fifth message, which
+         never comes: each parks in the causal-delivery buffer until the
+         budget of 3 is crossed. *)
+      for j = 1 to 6 do
+        send t c (W.Framed.encode_message (msg ~eid:j 1 "x" j [ 5; j ]))
+      done;
+      ticks t ~n:20;
+      let s = Option.get (Serve.Registry.find (L.registry t) "w") in
+      Alcotest.(check bool) "offender failed" true (S.state s = S.Failed);
+      Alcotest.(check int) "budget exit class 8" 8 (S.exit_code s);
+      Unix.close c)
+
+(* Admission control: over the global memory budget the daemon keeps
+   serving residents but answers new hellos with a polite reject, and
+   [health] names the hungriest session. *)
+let test_memory_budget_admission_control () =
+  with_server ~memory_budget:1 (fun t sock ->
+      let c = open_session t sock ~id:"resident" ~fp:true_fp in
+      (* Any live analysis state exceeds a one-byte global budget. *)
+      send t c (W.Framed.encode_header { W.nthreads = 1; init = [ ("x", 0) ] });
+      ticks t;
+      let probe = connect sock in
+      ticks t;
+      (match recv_line t probe with
+      | Some reply ->
+          Alcotest.(check string) "polite admission reject"
+            "reject server busy" reply
+      | None -> Alcotest.fail "no rejection line");
+      recv_eof t probe;
+      Unix.close probe;
+      let reply = query t sock "health" in
+      Alcotest.(check bool) "health degraded" true (has reply "degraded");
+      Alcotest.(check bool) "reason named" true (has reply "reason=memory_budget");
+      Alcotest.(check bool) "offender named" true (has reply "sid=resident");
+      (* The resident is unharmed and completes normally. *)
+      send t c (W.Framed.encode_message (msg 0 "x" 1 [ 1 ]));
+      send t c (W.Framed.encode_end 0);
+      Alcotest.(check string) "resident verdict"
+        (Jmpax.Pipeline.verdict_line false)
+        (recv_verdict t c);
+      Unix.close c)
+
 (* {1 The single-accept listener (regression)} *)
 
 (* [jmpax stream listen-unix:PATH] accepts exactly one writer; the
@@ -722,6 +957,17 @@ let () =
             test_control_metrics_exposition;
           Alcotest.test_case "health thresholds" `Quick
             test_control_health_thresholds ] );
+      ( "budget",
+        [ Alcotest.test_case "degrade isolates the neighbour" `Quick
+            test_budget_degrade_isolates_neighbor;
+          Alcotest.test_case "neighbour parity under all three policies"
+            `Quick test_budget_policies_neighbor_parity;
+          Alcotest.test_case "degraded marker survives drain and restart"
+            `Quick test_degraded_marker_survives_restart;
+          Alcotest.test_case "causal overflow routed through the policy"
+            `Quick test_causal_overflow_routed_through_policy;
+          Alcotest.test_case "memory budget admission control" `Quick
+            test_memory_budget_admission_control ] );
       ( "transport",
         [ Alcotest.test_case "listen-once closes the listener" `Quick
             test_listen_once_closes_listener ] ) ]
